@@ -1,0 +1,98 @@
+// Figure 5b: normalized RMSE (%) of predicted opinion spread vs ground
+// truth on the Twitter substrate as the seed budget varies. The seeds are
+// the topic originators truncated/extended to k.
+
+#include <cmath>
+
+#include "common.h"
+#include "data/twitter.h"
+#include "diffusion/independent_cascade.h"
+#include "diffusion/oc_model.h"
+#include "graph/subgraph.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  TwitterCorpusOptions options;
+  options.num_users =
+      static_cast<NodeId>(std::max(2000.0, 1'600'000 * config.scale * 0.1));
+  options.num_topics = static_cast<uint32_t>(args.GetInt("topics", 10));
+  options.originators_per_topic = 24;
+  options.seed = config.seed;
+  HOLIM_ASSIGN_OR_RETURN(TwitterCorpus corpus, BuildTwitterCorpus(options));
+
+  ResultTable table("Figure 5b — normalized RMSE vs seeds (%)",
+                    {"k", "IC", "OC", "OI"}, CsvPath("fig5b_twitter_rmse"));
+  McOptions mc;
+  mc.num_simulations = config.mc;
+  mc.seed = config.seed;
+
+  for (uint32_t k : {5u, 10u, 15u, 20u}) {
+    double se_oi = 0, se_oc = 0, se_ic = 0, norm = 0;
+    uint32_t counted = 0;
+    for (const TopicData& topic : corpus.topics) {
+      if (topic.originators.size() < k) continue;
+      ++counted;
+      std::vector<NodeId> seeds(topic.originators.begin(),
+                                topic.originators.begin() + k);
+      const Graph& sub = topic.subgraph.graph;
+      OpinionParams local;
+      local.opinion =
+          ProjectNodeValues(topic.subgraph, corpus.estimated.opinion);
+      local.interaction =
+          ProjectEdgeValues(topic.subgraph, corpus.estimated.interaction);
+      InfluenceParams influence = MakeUniformIc(sub, 1.0);
+      InfluenceParams lt = MakeLinearThreshold(sub);
+
+      // Ground truth restricted to cascades reachable from these k seeds is
+      // approximated by the full-topic truth scaled by seed share.
+      const double gt = topic.ground_truth_spread *
+                        static_cast<double>(k) / topic.originators.size();
+      const double oi = EstimateOpinionSpread(sub, influence, local,
+                                              OiBase::kIndependentCascade,
+                                              seeds, 1.0, mc)
+                            .opinion_spread;
+      const double oc = EstimateOcOpinionSpread(sub, lt, local, seeds, mc);
+      // IC static-opinion baseline (see fig5a).
+      double ic = 0;
+      {
+        IcSimulator sim(sub, influence);
+        Rng rng(mc.seed);
+        double acc = 0;
+        for (uint32_t r = 0; r < mc.num_simulations; ++r) {
+          const Cascade& cascade = sim.Run(seeds, rng);
+          for (std::size_t i = seeds.size(); i < cascade.order.size(); ++i) {
+            acc += local.opinion[cascade.order[i].node];
+          }
+        }
+        ic = acc / mc.num_simulations;
+      }
+      se_oi += (oi - gt) * (oi - gt);
+      se_oc += (oc - gt) * (oc - gt);
+      se_ic += (ic - gt) * (ic - gt);
+      norm += gt * gt;
+    }
+    if (counted == 0 || norm == 0) continue;
+    table.AddRow({std::to_string(k),
+                  CsvWriter::Num(100 * std::sqrt(se_ic / norm)),
+                  CsvWriter::Num(100 * std::sqrt(se_oc / norm)),
+                  CsvWriter::Num(100 * std::sqrt(se_oi / norm))});
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Fig. 5b): OI lowest error, IC highest.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv,
+                   "Figure 5b — normalized RMSE of opinion-spread prediction",
+                   Run, [](BenchArgs* args) {
+                     args->Declare("topics", "number of topic subgraphs");
+                   });
+}

@@ -1,0 +1,75 @@
+// Figure 5f: OSIM quality vs Modified-GREEDY on NetHEPT (OI model,
+// o ~ N(0,1)), sweeping the path-length horizon l in {1, 2, 3, 5}.
+
+#include <memory>
+
+#include "algo/greedy.h"
+#include "algo/score_greedy.h"
+#include "common.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  // Modified-GREEDY is O(k * n * sims); shrink the instance accordingly.
+  const double scale = args.GetDouble("scale", 0.05);
+  HOLIM_ASSIGN_OR_RETURN(
+      Workload w,
+      LoadWorkload("NetHEPT", scale, DiffusionModel::kIndependentCascade));
+  OpinionParams opinions = MakeRandomOpinions(
+      w.graph, OpinionDistribution::kStandardNormal, config.seed);
+  std::printf("NetHEPT stand-in: n=%u m=%llu\n", w.graph.num_nodes(),
+              static_cast<unsigned long long>(w.graph.num_edges()));
+
+  const uint32_t max_k =
+      std::min<uint32_t>(config.max_k / 4, w.graph.num_nodes() / 30);
+  auto grid = SeedGrid(max_k);
+
+  ResultTable table("Figure 5f — opinion spread vs seeds (OI, NetHEPT)",
+                    {"selector", "k", "effective_opinion_spread"},
+                    CsvPath("fig5f_osim_quality"));
+
+  McOptions greedy_mc;
+  greedy_mc.num_simulations = std::min<uint32_t>(config.mc, 100);
+  greedy_mc.seed = config.seed;
+  auto objective = std::make_shared<EffectiveOpinionObjective>(
+      w.graph, w.params, opinions, OiBase::kIndependentCascade, 1.0,
+      greedy_mc);
+  GreedySelector greedy(w.graph, objective, "Modified-GREEDY");
+  HOLIM_ASSIGN_OR_RETURN(SeedSelection greedy_seeds, greedy.Select(max_k));
+  auto greedy_values = OpinionSpreadAtPrefixes(
+      w.graph, w.params, opinions, OiBase::kIndependentCascade,
+      greedy_seeds.seeds, grid, 1.0, config.mc, config.seed);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.AddRow({"Modified-GREEDY", std::to_string(grid[i]),
+                  CsvWriter::Num(greedy_values[i])});
+  }
+
+  for (uint32_t l : {1u, 2u, 3u, 5u}) {
+    OsimSelector osim(w.graph, w.params, opinions,
+                      OiBase::kIndependentCascade, l);
+    HOLIM_ASSIGN_OR_RETURN(SeedSelection seeds, osim.Select(max_k));
+    auto values = OpinionSpreadAtPrefixes(
+        w.graph, w.params, opinions, OiBase::kIndependentCascade, seeds.seeds,
+        grid, 1.0, config.mc, config.seed);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      table.AddRow({"OSIM,l=" + std::to_string(l), std::to_string(grid[i]),
+                    CsvWriter::Num(values[i])});
+    }
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Fig. 5f): spread improves with l up to\n"
+              "l=3 and OSIM closely tracks Modified-GREEDY.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv,
+                   "Figure 5f — OSIM l-sweep vs Modified-GREEDY (quality)",
+                   Run);
+}

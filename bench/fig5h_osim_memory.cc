@@ -1,0 +1,75 @@
+// Figure 5h: memory (graph loading vs execution overhead) of OSIM and
+// Modified-GREEDY across the four medium datasets, k = 100.
+
+#include <memory>
+
+#include "algo/greedy.h"
+#include "algo/score_greedy.h"
+#include "common.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  ResultTable table(
+      "Figure 5h — memory on medium datasets (k=100 scaled)",
+      {"dataset", "algorithm", "graph_MiB", "exec_MiB"},
+      CsvPath("fig5h_osim_memory"));
+  for (const std::string& dataset : MediumDatasetNames()) {
+    // Modified-GREEDY appears on the two small datasets, so keep them
+    // modest; the larger two only run OSIM.
+    const double scale = std::min(config.scale, 0.05);
+    HOLIM_ASSIGN_OR_RETURN(
+        Workload w, LoadWorkload(dataset, scale,
+                                 DiffusionModel::kIndependentCascade));
+    OpinionParams opinions = MakeRandomOpinions(
+        w.graph, OpinionDistribution::kStandardNormal, config.seed);
+    const double graph_mib = MemoryMeter::ToMiB(
+        w.graph.MemoryFootprintBytes() + w.params.MemoryFootprintBytes() +
+        opinions.MemoryFootprintBytes());
+    const uint32_t k = std::min<uint32_t>(100, w.graph.num_nodes() / 10);
+
+    {
+      OsimSelector osim(w.graph, w.params, opinions,
+                        OiBase::kIndependentCascade, 3);
+      HOLIM_ASSIGN_OR_RETURN(SeedSelection selection, osim.Select(k));
+      table.AddRow({dataset, "OSIM", CsvWriter::Num(graph_mib),
+                    CsvWriter::Num(MemoryMeter::ToMiB(
+                        selection.overhead_bytes))});
+    }
+    {
+      // Modified-GREEDY only on the two small datasets (as in the paper,
+      // where it cannot complete on DBLP/YouTube).
+      if (dataset == "NetHEPT" || dataset == "HepPh") {
+        McOptions mc;
+        mc.num_simulations = 30;
+        mc.seed = config.seed;
+        auto objective = std::make_shared<EffectiveOpinionObjective>(
+            w.graph, w.params, opinions, OiBase::kIndependentCascade, 1.0,
+            mc);
+        GreedySelector greedy(w.graph, objective, "Modified-GREEDY");
+        HOLIM_ASSIGN_OR_RETURN(SeedSelection selection,
+                               greedy.Select(std::min<uint32_t>(k, 3)));
+        table.AddRow({dataset, "Modified-GREEDY", CsvWriter::Num(graph_mib),
+                      CsvWriter::Num(MemoryMeter::ToMiB(
+                          selection.overhead_bytes))});
+      } else {
+        table.AddRow({dataset, "Modified-GREEDY", CsvWriter::Num(graph_mib),
+                      "DNF (paper: >1 month)"});
+      }
+    }
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Fig. 5h): execution memory is a small\n"
+              "constant overhead above graph loading for both algorithms.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv, "Figure 5h — OSIM memory consumption", Run);
+}

@@ -1,0 +1,59 @@
+// Figures 6a-6c: EaSyIM spread vs seeds while sweeping the path-length
+// horizon l in {1,2,3,5,7,10} on NetHEPT (LT), DBLP (IC), YouTube (WC).
+
+#include "algo/score_greedy.h"
+#include "common.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  struct Panel {
+    const char* figure;
+    const char* dataset;
+    DiffusionModel model;
+  };
+  const Panel panels[] = {
+      {"6a", "NetHEPT", DiffusionModel::kLinearThreshold},
+      {"6b", "DBLP", DiffusionModel::kIndependentCascade},
+      {"6c", "YouTube", DiffusionModel::kWeightedCascade},
+  };
+  ResultTable table("Figures 6a-6c — EaSyIM l-sweep",
+                    {"figure", "dataset", "model", "l", "k", "spread"},
+                    CsvPath("fig6abc_easyim_lsweep"));
+  for (const Panel& panel : panels) {
+    // DBLP/YouTube are larger: extra shrink so the sweep stays fast.
+    const double shrink =
+        std::string(panel.dataset) == "NetHEPT" ? 1.0 : 0.02;
+    HOLIM_ASSIGN_OR_RETURN(
+        Workload w,
+        LoadWorkload(panel.dataset, config.scale * shrink, panel.model));
+    auto grid = SeedGrid(config.max_k);
+    for (uint32_t l : {1u, 2u, 3u, 5u, 7u, 10u}) {
+      EasyImSelector selector(w.graph, w.params, l);
+      HOLIM_ASSIGN_OR_RETURN(SeedSelection seeds,
+                             selector.Select(config.max_k));
+      auto values = SpreadAtPrefixes(w.graph, w.params, seeds.seeds, grid,
+                                     config.mc, config.seed);
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        table.AddRow({panel.figure, panel.dataset,
+                      DiffusionModelName(panel.model), std::to_string(l),
+                      std::to_string(grid[i]), CsvWriter::Num(values[i])});
+      }
+    }
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Figs. 6a-6c): spread grows with l and\n"
+              "saturates around l=3..5; l->diameter dips from cyclic error.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv, "Figures 6a-6c — EaSyIM path-length sweep",
+                   Run);
+}

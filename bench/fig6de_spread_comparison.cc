@@ -1,0 +1,77 @@
+// Figures 6d-6e: spread of EaSyIM(l=3) vs TIM+ (epsilon sweep) vs CELF++
+// on HepPh and DBLP under IC.
+
+#include <memory>
+
+#include "algo/celf.h"
+#include "algo/greedy.h"
+#include "algo/score_greedy.h"
+#include "algo/tim_plus.h"
+#include "common.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  // CELF++ evaluates every node once: keep instances small by default.
+  const double scale = args.GetDouble("scale", 0.05);
+  ResultTable table("Figures 6d-6e — spread comparison (IC)",
+                    {"dataset", "algorithm", "k", "spread"},
+                    CsvPath("fig6de_spread_comparison"));
+  for (const std::string& dataset : {std::string("HepPh"),
+                                     std::string("DBLP")}) {
+    const double shrink = dataset == "DBLP" ? 0.05 : 1.0;
+    HOLIM_ASSIGN_OR_RETURN(
+        Workload w, LoadWorkload(dataset, scale * shrink,
+                                 DiffusionModel::kIndependentCascade));
+    const uint32_t max_k =
+        std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
+    auto grid = SeedGrid(max_k);
+
+    auto report = [&](const std::string& name,
+                      const std::vector<NodeId>& seeds) {
+      auto values = SpreadAtPrefixes(w.graph, w.params, seeds, grid,
+                                     config.mc, config.seed);
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        table.AddRow({dataset, name, std::to_string(grid[i]),
+                      CsvWriter::Num(values[i])});
+      }
+    };
+
+    EasyImSelector easyim(w.graph, w.params, 3);
+    HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(max_k));
+    report(easyim.name(), easy_sel.seeds);
+
+    for (double eps : {0.1, 0.15, 0.2}) {
+      TimPlusOptions tim_opts;
+      tim_opts.epsilon = eps;
+      tim_opts.max_theta = 400000;  // memory safety valve
+      TimPlusSelector tim(w.graph, w.params, tim_opts);
+      HOLIM_ASSIGN_OR_RETURN(SeedSelection tim_sel, tim.Select(max_k));
+      report(tim.name(), tim_sel.seeds);
+    }
+
+    McOptions celf_mc;
+    celf_mc.num_simulations = std::min<uint32_t>(config.mc, 100);
+    celf_mc.seed = config.seed;
+    auto objective =
+        std::make_shared<SpreadObjective>(w.graph, w.params, celf_mc);
+    CelfSelector celf(w.graph, objective, true, "CELF++");
+    HOLIM_ASSIGN_OR_RETURN(SeedSelection celf_sel, celf.Select(max_k));
+    report("CELF++", celf_sel.seeds);
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Figs. 6d-6e): all methods within a few\n"
+              "percent of each other; EaSyIM mirrors the state of the art.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv,
+                   "Figures 6d-6e — EaSyIM vs TIM+ vs CELF++ spread", Run);
+}

@@ -1,0 +1,79 @@
+// Figure 6i: memory footprint vs seeds for EaSyIM, CELF++ and TIM+ on
+// NetHEPT and DBLP (IC). TIM+'s RR sets are the memory hog; EaSyIM stays
+// at O(n) score buffers.
+
+#include <memory>
+
+#include "algo/celf.h"
+#include "algo/greedy.h"
+#include "algo/score_greedy.h"
+#include "algo/tim_plus.h"
+#include "common.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  const double scale = args.GetDouble("scale", 0.01);
+  ResultTable table("Figure 6i — memory vs seeds (IC)",
+                    {"dataset", "algorithm", "k", "memory_MiB"},
+                    CsvPath("fig6i_memory_growth"));
+  for (const std::string& dataset : {std::string("NetHEPT"),
+                                     std::string("DBLP")}) {
+    const double shrink = dataset == "DBLP" ? 0.1 : 1.0;
+    HOLIM_ASSIGN_OR_RETURN(
+        Workload w, LoadWorkload(dataset, scale * shrink,
+                                 DiffusionModel::kIndependentCascade));
+    const uint32_t max_k =
+        std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
+    for (uint32_t k : SeedGrid(max_k)) {
+      {
+        EasyImSelector easyim(w.graph, w.params, 3);
+        HOLIM_ASSIGN_OR_RETURN(SeedSelection sel, easyim.Select(k));
+        // Deterministic accounting (RSS is noisy at these small sizes):
+        // EaSyIM working set = 2 score arrays.
+        EasyImScorer scorer(w.graph, w.params, 3);
+        table.AddRow({dataset, "EaSyIM", std::to_string(k),
+                      CsvWriter::Num(MemoryMeter::ToMiB(
+                          scorer.ScratchBytes()))});
+      }
+      {
+        TimPlusOptions tim_opts;
+        tim_opts.epsilon = 0.1;
+        tim_opts.max_theta = 400000;
+        TimPlusSelector tim(w.graph, w.params, tim_opts);
+        HOLIM_ASSIGN_OR_RETURN(SeedSelection sel, tim.Select(k));
+        table.AddRow({dataset, "TIM+", std::to_string(k),
+                      CsvWriter::Num(MemoryMeter::ToMiB(
+                          tim.last_run_stats().rr_memory_bytes))});
+      }
+      if (dataset == "NetHEPT") {
+        McOptions celf_mc;
+        celf_mc.num_simulations = 30;
+        celf_mc.seed = config.seed;
+        auto objective =
+            std::make_shared<SpreadObjective>(w.graph, w.params, celf_mc);
+        CelfSelector celf(w.graph, objective, true, "CELF++");
+        HOLIM_ASSIGN_OR_RETURN(SeedSelection sel, celf.Select(k));
+        // CELF++ heap: one entry per node.
+        const double heap_mib =
+            MemoryMeter::ToMiB(w.graph.num_nodes() * 40);  // HeapEntry ~40B
+        table.AddRow({dataset, "CELF++", std::to_string(k),
+                      CsvWriter::Num(heap_mib)});
+      }
+    }
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Fig. 6i): EaSyIM smallest (~500x less\n"
+              "than TIM+); TIM+ grows fastest with k via theta.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv, "Figure 6i — memory growth with seeds", Run);
+}

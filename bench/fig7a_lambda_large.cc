@@ -1,0 +1,56 @@
+// Figure 7a (appendix): lambda=1 vs lambda=0 on DBLP and YouTube.
+
+#include "algo/score_greedy.h"
+#include "common.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  ResultTable table("Figure 7a — lambda=1 vs lambda=0 (large datasets)",
+                    {"dataset", "k", "lambda1", "lambda0"},
+                    CsvPath("fig7a_lambda_large"));
+  for (const std::string& dataset : {std::string("DBLP"),
+                                     std::string("YouTube")}) {
+    const double shrink = dataset == "DBLP" ? 0.02 : 0.01;
+    HOLIM_ASSIGN_OR_RETURN(
+        Workload w, LoadWorkload(dataset, config.scale * shrink,
+                                 DiffusionModel::kIndependentCascade));
+    OpinionParams opinions = MakeRandomOpinions(
+        w.graph, OpinionDistribution::kUniform, config.seed);
+    OsimSelector lambda1_selector(w.graph, w.params, opinions,
+                                  OiBase::kIndependentCascade, 3);
+    OpinionParams clipped = opinions;
+    for (double& o : clipped.opinion) o = std::max(0.0, o);
+    OsimSelector lambda0_selector(w.graph, w.params, clipped,
+                                  OiBase::kIndependentCascade, 3);
+    HOLIM_ASSIGN_OR_RETURN(SeedSelection s1,
+                           lambda1_selector.Select(config.max_k));
+    HOLIM_ASSIGN_OR_RETURN(SeedSelection s0,
+                           lambda0_selector.Select(config.max_k));
+    auto grid = SeedGrid(config.max_k);
+    auto v1 = OpinionSpreadAtPrefixes(w.graph, w.params, opinions,
+                                      OiBase::kIndependentCascade, s1.seeds,
+                                      grid, 1.0, config.mc, config.seed);
+    auto v0 = OpinionSpreadAtPrefixes(w.graph, w.params, opinions,
+                                      OiBase::kIndependentCascade, s0.seeds,
+                                      grid, 1.0, config.mc, config.seed);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      table.AddRow({dataset, std::to_string(grid[i]), CsvWriter::Num(v1[i]),
+                    CsvWriter::Num(v0[i])});
+    }
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Fig. 7a): lambda=1 >= lambda=0.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv,
+                   "Figure 7a — penalty ablation on DBLP/YouTube", Run);
+}

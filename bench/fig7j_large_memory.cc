@@ -1,0 +1,51 @@
+// Figure 7j (appendix): EaSyIM memory on the four large datasets
+// (socLive / Orkut / Twitter / Friendster stand-ins, scaled).
+
+#include "algo/score_greedy.h"
+#include "common.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  // Large graphs get an aggressive shrink; --scale raises it.
+  const double scale = args.GetDouble("scale", 0.002);
+  ResultTable table("Figure 7j — EaSyIM memory on large datasets (k=100)",
+                    {"dataset", "n", "arcs", "graph_MiB", "exec_MiB",
+                     "select_seconds"},
+                    CsvPath("fig7j_large_memory"));
+  for (const std::string& dataset : LargeDatasetNames()) {
+    HOLIM_ASSIGN_OR_RETURN(DatasetSpec spec, FindDatasetSpec(dataset));
+    const double shrink = spec.paper_edges > 1'000'000'000 ? 0.02 : 0.2;
+    HOLIM_ASSIGN_OR_RETURN(
+        Workload w, LoadWorkload(dataset, scale * shrink,
+                                 DiffusionModel::kIndependentCascade));
+    const uint32_t k = std::min<uint32_t>(100, w.graph.num_nodes() / 10);
+    ScoreGreedyOptions options;
+    options.mc_rounds = 5;  // keep the MC-majority step cheap at scale
+    EasyImSelector easyim(w.graph, w.params, 1, options);
+    HOLIM_ASSIGN_OR_RETURN(SeedSelection sel, easyim.Select(k));
+    EasyImScorer scorer(w.graph, w.params, 1);
+    table.AddRow(
+        {dataset, std::to_string(w.graph.num_nodes()),
+         std::to_string(w.graph.num_edges()),
+         CsvWriter::Num(MemoryMeter::ToMiB(w.graph.MemoryFootprintBytes() +
+                                           w.params.MemoryFootprintBytes())),
+         CsvWriter::Num(MemoryMeter::ToMiB(scorer.ScratchBytes() +
+                                           w.graph.num_nodes() * 8)),
+         CsvWriter::Num(sel.elapsed_seconds)});
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Fig. 7j): execution memory stays a\n"
+              "vanishing fraction of graph memory — billion-edge feasible.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv, "Figure 7j — large-dataset memory", Run);
+}

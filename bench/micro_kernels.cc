@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks for the hot kernels: EaSyIM / OSIM score
+// assignment, one IC simulation, and RR-set sampling. These support the
+// complexity contracts asserted in DESIGN.md (O(l(m+n)) score passes,
+// O(m+n) simulation).
+
+#include <benchmark/benchmark.h>
+
+#include "algo/easyim.h"
+#include "algo/osim.h"
+#include "algo/rr_sets.h"
+#include "diffusion/independent_cascade.h"
+#include "graph/generators.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  InfluenceParams params;
+  OpinionParams opinions;
+};
+
+const Fixture& GetFixture(int64_t n) {
+  static std::map<int64_t, Fixture>* cache = new std::map<int64_t, Fixture>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Fixture f;
+    f.graph = GenerateBarabasiAlbert(static_cast<NodeId>(n), 4, 99)
+                  .ValueOrDie();
+    f.params = MakeUniformIc(f.graph, 0.1);
+    f.opinions =
+        MakeRandomOpinions(f.graph, OpinionDistribution::kUniform, 7);
+    it = cache->emplace(n, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_EasyImScorePass(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  EasyImScorer scorer(f.graph, f.params, 3);
+  EpochSet excluded(f.graph.num_nodes());
+  excluded.Reset(f.graph.num_nodes());
+  std::vector<double> scores;
+  for (auto _ : state) {
+    scorer.AssignScores(excluded, &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          (f.graph.num_edges() + f.graph.num_nodes()));
+}
+BENCHMARK(BM_EasyImScorePass)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_OsimScorePass(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  OsimScorer scorer(f.graph, f.params, f.opinions, 3);
+  EpochSet excluded(f.graph.num_nodes());
+  excluded.Reset(f.graph.num_nodes());
+  std::vector<double> scores;
+  for (auto _ : state) {
+    scorer.AssignScores(excluded, &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          (f.graph.num_edges() + f.graph.num_nodes()));
+}
+BENCHMARK(BM_OsimScorePass)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_IcSimulation(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  IcSimulator sim(f.graph, f.params);
+  Rng rng(1);
+  const NodeId seeds[] = {0, 1, 2, 3, 4};
+  std::size_t total = 0;
+  for (auto _ : state) {
+    total += sim.Run(seeds, rng).order.size();
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_IcSimulation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RrSetSampling(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  RrCollection rr(f.graph, f.params);
+  Rng rng(2);
+  for (auto _ : state) {
+    rr.Clear();
+    rr.Generate(100, rng);
+    benchmark::DoNotOptimize(rr.num_sets());
+  }
+}
+BENCHMARK(BM_RrSetSampling)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace holim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table 3: EaSyIM(l=1) vs TIM+ (eps=0.1), k = 50 — running time and memory
+// on DBLP / YouTube / socLive stand-ins. The paper's numbers: TIM+ is
+// ~3x faster on DBLP but uses ~758x more memory, and crashes (OOM) on the
+// larger datasets.
+
+#include "algo/score_greedy.h"
+#include "algo/tim_plus.h"
+#include "common.h"
+
+using namespace holim;
+using namespace holim::bench;
+
+namespace {
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  const double scale = args.GetDouble("scale", 0.005);
+  // TIM+'s RR sets stay bounded by this cap; it emulates the paper's 100 GB
+  // box at our scale. When the cap binds TIM+ reports "OOM" like the paper.
+  const std::size_t ram_cap =
+      static_cast<std::size_t>(args.GetInt("tim_theta_cap", 2'000'000));
+
+  ResultTable table(
+      "Table 3 — EaSyIM(l=1) vs TIM+ (k=50, eps=0.1)",
+      {"dataset", "tim_minutes", "easyim_minutes", "easyim_vs_tim_time",
+       "tim_MiB", "easyim_MiB", "tim_vs_easyim_memory"},
+      CsvPath("table3_easyim_vs_tim"));
+  for (const std::string& dataset :
+       {std::string("DBLP"), std::string("YouTube"),
+        std::string("SocLiveJournal")}) {
+    const double shrink = dataset == "DBLP" ? 1.0
+                          : dataset == "YouTube" ? 0.4
+                                                 : 0.1;
+    HOLIM_ASSIGN_OR_RETURN(
+        Workload w, LoadWorkload(dataset, scale * shrink,
+                                 DiffusionModel::kIndependentCascade));
+    const uint32_t k = std::min<uint32_t>(50, w.graph.num_nodes() / 10);
+
+    EasyImSelector easyim(w.graph, w.params, 1);
+    HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(k));
+    EasyImScorer scorer(w.graph, w.params, 1);
+    const double easy_mib = MemoryMeter::ToMiB(scorer.ScratchBytes() +
+                                               w.graph.num_nodes() * 8);
+
+    TimPlusOptions tim_opts;
+    tim_opts.epsilon = 0.1;
+    tim_opts.max_theta = ram_cap;
+    TimPlusSelector tim(w.graph, w.params, tim_opts);
+    HOLIM_ASSIGN_OR_RETURN(SeedSelection tim_sel, tim.Select(k));
+    const bool oom = tim.last_run_stats().theta_capped;
+    const double tim_mib =
+        MemoryMeter::ToMiB(tim.last_run_stats().rr_memory_bytes);
+
+    table.AddRow(
+        {dataset,
+         oom ? "OOM (cap hit)" : CsvWriter::Num(tim_sel.elapsed_seconds / 60),
+         CsvWriter::Num(easy_sel.elapsed_seconds / 60),
+         oom ? "-"
+             : CsvWriter::Num(easy_sel.elapsed_seconds /
+                              std::max(1e-9, tim_sel.elapsed_seconds)) + "x",
+         CsvWriter::Num(tim_mib), CsvWriter::Num(easy_mib),
+         CsvWriter::Num(tim_mib / std::max(1e-9, easy_mib)) + "x"});
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Table 3): TIM+ faster where it fits\n"
+              "but its memory is 2-3 orders of magnitude larger; it OOMs on\n"
+              "the big datasets while EaSyIM completes everywhere.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv, "Table 3 — EaSyIM vs TIM+", Run,
+                   [](BenchArgs* args) {
+                     args->Declare("tim_theta_cap",
+                                   "RR-set cap emulating the RAM budget");
+                   });
+}

@@ -1,0 +1,63 @@
+// Customer-churn analysis (paper Sec. 4.1.2): identify customers to target
+// with retention offers so that positive ("stay") sentiment propagates and
+// churn cascades are suppressed.
+//
+// Pipeline (exactly the paper's): synthesize customer profiles -> induce an
+// attribute-similarity graph -> label-propagate churn labels into opinions
+// in [-1, 1] -> solve MEO with OSIM to pick retention targets.
+//
+// Run: ./build/examples/churn_analysis [num_customers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/heuristics.h"
+#include "algo/score_greedy.h"
+#include "data/churn.h"
+#include "diffusion/spread_estimator.h"
+
+int main(int argc, char** argv) {
+  using namespace holim;
+  ChurnOptions options;
+  options.num_customers = argc > 1 ? std::atoi(argv[1]) : 8000;
+  options.target_avg_degree = 30;
+  options.seed = 2012;
+
+  auto data = BuildChurnData(options).ValueOrDie();
+  std::printf("Churn graph: %u customers, %llu similarity edges\n",
+              data.graph.num_nodes(),
+              static_cast<unsigned long long>(data.graph.num_edges()));
+  std::printf("Label propagation hold-out sign accuracy: %.1f%%\n\n",
+              100.0 * data.holdout_sign_accuracy);
+
+  const uint32_t k = 25;
+  OsimSelector osim(data.graph, data.influence, data.opinions,
+                    OiBase::kIndependentCascade, /*l=*/3);
+  auto targets = osim.Select(k).ValueOrDie();
+
+  McOptions mc;
+  mc.num_simulations = 2000;
+  mc.seed = 3;
+  auto osim_estimate = EstimateOpinionSpread(
+      data.graph, data.influence, data.opinions, OiBase::kIndependentCascade,
+      targets.seeds, /*lambda=*/1.0, mc);
+
+  RandomSelector random(data.graph, 17);
+  auto random_estimate = EstimateOpinionSpread(
+      data.graph, data.influence, data.opinions, OiBase::kIndependentCascade,
+      random.Select(k).ValueOrDie().seeds, 1.0, mc);
+
+  std::printf("Retention campaign with k=%u targets:\n", k);
+  std::printf("  OSIM targets:   effective opinion spread = %8.2f\n",
+              osim_estimate.effective_opinion_spread);
+  std::printf("  random targets: effective opinion spread = %8.2f\n\n",
+              random_estimate.effective_opinion_spread);
+
+  std::printf("First 10 customers to target (stay-affinity in [-1,1]):\n");
+  for (uint32_t i = 0; i < 10 && i < targets.seeds.size(); ++i) {
+    const NodeId c = targets.seeds[i];
+    std::printf("  customer %6u  opinion %+0.3f  degree %u\n", c,
+                data.opinions.opinion[c], data.graph.OutDegree(c));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build the paper's Figure 1 network, compare classical IM (IC)
+// with opinion-aware MEO (OI model), reproducing Example 2's punchline --
+// the IC-optimal seed is the opinion-spread-worst choice.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "diffusion/spread_estimator.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+int main() {
+  using namespace holim;
+
+  // The 4-node Twitter snapshot of Figure 1: A=0, B=1, C=2, D=3.
+  GraphBuilder builder(4);
+  builder.AddEdge(1, 0);  // B -> A
+  builder.AddEdge(1, 2);  // B -> C
+  builder.AddEdge(0, 3);  // A -> D
+  builder.AddEdge(2, 3);  // C -> D
+  Graph graph = std::move(builder).Build().ValueOrDie();
+
+  // Influence probabilities (first layer) and opinion/interaction
+  // parameters (second layer). Edge ids are (src,dst)-sorted:
+  // (0,3)=A->D, (1,0)=B->A, (1,2)=B->C, (2,3)=C->D.
+  InfluenceParams influence;
+  influence.model = DiffusionModel::kIndependentCascade;
+  influence.probability = {0.8, 0.1, 0.1, 0.9};
+  OpinionParams opinions;
+  opinions.opinion = {0.8, 0.0, 0.6, -0.3};
+  opinions.interaction = {0.9, 0.7, 0.8, 0.1};
+
+  McOptions mc;
+  mc.num_simulations = 100000;
+  mc.seed = 1;
+
+  const char* names = "ABCD";
+  std::printf("node  sigma(.)   sigma_o(.)\n");
+  std::printf("----  ---------  ----------\n");
+  for (NodeId u = 0; u < 4; ++u) {
+    const double sigma = EstimateSpread(graph, influence, {u}, mc);
+    const double sigma_o =
+        EstimateOpinionSpread(graph, influence, opinions,
+                              OiBase::kIndependentCascade, {u}, /*lambda=*/1.0,
+                              mc)
+            .opinion_spread;
+    std::printf("   %c  %9.4f  %10.4f\n", names[u], sigma, sigma_o);
+  }
+  std::printf(
+      "\nClassical IM picks C (max sigma) -- but C has the WORST opinion\n"
+      "spread; the OI model picks A instead (Example 2 of the paper).\n");
+  return 0;
+}

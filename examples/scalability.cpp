@@ -1,0 +1,59 @@
+// Scalability demo: EaSyIM's linear time/space on a large graph -- the
+// paper's headline systems claim ("IM on commodity hardware, even laptops").
+//
+// Generates a DBLP-scale synthetic graph, runs EaSyIM(l=1..3), and reports
+// the time and memory overhead beyond graph storage.
+//
+// Run: ./build/examples/scalability [scale]   (scale in (0,1], default 0.1)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/score_greedy.h"
+#include "data/datasets.h"
+#include "graph/stats.h"
+#include "model/influence_params.h"
+#include "util/memory.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace holim;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+
+  Timer load_timer;
+  Graph graph = LoadSyntheticDataset("DBLP", scale).ValueOrDie();
+  InfluenceParams params = MakeUniformIc(graph, 0.1);
+  const double load_seconds = load_timer.ElapsedSeconds();
+
+  auto stats = ComputeGraphStats(graph, 8, 1);
+  std::printf("DBLP stand-in @ scale %.2f: n=%u m=%llu avg_deg=%.1f "
+              "eff_diam90=%.1f (built in %s)\n",
+              scale, stats.num_nodes,
+              static_cast<unsigned long long>(stats.num_edges),
+              stats.avg_out_degree, stats.effective_diameter_90,
+              HumanSeconds(load_seconds).c_str());
+  std::printf("graph memory: %s\n\n",
+              HumanBytes(graph.MemoryFootprintBytes()).c_str());
+
+  const uint32_t k = 50;
+  std::printf("%-14s  %10s  %14s  %12s\n", "algorithm", "time", "exec memory",
+              "seeds");
+  std::printf("%-14s  %10s  %14s  %12s\n", "---------", "----", "-----------",
+              "-----");
+  for (uint32_t l = 1; l <= 3; ++l) {
+    ScoreGreedyOptions options;
+    options.activation = ActivationStrategy::kMonteCarloMajority;
+    options.mc_rounds = 10;
+    EasyImSelector selector(graph, params, l, options);
+    auto selection = selector.Select(k).ValueOrDie();
+    std::printf("%-14s  %10s  %14s  %8zu/%u\n", selector.name().c_str(),
+                HumanSeconds(selection.elapsed_seconds).c_str(),
+                HumanBytes(selection.overhead_bytes).c_str(),
+                selection.seeds.size(), k);
+  }
+  std::printf(
+      "\nEaSyIM's working set is O(n) score buffers -- the execution memory\n"
+      "stays a small constant fraction of the graph itself (Fig. 5h / 6j).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Viral marketing with opinions: the paper's motivating scenario (Sec. 1).
+//
+// A brand wants k ambassadors on a social network where users hold prior
+// opinions about the product category. We compare three strategies:
+//   1. EaSyIM  (opinion-oblivious IM)      -- maximizes raw reach,
+//   2. OSIM    (opinion-aware MEO)         -- maximizes effective opinion,
+//   3. Degree  (naive)                     -- follower count.
+// and evaluate all three on expected *effective opinion spread* (Def. 7).
+//
+// Run: ./build/examples/viral_marketing [num_users]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/heuristics.h"
+#include "algo/score_greedy.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/generators.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+int main(int argc, char** argv) {
+  using namespace holim;
+  const NodeId num_users = argc > 1 ? std::atoi(argv[1]) : 5000;
+  const uint32_t k = 20;
+
+  // Follower network with power-law degrees; WC influence probabilities.
+  Graph graph = GenerateBarabasiAlbert(num_users, 4, 7).ValueOrDie();
+  InfluenceParams influence = MakeWeightedCascade(graph);
+  // Prior opinions about the product category: normally distributed (most
+  // users mildly opinionated, tails love/hate it); interactions from history.
+  OpinionParams opinions =
+      MakeRandomOpinions(graph, OpinionDistribution::kStandardNormal, 13);
+
+  std::printf("Network: %u users, %llu follow edges\n\n", graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  OsimSelector osim(graph, influence, opinions, OiBase::kIndependentCascade,
+                    /*l=*/3);
+  EasyImSelector easyim(graph, influence, /*l=*/3);
+  DegreeSelector degree(graph);
+
+  McOptions mc;
+  mc.num_simulations = 2000;
+  mc.seed = 5;
+
+  struct Row {
+    const char* name;
+    SeedSelection selection;
+  };
+  Row rows[] = {
+      {"OSIM (opinion-aware)", osim.Select(k).ValueOrDie()},
+      {"EaSyIM (reach only)", easyim.Select(k).ValueOrDie()},
+      {"Degree (followers)", degree.Select(k).ValueOrDie()},
+  };
+
+  std::printf("%-22s  %14s  %14s  %10s\n", "strategy", "eff. opinion",
+              "raw spread", "time");
+  std::printf("%-22s  %14s  %14s  %10s\n", "--------", "------------",
+              "----------", "----");
+  for (const Row& row : rows) {
+    auto estimate = EstimateOpinionSpread(graph, influence, opinions,
+                                          OiBase::kIndependentCascade,
+                                          row.selection.seeds, 1.0, mc);
+    std::printf("%-22s  %14.2f  %14.2f  %8.2fs\n", row.name,
+                estimate.effective_opinion_spread, estimate.plain_spread,
+                row.selection.elapsed_seconds);
+  }
+  std::printf(
+      "\nOSIM trades a little raw reach for a much better effective opinion\n"
+      "spread: it avoids seeding communities that dislike the product.\n");
+  return 0;
+}

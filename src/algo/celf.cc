@@ -1,0 +1,115 @@
+#include "algo/celf.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace holim {
+
+namespace {
+
+struct HeapEntry {
+  NodeId node;
+  double gain;           // marginal gain w.r.t. S at round `round`
+  uint32_t round;        // seed-set size when `gain` was computed
+  // CELF++ extras: gain w.r.t. S + prev_best, and which best it refers to.
+  double gain_after_prev_best = 0.0;
+  NodeId prev_best = kInvalidNode;
+
+  bool operator<(const HeapEntry& other) const {
+    return gain < other.gain;  // max-heap by gain
+  }
+};
+
+}  // namespace
+
+CelfSelector::CelfSelector(const Graph& graph,
+                           std::shared_ptr<McObjective> objective,
+                           bool plus_plus, std::string name)
+    : graph_(graph),
+      objective_(std::move(objective)),
+      plus_plus_(plus_plus),
+      name_(std::move(name)) {}
+
+Result<SeedSelection> CelfSelector::Select(uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > graph_.num_nodes()) {
+    return Status::InvalidArgument("k exceeds node count");
+  }
+  SeedSelection selection;
+  MemoryMeter meter;
+  Timer timer;
+  evaluations_ = 0;
+
+  std::vector<NodeId> trial;
+  auto evaluate = [&](const std::vector<NodeId>& seeds) {
+    ++evaluations_;
+    return objective_->Evaluate(seeds);
+  };
+
+  // Initial pass: marginal gain of every singleton.
+  std::priority_queue<HeapEntry> heap;
+  trial.assign(1, 0);
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    trial[0] = u;
+    HeapEntry entry;
+    entry.node = u;
+    entry.gain = evaluate(trial);
+    entry.round = 0;
+    heap.push(entry);
+  }
+
+  double current_value = 0.0;
+  while (selection.seeds.size() < k && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+    if (top.round == round) {
+      // Gain is fresh w.r.t. the current seed set: select it.
+      selection.seeds.push_back(top.node);
+      selection.seed_scores.push_back(top.gain);
+      current_value += top.gain;
+      continue;
+    }
+    if (plus_plus_ && top.prev_best != kInvalidNode &&
+        !selection.seeds.empty() && selection.seeds.back() == top.prev_best &&
+        top.round + 1 == round) {
+      // CELF++: the cached gain w.r.t. S + prev_best is exactly the gain
+      // w.r.t. the new S — no re-evaluation needed.
+      top.gain = top.gain_after_prev_best;
+      top.round = round;
+      top.prev_best = kInvalidNode;
+      heap.push(top);
+      continue;
+    }
+    // Re-evaluate marginal gain w.r.t. the current seed set.
+    trial = selection.seeds;
+    trial.push_back(top.node);
+    const double value = evaluate(trial);
+    top.gain = value - current_value;
+    top.round = round;
+    if (plus_plus_ && !heap.empty()) {
+      // Cache the gain w.r.t. S + current heap best (the likely next pick).
+      const NodeId likely_best = heap.top().node;
+      if (likely_best != top.node) {
+        std::vector<NodeId> trial2 = selection.seeds;
+        trial2.push_back(likely_best);
+        const double base2 = evaluate(trial2);
+        trial2.push_back(top.node);
+        const double with_both = evaluate(trial2);
+        top.gain_after_prev_best = with_both - base2;
+        top.prev_best = likely_best;
+      }
+    }
+    heap.push(top);
+  }
+
+  selection.elapsed_seconds = timer.ElapsedSeconds();
+  selection.overhead_bytes = meter.OverheadBytes();
+  return selection;
+}
+
+}  // namespace holim

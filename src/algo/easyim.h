@@ -1,0 +1,59 @@
+#ifndef HOLIM_ALGO_EASYIM_H_
+#define HOLIM_ALGO_EASYIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "util/thread_pool.h"
+
+namespace holim {
+
+/// \brief EaSyIM score assignment (paper Algorithm 4).
+///
+/// Assigns each node u the weighted count of walks of length <= l starting
+/// at u, where a walk's weight is the product of its edge probabilities:
+///
+///   Delta_i(u) = sum_{v in Out(u)} p(u,v) * (1 + Delta_{i-1}(v))
+///
+/// computed over G(V \ excluded, E). Runs in O(l(m+n)) time and O(n) extra
+/// space — the linear-space/time property that makes the algorithm scalable
+/// (paper Sec. 3.2.1).
+class EasyImScorer {
+ public:
+  EasyImScorer(const Graph& graph, const InfluenceParams& params, uint32_t l);
+
+  /// Computes Delta_l for every node into `scores` (resized to n).
+  /// Nodes in `excluded` are removed from the graph for this computation
+  /// (their score is set to -infinity so they are never re-picked).
+  void AssignScores(const EpochSet& excluded, std::vector<double>* scores);
+
+  /// Parallel score assignment: each of the l sweeps is a data-parallel
+  /// pass over nodes (reads prev buffer, writes cur), so sharding by node
+  /// range is race-free and bitwise-identical to the serial pass. This is
+  /// the shared-memory step toward the paper's future-work "distributed
+  /// version". Pass nullptr to use the process default pool.
+  void AssignScoresParallel(const EpochSet& excluded,
+                            std::vector<double>* scores,
+                            ThreadPool* pool = nullptr);
+
+  uint32_t path_length() const { return l_; }
+
+  /// Extra working memory (the two O(n) score buffers).
+  std::size_t ScratchBytes() const {
+    return 2 * prev_.capacity() * sizeof(double);
+  }
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  uint32_t l_;
+  std::vector<double> prev_;  // Delta_{i-1}
+  std::vector<double> cur_;   // Delta_i
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_EASYIM_H_

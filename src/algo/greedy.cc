@@ -1,0 +1,77 @@
+#include "algo/greedy.h"
+
+#include <limits>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace holim {
+
+SpreadObjective::SpreadObjective(const Graph& graph,
+                                 const InfluenceParams& params,
+                                 const McOptions& options)
+    : graph_(graph), params_(params), options_(options) {}
+
+double SpreadObjective::Evaluate(const std::vector<NodeId>& seeds) {
+  return EstimateSpread(graph_, params_, seeds, options_);
+}
+
+EffectiveOpinionObjective::EffectiveOpinionObjective(
+    const Graph& graph, const InfluenceParams& influence,
+    const OpinionParams& opinions, OiBase base, double lambda,
+    const McOptions& options)
+    : graph_(graph),
+      influence_(influence),
+      opinions_(opinions),
+      base_(base),
+      lambda_(lambda),
+      options_(options) {}
+
+double EffectiveOpinionObjective::Evaluate(const std::vector<NodeId>& seeds) {
+  return EstimateOpinionSpread(graph_, influence_, opinions_, base_, seeds,
+                               lambda_, options_)
+      .effective_opinion_spread;
+}
+
+GreedySelector::GreedySelector(const Graph& graph,
+                               std::shared_ptr<McObjective> objective,
+                               std::string name)
+    : graph_(graph), objective_(std::move(objective)), name_(std::move(name)) {}
+
+Result<SeedSelection> GreedySelector::Select(uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > graph_.num_nodes()) {
+    return Status::InvalidArgument("k exceeds node count");
+  }
+  SeedSelection selection;
+  MemoryMeter meter;
+  Timer timer;
+  std::vector<char> chosen(graph_.num_nodes(), 0);
+  double current_value = 0.0;
+  std::vector<NodeId> trial;
+  for (uint32_t i = 0; i < k; ++i) {
+    NodeId best = kInvalidNode;
+    double best_value = -std::numeric_limits<double>::infinity();
+    trial = selection.seeds;
+    trial.push_back(0);  // placeholder slot for the candidate
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      if (chosen[u]) continue;
+      trial.back() = u;
+      const double value = objective_->Evaluate(trial);
+      if (value > best_value) {
+        best_value = value;
+        best = u;
+      }
+    }
+    if (best == kInvalidNode) break;
+    chosen[best] = 1;
+    selection.seeds.push_back(best);
+    selection.seed_scores.push_back(best_value - current_value);
+    current_value = best_value;
+  }
+  selection.elapsed_seconds = timer.ElapsedSeconds();
+  selection.overhead_bytes = meter.OverheadBytes();
+  return selection;
+}
+
+}  // namespace holim

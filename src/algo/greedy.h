@@ -1,0 +1,85 @@
+#ifndef HOLIM_ALGO_GREEDY_H_
+#define HOLIM_ALGO_GREEDY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/seed_selector.h"
+#include "diffusion/oi_model.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+
+/// \brief Set-function objective evaluated by Monte Carlo. Both greedy
+/// variants and CELF/CELF++ hill-climb one of these.
+class McObjective {
+ public:
+  virtual ~McObjective() = default;
+  virtual std::string name() const = 0;
+  /// Expected objective value of the seed set (sigma or sigma_o_lambda).
+  virtual double Evaluate(const std::vector<NodeId>& seeds) = 0;
+};
+
+/// Opinion-oblivious expected spread sigma(S) (IM objective).
+class SpreadObjective : public McObjective {
+ public:
+  SpreadObjective(const Graph& graph, const InfluenceParams& params,
+                  const McOptions& options);
+  std::string name() const override { return "sigma"; }
+  double Evaluate(const std::vector<NodeId>& seeds) override;
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  McOptions options_;
+};
+
+/// Opinion-aware expected effective opinion spread sigma_o_lambda(S)
+/// (MEO objective; Modified-GREEDY in the paper's Appendix A).
+class EffectiveOpinionObjective : public McObjective {
+ public:
+  EffectiveOpinionObjective(const Graph& graph,
+                            const InfluenceParams& influence,
+                            const OpinionParams& opinions, OiBase base,
+                            double lambda, const McOptions& options);
+  std::string name() const override { return "sigma_o"; }
+  double Evaluate(const std::vector<NodeId>& seeds) override;
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& influence_;
+  const OpinionParams& opinions_;
+  OiBase base_;
+  double lambda_;
+  McOptions options_;
+};
+
+/// \brief Kempe et al.'s GREEDY: k rounds, each evaluating the marginal gain
+/// of every remaining node via Monte Carlo. O(k n r (m+n)) — the gold
+/// standard for quality, intractable beyond small graphs (paper Sec. 5).
+///
+/// With an EffectiveOpinionObjective this is exactly the paper's
+/// Modified-GREEDY (Appendix A, Algorithm 6).
+class GreedySelector : public SeedSelector {
+ public:
+  GreedySelector(const Graph& graph, std::shared_ptr<McObjective> objective,
+                 std::string name = "GREEDY");
+
+  std::string name() const override { return name_; }
+  Result<SeedSelection> Select(uint32_t k) override;
+
+ private:
+  const Graph& graph_;
+  std::shared_ptr<McObjective> objective_;
+  std::string name_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_GREEDY_H_

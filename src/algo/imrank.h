@@ -1,0 +1,57 @@
+#ifndef HOLIM_ALGO_IMRANK_H_
+#define HOLIM_ALGO_IMRANK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/seed_selector.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+
+namespace holim {
+
+/// Tuning parameters of IMRank (Cheng et al., SIGIR'14).
+struct ImRankOptions {
+  /// Iterations of the rank/score fixpoint loop (the paper reports fast
+  /// convergence; ranks usually stabilize within ~10 rounds).
+  uint32_t max_iterations = 20;
+};
+
+/// \brief IMRank — influence maximization via self-consistent ranking.
+///
+/// Idea: if the ranking were correct, a greedy selection would allocate
+/// each node's influence to the *highest-ranked* node that reaches it.
+/// Last-to-First Allocation (LFA) simulates that: starting from everyone
+/// owning their own unit of influence, nodes are visited from lowest rank
+/// to highest, and each visited node transfers p(v,u)-weighted shares of
+/// its remaining mass to every higher-ranked in-neighbor v. The resulting
+/// per-node mass is the new score; iterate until the ranking is
+/// self-consistent (fixpoint). Top-k of the converged ranking are the
+/// seeds — no Monte-Carlo at all, which is IMRank's selling point.
+class ImRankSelector : public SeedSelector {
+ public:
+  ImRankSelector(const Graph& graph, const InfluenceParams& params,
+                 const ImRankOptions& options = {});
+
+  std::string name() const override { return "IMRank"; }
+  Result<SeedSelection> Select(uint32_t k) override;
+
+  /// One LFA pass given the ranking implied by `scores` (descending);
+  /// exposed for tests. Returns the reallocated mass per node.
+  std::vector<double> LastToFirstAllocation(
+      const std::vector<double>& scores) const;
+
+  /// Number of iterations the last Select() needed to converge.
+  uint32_t last_iterations() const { return last_iterations_; }
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  ImRankOptions options_;
+  uint32_t last_iterations_ = 0;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_IMRANK_H_

@@ -1,0 +1,65 @@
+#ifndef HOLIM_ALGO_OSIM_H_
+#define HOLIM_ALGO_OSIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+#include "util/thread_pool.h"
+
+namespace holim {
+
+/// \brief OSIM score assignment (paper Algorithm 5) — the opinion-aware
+/// extension of EaSyIM.
+///
+/// Per node u and path length i <= l it maintains:
+///  - or_i(u):  weighted sum of *initial* opinions reachable via i-length
+///              paths (no opinion-change effects),
+///  - alpha_i(u): weighted interaction product Prod p * (2*phi - 1)/2 over
+///              i-length paths,
+///  - sc_i(u):  accumulated opinion-change contribution,
+/// and folds them into Delta_i(u) = Delta_{i-1}(u)
+///              + (or_i(u) + sc_i(u) + o_u * alpha_i(u)) / 2.
+///
+/// Same O(l(m+n)) time / O(n) space contract as EaSyIM (Sec. 3.2.2).
+class OsimScorer {
+ public:
+  OsimScorer(const Graph& graph, const InfluenceParams& influence,
+             const OpinionParams& opinions, uint32_t l);
+
+  /// Computes Delta_l for every node into `scores`. Excluded nodes are
+  /// removed from the graph and get -infinity.
+  void AssignScores(const EpochSet& excluded, std::vector<double>* scores);
+
+  /// Parallel variant: each sweep is a race-free data-parallel pass over
+  /// nodes, bitwise-identical to the serial result (see easyim.h).
+  void AssignScoresParallel(const EpochSet& excluded,
+                            std::vector<double>* scores,
+                            ThreadPool* pool = nullptr);
+
+  uint32_t path_length() const { return l_; }
+
+  std::size_t ScratchBytes() const {
+    return (or_prev_.capacity() + or_cur_.capacity() + alpha_prev_.capacity() +
+            alpha_cur_.capacity() + sc_prev_.capacity() + sc_cur_.capacity() +
+            delta_.capacity()) *
+           sizeof(double);
+  }
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& influence_;
+  const OpinionParams& opinions_;
+  uint32_t l_;
+  std::vector<double> or_prev_, or_cur_;
+  std::vector<double> alpha_prev_, alpha_cur_;
+  std::vector<double> sc_prev_, sc_cur_;
+  std::vector<double> delta_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_OSIM_H_

@@ -1,0 +1,46 @@
+#ifndef HOLIM_ALGO_PATH_UNION_H_
+#define HOLIM_ALGO_PATH_UNION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "util/status.h"
+
+namespace holim {
+
+/// \brief Path-Union (PU) score assignment (paper Algorithm 3).
+///
+/// Dense-matrix analogue of EaSyIM: PU starts as the identity, and each of
+/// the l iterations multiplies by the probability-annotated adjacency matrix
+/// under the paper's custom "⊗" operator, where contributions from distinct
+/// intermediate nodes combine by probabilistic union (inclusion–exclusion
+/// for independent events, a ∪ b = a + b − ab) instead of plain addition.
+/// Diagonal entries are zeroed every round to discount walks that return to
+/// their origin.
+///
+/// O(n² ) memory and O(l·n³) time — usable only on small graphs; it exists
+/// as the analytical reference EaSyIM is compared against (Lemmas 5–7) and
+/// as an ablation baseline.
+class PathUnionScorer {
+ public:
+  PathUnionScorer(const Graph& graph, const InfluenceParams& params,
+                  uint32_t l);
+
+  /// Computes Delta_l for every node. Fails if n is too large for the dense
+  /// representation (guard: n > 4096).
+  Result<std::vector<double>> AssignScores() const;
+
+  /// The full pairwise walk-union matrix after l rounds (tests inspect it).
+  Result<std::vector<std::vector<double>>> WalkUnionMatrix() const;
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  uint32_t l_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_PATH_UNION_H_

@@ -1,0 +1,154 @@
+#include "algo/rr_sets.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace holim {
+
+RrCollection::RrCollection(const Graph& graph, const InfluenceParams& params)
+    : graph_(graph), params_(params), visited_(graph.num_nodes()) {
+  HOLIM_CHECK(params.probability.size() == graph.num_edges());
+}
+
+void RrCollection::Clear() {
+  sets_.clear();
+  total_entries_ = 0;
+  total_width_ = 0;
+}
+
+void RrCollection::SampleOne(Rng& rng) {
+  const NodeId root = static_cast<NodeId>(rng.NextBounded(graph_.num_nodes()));
+  visited_.Reset(graph_.num_nodes());
+  stack_.clear();
+  std::vector<NodeId> rr;
+  visited_.Insert(root);
+  stack_.push_back(root);
+  rr.push_back(root);
+  const bool lt = params_.model == DiffusionModel::kLinearThreshold;
+  while (!stack_.empty()) {
+    const NodeId v = stack_.back();
+    stack_.pop_back();
+    total_width_ += graph_.InDegree(v);
+    auto in_neighbors = graph_.InNeighbors(v);
+    auto in_edges = graph_.InEdgeIds(v);
+    if (lt) {
+      // Live-edge: v keeps at most one live in-edge, chosen w.p. w(u,v).
+      double r = rng.NextDouble();
+      for (std::size_t i = 0; i < in_neighbors.size(); ++i) {
+        const double w = params_.p(in_edges[i]);
+        if (r < w) {
+          const NodeId u = in_neighbors[i];
+          if (!visited_.Contains(u)) {
+            visited_.Insert(u);
+            stack_.push_back(u);
+            rr.push_back(u);
+          }
+          break;
+        }
+        r -= w;
+      }
+    } else {
+      for (std::size_t i = 0; i < in_neighbors.size(); ++i) {
+        const NodeId u = in_neighbors[i];
+        if (visited_.Contains(u)) continue;
+        if (rng.NextBernoulli(params_.p(in_edges[i]))) {
+          visited_.Insert(u);
+          stack_.push_back(u);
+          rr.push_back(u);
+        }
+      }
+    }
+  }
+  total_entries_ += rr.size();
+  sets_.push_back(std::move(rr));
+}
+
+void RrCollection::Generate(std::size_t count, Rng& rng) {
+  sets_.reserve(sets_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) SampleOne(rng);
+}
+
+RrCollection::CoverageResult RrCollection::SelectMaxCoverage(uint32_t k) const {
+  CoverageResult result;
+  if (sets_.empty()) return result;
+  // Node -> list of set indices containing it (built once per call).
+  std::vector<uint32_t> degree(graph_.num_nodes(), 0);
+  for (const auto& rr : sets_) {
+    for (NodeId u : rr) ++degree[u];
+  }
+  std::vector<std::size_t> offsets(graph_.num_nodes() + 1, 0);
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    offsets[u + 1] = offsets[u] + degree[u];
+  }
+  std::vector<uint32_t> membership(total_entries_);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (uint32_t s = 0; s < sets_.size(); ++s) {
+    for (NodeId u : sets_[s]) membership[cursor[u]++] = s;
+  }
+
+  std::vector<char> set_covered(sets_.size(), 0);
+  std::vector<uint32_t> gain(degree.begin(), degree.end());
+  std::size_t covered = 0;
+  // Lazy-greedy with a simple bucket-free priority scan: k is small, and
+  // each pick decrements gains of co-members, so a full argmax scan per
+  // pick (O(kn)) is acceptable and allocation-free.
+  for (uint32_t i = 0; i < k; ++i) {
+    NodeId best = kInvalidNode;
+    uint32_t best_gain = 0;
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      if (gain[u] > best_gain) {
+        best_gain = gain[u];
+        best = u;
+      }
+    }
+    if (best == kInvalidNode) {
+      // All sets covered; pad with arbitrary distinct nodes.
+      for (NodeId u = 0; u < graph_.num_nodes() &&
+                         result.seeds.size() < k; ++u) {
+        if (std::find(result.seeds.begin(), result.seeds.end(), u) ==
+            result.seeds.end()) {
+          result.seeds.push_back(u);
+        }
+      }
+      break;
+    }
+    result.seeds.push_back(best);
+    for (std::size_t j = offsets[best]; j < offsets[best + 1]; ++j) {
+      const uint32_t s = membership[j];
+      if (set_covered[s]) continue;
+      set_covered[s] = 1;
+      ++covered;
+      for (NodeId u : sets_[s]) {
+        if (gain[u] > 0) --gain[u];
+      }
+    }
+    gain[best] = 0;
+  }
+  result.covered_fraction = static_cast<double>(covered) / sets_.size();
+  return result;
+}
+
+double RrCollection::CoveredFraction(const std::vector<NodeId>& seeds) const {
+  if (sets_.empty()) return 0.0;
+  std::vector<char> is_seed(graph_.num_nodes(), 0);
+  for (NodeId s : seeds) is_seed[s] = 1;
+  std::size_t covered = 0;
+  for (const auto& rr : sets_) {
+    for (NodeId u : rr) {
+      if (is_seed[u]) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / sets_.size();
+}
+
+std::size_t RrCollection::MemoryBytes() const {
+  std::size_t bytes = sets_.capacity() * sizeof(std::vector<NodeId>);
+  for (const auto& rr : sets_) bytes += rr.capacity() * sizeof(NodeId);
+  return bytes;
+}
+
+}  // namespace holim

@@ -1,0 +1,68 @@
+#ifndef HOLIM_ALGO_RR_SETS_H_
+#define HOLIM_ALGO_RR_SETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "util/rng.h"
+
+namespace holim {
+
+/// \brief Reverse-reachable set sampler + max-coverage seed selection — the
+/// shared substrate of TIM+ and IMM (Borgs et al., Tang et al.).
+///
+/// An RR set for a uniformly random root v contains every node that would
+/// have activated v in a reverse simulation: under IC each in-edge (u, v)
+/// is traversed independently w.p. p(u,v); under LT each visited node picks
+/// at most one live in-edge (live-edge equivalence). E[coverage] * n / theta
+/// is an unbiased spread estimator.
+class RrCollection {
+ public:
+  RrCollection(const Graph& graph, const InfluenceParams& params);
+
+  /// Appends `count` RR sets sampled with `rng`.
+  void Generate(std::size_t count, Rng& rng);
+
+  /// Drops all sets (keeps capacity).
+  void Clear();
+
+  std::size_t num_sets() const { return sets_.size(); }
+  const std::vector<NodeId>& set(std::size_t i) const { return sets_[i]; }
+  /// Total node entries across all sets (TIM's EPT uses width = in-degree
+  /// sum; this is the node-count size used for memory accounting).
+  std::size_t total_entries() const { return total_entries_; }
+  /// Sum over sets of the in-degree "width" w(R) (TIM Sec. 4 KPT estimate).
+  uint64_t total_width() const { return total_width_; }
+
+  /// Greedy max-coverage over the collected sets. Returns k seeds and the
+  /// fraction of sets covered.
+  struct CoverageResult {
+    std::vector<NodeId> seeds;
+    double covered_fraction = 0.0;
+  };
+  CoverageResult SelectMaxCoverage(uint32_t k) const;
+
+  /// Fraction of sets that contain at least one of `seeds`.
+  double CoveredFraction(const std::vector<NodeId>& seeds) const;
+
+  /// Bytes held by the RR sets (the memory-hungry part of TIM+; Fig. 6i).
+  std::size_t MemoryBytes() const;
+
+ private:
+  void SampleOne(Rng& rng);
+
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  std::vector<std::vector<NodeId>> sets_;
+  std::size_t total_entries_ = 0;
+  uint64_t total_width_ = 0;
+  EpochSet visited_;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_RR_SETS_H_

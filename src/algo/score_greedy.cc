@@ -1,0 +1,242 @@
+#include "algo/score_greedy.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "diffusion/independent_cascade.h"
+#include "diffusion/linear_threshold.h"
+#include "util/logging.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace holim {
+
+const char* ActivationStrategyName(ActivationStrategy strategy) {
+  switch (strategy) {
+    case ActivationStrategy::kSeedsOnly: return "seeds-only";
+    case ActivationStrategy::kMonteCarloMajority: return "mc-majority";
+    case ActivationStrategy::kExpectedReach: return "expected-reach";
+  }
+  return "?";
+}
+
+ScoreGreedy::ScoreGreedy(const Graph& graph, ScoreFn score_fn,
+                         const ScoreGreedyOptions& options)
+    : graph_(graph),
+      score_fn_(std::move(score_fn)),
+      options_(options),
+      activated_(graph.num_nodes()),
+      rng_(options.seed) {}
+
+void ScoreGreedy::ExpectedReach(NodeId seed, std::vector<NodeId>* out) {
+  // Deterministic union-bound propagation of activation probability from
+  // `seed`, limited to max_hops_ hops: prob(v) = 1 - prod(1 - prob(u)p(u,v)).
+  HOLIM_CHECK(edge_prob_ != nullptr)
+      << "kExpectedReach requires set_edge_probability";
+  std::vector<double> prob(graph_.num_nodes(), 0.0);
+  std::vector<NodeId> frontier = {seed};
+  prob[seed] = 1.0;
+  std::vector<NodeId> touched = {seed};
+  for (uint32_t hop = 0; hop < max_hops_ && !frontier.empty(); ++hop) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      const EdgeId base = graph_.OutEdgeBegin(u);
+      auto neighbors = graph_.OutNeighbors(u);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const NodeId v = neighbors[i];
+        if (activated_.Contains(v)) continue;
+        const double contrib = prob[u] * (*edge_prob_)[base + i];
+        if (contrib <= 0.0) continue;
+        if (prob[v] == 0.0) {
+          next.push_back(v);
+          touched.push_back(v);
+        }
+        prob[v] = 1.0 - (1.0 - prob[v]) * (1.0 - contrib);
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (NodeId v : touched) {
+    if (v != seed && prob[v] >= options_.majority_fraction) out->push_back(v);
+  }
+}
+
+void ScoreGreedy::GrowActivatedSet(NodeId new_seed) {
+  // NOTE: the new seed is inserted only after the strategy runs — the MC
+  // rounds must be able to activate it as their source.
+  switch (options_.activation) {
+    case ActivationStrategy::kSeedsOnly:
+      activated_.Insert(new_seed);
+      return;
+    case ActivationStrategy::kMonteCarloMajority: {
+      HOLIM_CHECK(simulate_fn_ != nullptr)
+          << "kMonteCarloMajority requires set_simulate_fn";
+      std::vector<uint32_t> hits(graph_.num_nodes(), 0);
+      std::vector<NodeId> activated_this_run;
+      std::vector<NodeId> candidates;
+      for (uint32_t r = 0; r < options_.mc_rounds; ++r) {
+        activated_this_run.clear();
+        simulate_fn_(new_seed, activated_, rng_, &activated_this_run);
+        for (NodeId v : activated_this_run) {
+          if (hits[v]++ == 0) candidates.push_back(v);
+        }
+      }
+      const double need = options_.majority_fraction * options_.mc_rounds;
+      for (NodeId v : candidates) {
+        if (static_cast<double>(hits[v]) >= need) activated_.Insert(v);
+      }
+      activated_.Insert(new_seed);
+      return;
+    }
+    case ActivationStrategy::kExpectedReach: {
+      std::vector<NodeId> reached;
+      ExpectedReach(new_seed, &reached);
+      for (NodeId v : reached) activated_.Insert(v);
+      activated_.Insert(new_seed);
+      return;
+    }
+  }
+}
+
+Result<SeedSelection> ScoreGreedy::Select(uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > graph_.num_nodes()) {
+    return Status::InvalidArgument("k exceeds node count");
+  }
+  SeedSelection selection;
+  MemoryMeter meter;
+  Timer timer;
+  activated_.Reset(graph_.num_nodes());
+  EpochSet seed_set(graph_.num_nodes());
+  seed_set.Reset(graph_.num_nodes());
+  std::vector<double> scores;
+  for (uint32_t i = 0; i < k; ++i) {
+    score_fn_(activated_, &scores);
+    NodeId best = kInvalidNode;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      if (activated_.Contains(u)) continue;
+      if (scores[u] > best_score) {
+        best_score = scores[u];
+        best = u;
+      }
+    }
+    if (best == kInvalidNode) {
+      // Every non-seed node is already in V(a): the activation strategy has
+      // saturated the graph. Fall back to scoring with only the seeds
+      // removed so a full seed set is still returned (the extra seeds have
+      // ~zero marginal activation but keep |S| = k, matching Algorithm 1's
+      // contract).
+      score_fn_(seed_set, &scores);
+      for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+        if (seed_set.Contains(u)) continue;
+        if (scores[u] > best_score) {
+          best_score = scores[u];
+          best = u;
+        }
+      }
+      if (best == kInvalidNode) break;  // k > n safety; cannot happen here
+      selection.seeds.push_back(best);
+      selection.seed_scores.push_back(best_score);
+      seed_set.Insert(best);
+      activated_.Insert(best);
+      continue;
+    }
+    selection.seeds.push_back(best);
+    selection.seed_scores.push_back(best_score);
+    seed_set.Insert(best);
+    GrowActivatedSet(best);
+  }
+  selection.elapsed_seconds = timer.ElapsedSeconds();
+  selection.overhead_bytes = meter.OverheadBytes();
+  return selection;
+}
+
+namespace {
+
+/// Simulation hook for the MC-majority strategy under IC-style dynamics.
+ScoreGreedy::SimulateFn MakeIcSimulateFn(const Graph& graph,
+                                         const InfluenceParams& params) {
+  auto sim = std::make_shared<IcSimulator>(graph, params);
+  return [sim](NodeId seed, const EpochSet& blocked, Rng& rng,
+               std::vector<NodeId>* out) {
+    const NodeId seeds[] = {seed};
+    const Cascade& cascade = sim->RunWithBlocked(seeds, rng, blocked);
+    for (const Activation& a : cascade.order) out->push_back(a.node);
+  };
+}
+
+ScoreGreedy::SimulateFn MakeLtSimulateFn(const Graph& graph,
+                                         const InfluenceParams& params) {
+  auto sim = std::make_shared<LtSimulator>(graph, params);
+  return [sim](NodeId seed, const EpochSet& blocked, Rng& rng,
+               std::vector<NodeId>* out) {
+    const NodeId seeds[] = {seed};
+    const Cascade& cascade = sim->RunWithBlocked(seeds, rng, blocked);
+    for (const Activation& a : cascade.order) out->push_back(a.node);
+  };
+}
+
+}  // namespace
+
+EasyImSelector::EasyImSelector(const Graph& graph,
+                               const InfluenceParams& params, uint32_t l,
+                               const ScoreGreedyOptions& options)
+    : graph_(graph), params_(params), scorer_(graph, params, l),
+      options_(options) {}
+
+std::string EasyImSelector::name() const {
+  return "EaSyIM(l=" + std::to_string(scorer_.path_length()) + ")";
+}
+
+Result<SeedSelection> EasyImSelector::Select(uint32_t k) {
+  ScoreGreedy driver(
+      graph_,
+      [this](const EpochSet& excluded, std::vector<double>* scores) {
+        scorer_.AssignScores(excluded, scores);
+      },
+      options_);
+  if (params_.model == DiffusionModel::kLinearThreshold) {
+    driver.set_simulate_fn(MakeLtSimulateFn(graph_, params_));
+  } else {
+    driver.set_simulate_fn(MakeIcSimulateFn(graph_, params_));
+  }
+  driver.set_edge_probability(&params_.probability);
+  driver.set_max_hops(scorer_.path_length());
+  return driver.Select(k);
+}
+
+OsimSelector::OsimSelector(const Graph& graph,
+                           const InfluenceParams& influence,
+                           const OpinionParams& opinions, OiBase base,
+                           uint32_t l, const ScoreGreedyOptions& options)
+    : graph_(graph),
+      influence_(influence),
+      opinions_(opinions),
+      base_(base),
+      scorer_(graph, influence, opinions, l),
+      options_(options) {}
+
+std::string OsimSelector::name() const {
+  return "OSIM(l=" + std::to_string(scorer_.path_length()) + ")";
+}
+
+Result<SeedSelection> OsimSelector::Select(uint32_t k) {
+  ScoreGreedy driver(
+      graph_,
+      [this](const EpochSet& excluded, std::vector<double>* scores) {
+        scorer_.AssignScores(excluded, scores);
+      },
+      options_);
+  if (base_ == OiBase::kLinearThreshold) {
+    driver.set_simulate_fn(MakeLtSimulateFn(graph_, influence_));
+  } else {
+    driver.set_simulate_fn(MakeIcSimulateFn(graph_, influence_));
+  }
+  driver.set_edge_probability(&influence_.probability);
+  driver.set_max_hops(scorer_.path_length());
+  return driver.Select(k);
+}
+
+}  // namespace holim

@@ -1,0 +1,124 @@
+#ifndef HOLIM_ALGO_SCORE_GREEDY_H_
+#define HOLIM_ALGO_SCORE_GREEDY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/easyim.h"
+#include "algo/osim.h"
+#include "algo/seed_selector.h"
+#include "diffusion/cascade.h"
+#include "diffusion/oi_model.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+
+/// How ScoreGREEDY updates the activated set V(a) after each seed pick
+/// (Algorithm 1 line 11 leaves the estimator open — see DESIGN.md).
+enum class ActivationStrategy {
+  /// V(a) = S: only seeds are removed in later iterations.
+  kSeedsOnly,
+  /// Run `mc_rounds` simulations from the new seed (previously-activated
+  /// nodes blocked); nodes activated in >= `majority_fraction` of rounds
+  /// join V(a). Default strategy.
+  kMonteCarloMajority,
+  /// Deterministic probability propagation up to l hops; nodes whose
+  /// activation probability estimate >= `majority_fraction` join V(a).
+  kExpectedReach,
+};
+
+const char* ActivationStrategyName(ActivationStrategy strategy);
+
+/// Tuning knobs for the ScoreGREEDY driver.
+struct ScoreGreedyOptions {
+  ActivationStrategy activation = ActivationStrategy::kMonteCarloMajority;
+  uint32_t mc_rounds = 20;
+  double majority_fraction = 0.5;
+  uint64_t seed = 7;
+};
+
+/// \brief ScoreGREEDY (paper Algorithm 1): repeatedly assign scores to all
+/// nodes of G(V \ V(a)), pick the arg-max as the next seed, then grow V(a)
+/// with the nodes the new seed activates.
+///
+/// The score assigner is pluggable: EaSyIM for the opinion-oblivious IM
+/// problem, OSIM for MEO. Both drivers below share this implementation.
+class ScoreGreedy {
+ public:
+  using ScoreFn =
+      std::function<void(const EpochSet& excluded, std::vector<double>*)>;
+
+  ScoreGreedy(const Graph& graph, ScoreFn score_fn,
+              const ScoreGreedyOptions& options);
+
+  /// Hook used by the activation strategies: simulate one cascade from
+  /// `seed` with `blocked` nodes removed and report the activated nodes.
+  using SimulateFn = std::function<void(NodeId seed, const EpochSet& blocked,
+                                        Rng& rng, std::vector<NodeId>* out)>;
+  void set_simulate_fn(SimulateFn fn) { simulate_fn_ = std::move(fn); }
+
+  /// Hook for kExpectedReach: edge probability accessor.
+  void set_edge_probability(const std::vector<double>* p) { edge_prob_ = p; }
+  void set_max_hops(uint32_t hops) { max_hops_ = hops; }
+
+  Result<SeedSelection> Select(uint32_t k);
+
+ private:
+  void GrowActivatedSet(NodeId new_seed);
+  void ExpectedReach(NodeId seed, std::vector<NodeId>* out);
+
+  const Graph& graph_;
+  ScoreFn score_fn_;
+  ScoreGreedyOptions options_;
+  SimulateFn simulate_fn_;
+  const std::vector<double>* edge_prob_ = nullptr;
+  uint32_t max_hops_ = 3;
+  EpochSet activated_;
+  Rng rng_;
+};
+
+/// EaSyIM bound to ScoreGREEDY: the paper's scalable opinion-oblivious IM
+/// algorithm. Works for IC/WC (direct) and LT (weights as probabilities via
+/// the live-edge equivalence, Sec. 3.3).
+class EasyImSelector : public SeedSelector {
+ public:
+  EasyImSelector(const Graph& graph, const InfluenceParams& params, uint32_t l,
+                 const ScoreGreedyOptions& options = {});
+
+  std::string name() const override;
+  Result<SeedSelection> Select(uint32_t k) override;
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  EasyImScorer scorer_;
+  ScoreGreedyOptions options_;
+};
+
+/// OSIM bound to ScoreGREEDY: the paper's MEO algorithm.
+class OsimSelector : public SeedSelector {
+ public:
+  OsimSelector(const Graph& graph, const InfluenceParams& influence,
+               const OpinionParams& opinions, OiBase base, uint32_t l,
+               const ScoreGreedyOptions& options = {});
+
+  std::string name() const override;
+  Result<SeedSelection> Select(uint32_t k) override;
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& influence_;
+  const OpinionParams& opinions_;
+  OiBase base_;
+  OsimScorer scorer_;
+  ScoreGreedyOptions options_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_SCORE_GREEDY_H_

@@ -1,0 +1,3 @@
+#include "algo/seed_selector.h"
+
+// Interface-only translation unit.

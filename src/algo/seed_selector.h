@@ -1,0 +1,43 @@
+#ifndef HOLIM_ALGO_SEED_SELECTOR_H_
+#define HOLIM_ALGO_SEED_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace holim {
+
+/// Outcome of a seed-selection run, with the bookkeeping the paper's
+/// efficiency/scalability experiments report (Figs. 5g/5h, 6f-6j).
+struct SeedSelection {
+  std::vector<NodeId> seeds;
+  double elapsed_seconds = 0.0;
+  /// Additional RSS the algorithm allocated beyond the loaded graph
+  /// ("execution memory" in Figs. 5h/6j), best-effort.
+  std::size_t overhead_bytes = 0;
+  /// Algorithm-internal score of each chosen seed (empty if N/A).
+  std::vector<double> seed_scores;
+};
+
+/// \brief Common interface for all influence-maximization algorithms.
+///
+/// Implementations bind a graph + parameters at construction; Select(k)
+/// returns the chosen seed set together with timing/memory bookkeeping.
+class SeedSelector {
+ public:
+  virtual ~SeedSelector() = default;
+
+  /// Short stable identifier, e.g. "EaSyIM(l=3)".
+  virtual std::string name() const = 0;
+
+  /// Selects k seeds. Implementations must be deterministic in their
+  /// constructor-provided seed.
+  virtual Result<SeedSelection> Select(uint32_t k) = 0;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_SEED_SELECTOR_H_

@@ -1,0 +1,67 @@
+#ifndef HOLIM_ALGO_TIM_PLUS_H_
+#define HOLIM_ALGO_TIM_PLUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "algo/rr_sets.h"
+#include "algo/seed_selector.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+
+namespace holim {
+
+/// Tuning parameters of TIM+ (Tang et al., SIGMOD'14).
+struct TimPlusOptions {
+  double epsilon = 0.1;   // approximation slack (paper Sec. 4 uses 0.1)
+  double ell = 1.0;       // failure probability exponent: 1 - n^-ell
+  uint64_t seed = 99;
+  /// Safety cap on theta so a mis-parameterized run cannot OOM the host;
+  /// 0 disables. When the cap binds, the run records `theta_capped`.
+  std::size_t max_theta = 0;
+};
+
+/// \brief TIM+ — two-phase RIS influence maximization.
+///
+/// Phase 1 (parameter estimation): KPT* is estimated by repeatedly doubling
+/// the RR-sample size until the average set "width" certifies a lower bound
+/// on the optimum; an intermediate greedy refinement tightens it (TIM's
+/// Algorithms 2-3). Phase 2 (node selection): theta = lambda / KPT+ RR sets
+/// are drawn and greedy max-coverage picks k seeds.
+///
+/// TIM+'s defining trait for this paper is its memory footprint: theta RR
+/// sets are all held in RAM, which is what Figs. 6i/6j and Table 3 measure.
+class TimPlusSelector : public SeedSelector {
+ public:
+  TimPlusSelector(const Graph& graph, const InfluenceParams& params,
+                  const TimPlusOptions& options = {});
+
+  std::string name() const override;
+  Result<SeedSelection> Select(uint32_t k) override;
+
+  /// Statistics of the last run (for the scalability experiments).
+  struct RunStats {
+    double kpt_star = 0.0;
+    double kpt_plus = 0.0;
+    std::size_t theta = 0;
+    bool theta_capped = false;
+    std::size_t rr_memory_bytes = 0;
+  };
+  const RunStats& last_run_stats() const { return stats_; }
+
+ private:
+  double EstimateKpt(uint32_t k, Rng& rng);
+  double RefineKpt(uint32_t k, double kpt_star, Rng& rng);
+
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  TimPlusOptions options_;
+  RunStats stats_;
+};
+
+/// log(n choose k) via lgamma — shared by TIM+ and IMM thresholds.
+double LogNChooseK(uint64_t n, uint64_t k);
+
+}  // namespace holim
+
+#endif  // HOLIM_ALGO_TIM_PLUS_H_

@@ -1,0 +1,33 @@
+#include "bench_support/bench_main.h"
+
+#include <cstdio>
+
+namespace holim {
+
+int BenchMain(int argc, char** argv, const std::string& description,
+              const std::function<Status(const BenchArgs&)>& body,
+              const std::function<void(BenchArgs*)>& declare_extra) {
+  BenchArgs args;
+  DeclareCommonFlags(&args);
+  if (declare_extra) declare_extra(&args);
+  Status st = args.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 args.HelpText(argv[0]).c_str());
+    return 1;
+  }
+  if (args.GetBool("help", false)) {
+    std::printf("%s\n%s", description.c_str(),
+                args.HelpText(argv[0]).c_str());
+    return 0;
+  }
+  std::printf("%s\n", description.c_str());
+  st = body(args);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace holim

@@ -1,0 +1,20 @@
+#ifndef HOLIM_BENCH_SUPPORT_BENCH_MAIN_H_
+#define HOLIM_BENCH_SUPPORT_BENCH_MAIN_H_
+
+#include <functional>
+#include <string>
+
+#include "bench_support/experiment.h"
+
+namespace holim {
+
+/// Uniform entry point for figure/table binaries: parses flags (declaring
+/// the common set), prints --help, runs `body`, and converts a non-OK
+/// Status into exit code 1.
+int BenchMain(int argc, char** argv, const std::string& description,
+              const std::function<Status(const BenchArgs&)>& body,
+              const std::function<void(BenchArgs*)>& declare_extra = nullptr);
+
+}  // namespace holim
+
+#endif  // HOLIM_BENCH_SUPPORT_BENCH_MAIN_H_

@@ -1,0 +1,75 @@
+#ifndef HOLIM_BENCH_SUPPORT_EXPERIMENT_H_
+#define HOLIM_BENCH_SUPPORT_EXPERIMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/csv_writer.h"
+#include "util/status.h"
+
+namespace holim {
+
+/// \brief Tiny CLI flag parser shared by all bench binaries.
+///
+/// Supported syntax: --name=value or --name value. Unknown flags error out
+/// so typos are caught.
+class BenchArgs {
+ public:
+  Status Parse(int argc, char** argv);
+
+  double GetDouble(const std::string& name, double default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Declares a flag (for --help and unknown-flag detection).
+  void Declare(const std::string& name, const std::string& help);
+  std::string HelpText(const std::string& binary) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> declared_;
+};
+
+/// \brief Fixed-width console table + CSV sink, the uniform output format
+/// of every figure/table reproduction binary.
+class ResultTable {
+ public:
+  /// `csv_path` empty disables the CSV copy.
+  ResultTable(std::string title, std::vector<std::string> columns,
+              const std::string& csv_path = "");
+
+  void AddRow(const std::vector<std::string>& cells);
+  /// Convenience for numeric rows.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values);
+
+  /// Prints the whole table to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::unique_ptr<CsvWriter> csv_;
+};
+
+/// Canonical output directory for bench CSVs ("results/", created lazily).
+std::string ResultsDir();
+
+/// Standard bench preamble: scale + mc + seeds flags every binary shares.
+struct CommonBenchConfig {
+  double scale = 0.2;         // dataset scale factor vs paper size
+  uint32_t mc = 200;          // Monte-Carlo simulations per estimate
+  uint32_t max_k = 100;       // largest seed-set size
+  uint64_t seed = 42;
+};
+CommonBenchConfig ReadCommonConfig(const BenchArgs& args);
+void DeclareCommonFlags(BenchArgs* args);
+
+}  // namespace holim
+
+#endif  // HOLIM_BENCH_SUPPORT_EXPERIMENT_H_

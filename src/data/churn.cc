@@ -1,0 +1,153 @@
+#include "data/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace holim {
+
+namespace {
+
+/// Cosine-like similarity of two attribute vectors mapped into [0, 1].
+double AttributeSimilarity(const std::vector<double>& a,
+                           const std::vector<double>& b, uint32_t dims,
+                           std::size_t ia, std::size_t ib) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (uint32_t d = 0; d < dims; ++d) {
+    const double x = a[ia * dims + d];
+    const double y = b[ib * dims + d];
+    dot += x * y;
+    na += x * x;
+    nb += y * y;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return 0.5 * (1.0 + dot / std::sqrt(na * nb));
+}
+
+}  // namespace
+
+Result<ChurnData> BuildChurnData(const ChurnOptions& options) {
+  if (options.num_customers < 100) {
+    return Status::InvalidArgument("need >= 100 customers");
+  }
+  Rng rng(options.seed);
+  const uint32_t n = options.num_customers;
+  const uint32_t dims = options.num_attributes;
+  ChurnData data;
+
+  // 1. Latent churn propensity drives attributes and the label. Balanced
+  // classes: first half churners, second half non-churners (shuffled ids
+  // are unnecessary since the graph is built from attributes alone).
+  std::vector<double> propensity(n);
+  data.is_churner.assign(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    const bool churner = i < n / 2;
+    data.is_churner[i] = churner;
+    propensity[i] = churner ? rng.Uniform(0.3, 1.0) : rng.Uniform(-1.0, -0.3);
+  }
+  std::vector<double> attributes(static_cast<std::size_t>(n) * dims);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      // Half the attributes correlate with propensity, half are noise —
+      // the "billing/usage/complaints" mix of the original data.
+      const double signal = (d % 2 == 0) ? propensity[i] : 0.0;
+      attributes[static_cast<std::size_t>(i) * dims + d] =
+          signal + 0.6 * rng.NextGaussian();
+    }
+  }
+
+  // 2. Similarity graph by sampled candidate pairs (exhaustive O(n^2) pair
+  // scanning is unnecessary: we sample until the target degree is met,
+  // keeping pairs above the similarity threshold).
+  const double threshold = 0.62;
+  GraphBuilder builder(n);
+  std::vector<double> similarities;
+  const uint64_t target_arcs =
+      static_cast<uint64_t>(options.target_avg_degree * n);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = target_arcs * 40;
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  while (kept.size() * 2 < target_arcs && attempts < max_attempts) {
+    ++attempts;
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+    if (a == b) continue;
+    const double sim =
+        AttributeSimilarity(attributes, attributes, dims, a, b);
+    if (sim < threshold) continue;
+    kept.emplace_back(a, b);
+  }
+  for (auto [a, b] : kept) builder.AddUndirectedEdge(a, b);
+  HOLIM_ASSIGN_OR_RETURN(data.graph, std::move(builder).Build());
+
+  // Influence probability = similarity, recomputed per final edge (dedup
+  // may have dropped duplicates, so align with the built graph).
+  data.influence.model = DiffusionModel::kIndependentCascade;
+  data.influence.probability.resize(data.graph.num_edges());
+  for (NodeId u = 0; u < data.graph.num_nodes(); ++u) {
+    const EdgeId base = data.graph.OutEdgeBegin(u);
+    auto neighbors = data.graph.OutNeighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      // Scale similarity into [0, max_influence].
+      data.influence.probability[base + i] =
+          options.max_influence *
+          (AttributeSimilarity(attributes, attributes, dims, u,
+                               neighbors[i]) -
+           threshold) /
+          (1.0 - threshold);
+    }
+  }
+
+  // 3. Label propagation: labelled nodes clamp to +/-1; others average
+  // their neighbors each sweep.
+  data.is_labelled.assign(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    data.is_labelled[i] = rng.NextBernoulli(options.labelled_fraction);
+  }
+  std::vector<double> value(n, 0.0), next(n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (data.is_labelled[i]) value[i] = data.is_churner[i] ? -1.0 : 1.0;
+  }
+  for (uint32_t iter = 0; iter < options.label_prop_iterations; ++iter) {
+    double max_change = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (data.is_labelled[u]) {
+        next[u] = value[u];  // clamped
+        continue;
+      }
+      double acc = 0.0;
+      uint32_t count = 0;
+      for (NodeId v : data.graph.InNeighbors(u)) {
+        acc += value[v];
+        ++count;
+      }
+      next[u] = count > 0 ? acc / count : 0.0;
+      max_change = std::max(max_change, std::abs(next[u] - value[u]));
+    }
+    std::swap(value, next);
+    if (max_change < 1e-6) break;
+  }
+
+  // NOTE on orientation: the paper labels churners -1; the MEO objective
+  // then *protects reputation* by spreading positive (stay) opinion.
+  data.opinions.opinion = value;
+  data.opinions.interaction.resize(data.graph.num_edges());
+  for (auto& phi : data.opinions.interaction) phi = rng.NextDouble();
+
+  // Hold-out sign accuracy over unlabelled nodes with nonzero value.
+  uint64_t correct = 0, total = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (data.is_labelled[i] || value[i] == 0.0) continue;
+    ++total;
+    const bool predicted_churn = value[i] < 0.0;
+    if (predicted_churn == static_cast<bool>(data.is_churner[i])) ++correct;
+  }
+  data.holdout_sign_accuracy =
+      total > 0 ? static_cast<double>(correct) / total : 0.0;
+  return data;
+}
+
+}  // namespace holim

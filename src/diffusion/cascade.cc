@@ -1,0 +1,3 @@
+#include "diffusion/cascade.h"
+
+// Header-only structures; this TU anchors the header in the build.

@@ -1,0 +1,76 @@
+#include "diffusion/icn_model.h"
+
+#include "util/logging.h"
+
+namespace holim {
+
+std::size_t IcnCascade::PositiveSpread() const {
+  std::size_t count = 0;
+  for (std::size_t i = num_seeds; i < positive.size(); ++i) {
+    if (positive[i]) ++count;
+  }
+  return count;
+}
+
+double IcnCascade::SignedSpread() const {
+  double sum = 0.0;
+  for (std::size_t i = num_seeds; i < positive.size(); ++i) {
+    sum += positive[i] ? 1.0 : -1.0;
+  }
+  return sum;
+}
+
+IcnSimulator::IcnSimulator(const Graph& graph, const InfluenceParams& params,
+                           double quality_factor)
+    : graph_(graph),
+      params_(params),
+      quality_factor_(quality_factor),
+      active_(graph.num_nodes()),
+      node_positive_(graph.num_nodes(), 0) {
+  HOLIM_CHECK(params.probability.size() == graph.num_edges())
+      << "params/graph edge count mismatch";
+  HOLIM_CHECK(quality_factor >= 0.0 && quality_factor <= 1.0)
+      << "quality factor out of [0,1]";
+}
+
+const IcnCascade& IcnSimulator::Run(std::span<const NodeId> seeds, Rng& rng) {
+  active_.Reset(graph_.num_nodes());
+  cascade_.order.clear();
+  result_.positive.clear();
+  result_.num_seeds = 0;
+  for (NodeId s : seeds) {
+    if (active_.Contains(s)) continue;
+    active_.Insert(s);
+    cascade_.order.push_back({s, kSeedActivation, 0});
+    // Seeds turn negative w.p. 1-q (product quality disappoints).
+    const bool pos = rng.NextBernoulli(quality_factor_);
+    node_positive_[s] = pos;
+    result_.positive.push_back(pos);
+    ++result_.num_seeds;
+  }
+  std::size_t head = 0;
+  while (head < cascade_.order.size()) {
+    const Activation current = cascade_.order[head++];
+    const NodeId u = current.node;
+    const bool u_positive = node_positive_[u];
+    const EdgeId base = graph_.OutEdgeBegin(u);
+    auto neighbors = graph_.OutNeighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId v = neighbors[i];
+      if (active_.Contains(v)) continue;
+      const EdgeId e = base + i;
+      if (!rng.NextBernoulli(params_.p(e))) continue;
+      active_.Insert(v);
+      cascade_.order.push_back({v, e, current.step + 1});
+      // Negative activators always propagate negative; positive ones are
+      // degraded by the quality factor.
+      const bool pos = u_positive && rng.NextBernoulli(quality_factor_);
+      node_positive_[v] = pos;
+      result_.positive.push_back(pos);
+    }
+  }
+  result_.cascade = &cascade_;
+  return result_;
+}
+
+}  // namespace holim

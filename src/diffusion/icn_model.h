@@ -1,0 +1,55 @@
+#ifndef HOLIM_DIFFUSION_ICN_MODEL_H_
+#define HOLIM_DIFFUSION_ICN_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "util/rng.h"
+
+namespace holim {
+
+/// Result of one IC-N run: per-activation orientation.
+struct IcnCascade {
+  const Cascade* cascade = nullptr;
+  std::vector<bool> positive;  // parallel to cascade->order
+  std::size_t num_seeds = 0;
+
+  /// Positive spread: activated non-seed nodes that ended up positive.
+  std::size_t PositiveSpread() const;
+  /// Signed spread: (+1 per positive) - (1 per negative), non-seeds only.
+  double SignedSpread() const;
+};
+
+/// \brief IC-N (Chen et al., SDM'11): IC where negativity may emerge.
+///
+/// A uniform quality factor q governs transitions: a node activated by a
+/// positive neighbor turns positive w.p. q and negative w.p. 1-q; a node
+/// activated by a negative neighbor is always negative ("negativity bias").
+/// Seeds start positive but may flip with the same quality factor, matching
+/// the original model. This is the paper's first opinion-aware competitor
+/// (Sec. 1, limitation (1)-(2)).
+class IcnSimulator {
+ public:
+  IcnSimulator(const Graph& graph, const InfluenceParams& params,
+               double quality_factor);
+
+  const IcnCascade& Run(std::span<const NodeId> seeds, Rng& rng);
+
+  double quality_factor() const { return quality_factor_; }
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  double quality_factor_;
+  Cascade cascade_;
+  IcnCascade result_;
+  EpochSet active_;
+  std::vector<char> node_positive_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_DIFFUSION_ICN_MODEL_H_

@@ -1,0 +1,53 @@
+#include "diffusion/independent_cascade.h"
+
+#include "util/logging.h"
+
+namespace holim {
+
+IcSimulator::IcSimulator(const Graph& graph, const InfluenceParams& params)
+    : graph_(graph), params_(params), active_(graph.num_nodes()) {
+  HOLIM_CHECK(params.probability.size() == graph.num_edges())
+      << "params/graph edge count mismatch";
+}
+
+const Cascade& IcSimulator::Run(std::span<const NodeId> seeds, Rng& rng) {
+  return RunImpl(seeds, rng, nullptr);
+}
+
+const Cascade& IcSimulator::RunWithBlocked(std::span<const NodeId> seeds,
+                                           Rng& rng, const EpochSet& blocked) {
+  return RunImpl(seeds, rng, &blocked);
+}
+
+const Cascade& IcSimulator::RunImpl(std::span<const NodeId> seeds, Rng& rng,
+                                    const EpochSet* blocked) {
+  active_.Reset(graph_.num_nodes());
+  cascade_.order.clear();
+  for (NodeId s : seeds) {
+    if (active_.Contains(s)) continue;
+    if (blocked && blocked->Contains(s)) continue;
+    active_.Insert(s);
+    cascade_.order.push_back({s, kSeedActivation, 0});
+  }
+  // cascade_.order doubles as the BFS frontier queue.
+  std::size_t head = 0;
+  while (head < cascade_.order.size()) {
+    const Activation current = cascade_.order[head++];
+    const NodeId u = current.node;
+    const EdgeId base = graph_.OutEdgeBegin(u);
+    auto neighbors = graph_.OutNeighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId v = neighbors[i];
+      if (active_.Contains(v)) continue;
+      if (blocked && blocked->Contains(v)) continue;
+      const EdgeId e = base + i;
+      if (rng.NextBernoulli(params_.p(e))) {
+        active_.Insert(v);
+        cascade_.order.push_back({v, e, current.step + 1});
+      }
+    }
+  }
+  return cascade_;
+}
+
+}  // namespace holim

@@ -1,0 +1,48 @@
+#ifndef HOLIM_DIFFUSION_INDEPENDENT_CASCADE_H_
+#define HOLIM_DIFFUSION_INDEPENDENT_CASCADE_H_
+
+#include <span>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "util/rng.h"
+
+namespace holim {
+
+/// \brief Independent Cascade simulator (Kempe et al., Sec. 2.1).
+///
+/// At step i every node activated at step i-1 gets one independent attempt
+/// to activate each out-neighbor v with probability p(u,v). WC is IC with
+/// p(u,v) = 1/indeg(v), so this simulator covers both.
+///
+/// The simulator owns reusable scratch; Run() is O(activated edges) and the
+/// returned Cascade is valid until the next Run().
+class IcSimulator {
+ public:
+  IcSimulator(const Graph& graph, const InfluenceParams& params);
+
+  /// Runs one cascade from `seeds`. Duplicate seeds are activated once.
+  const Cascade& Run(std::span<const NodeId> seeds, Rng& rng);
+
+  /// Like Run but never activates nodes in `blocked` (used by the
+  /// ScoreGREEDY activated-set bookkeeping and by competitive scenarios).
+  const Cascade& RunWithBlocked(std::span<const NodeId> seeds, Rng& rng,
+                                const EpochSet& blocked);
+
+  std::size_t ScratchBytes() const { return active_.size_bytes(); }
+
+ private:
+  const Cascade& RunImpl(std::span<const NodeId> seeds, Rng& rng,
+                         const EpochSet* blocked);
+
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  Cascade cascade_;
+  EpochSet active_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_DIFFUSION_INDEPENDENT_CASCADE_H_

@@ -1,0 +1,64 @@
+#include "diffusion/linear_threshold.h"
+
+#include "util/logging.h"
+
+namespace holim {
+
+LtSimulator::LtSimulator(const Graph& graph, const InfluenceParams& params)
+    : graph_(graph),
+      params_(params),
+      active_(graph.num_nodes()),
+      weight_in_(graph.num_nodes(), 0.0),
+      threshold_(graph.num_nodes(), 0.0),
+      touched_(graph.num_nodes()) {
+  HOLIM_CHECK(params.probability.size() == graph.num_edges())
+      << "params/graph edge count mismatch";
+}
+
+const Cascade& LtSimulator::Run(std::span<const NodeId> seeds, Rng& rng) {
+  return RunImpl(seeds, rng, nullptr);
+}
+
+const Cascade& LtSimulator::RunWithBlocked(std::span<const NodeId> seeds,
+                                           Rng& rng, const EpochSet& blocked) {
+  return RunImpl(seeds, rng, &blocked);
+}
+
+const Cascade& LtSimulator::RunImpl(std::span<const NodeId> seeds, Rng& rng,
+                                    const EpochSet* blocked) {
+  active_.Reset(graph_.num_nodes());
+  touched_.Reset(graph_.num_nodes());
+  cascade_.order.clear();
+  for (NodeId s : seeds) {
+    if (active_.Contains(s)) continue;
+    if (blocked && blocked->Contains(s)) continue;
+    active_.Insert(s);
+    cascade_.order.push_back({s, kSeedActivation, 0});
+  }
+  std::size_t head = 0;
+  while (head < cascade_.order.size()) {
+    const Activation current = cascade_.order[head++];
+    const NodeId u = current.node;
+    const EdgeId base = graph_.OutEdgeBegin(u);
+    auto neighbors = graph_.OutNeighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId v = neighbors[i];
+      if (active_.Contains(v)) continue;
+      if (blocked && blocked->Contains(v)) continue;
+      const EdgeId e = base + i;
+      if (!touched_.Contains(v)) {
+        touched_.Insert(v);
+        weight_in_[v] = 0.0;
+        threshold_[v] = rng.NextDouble();  // theta_v ~ U(0,1), fresh per run
+      }
+      weight_in_[v] += params_.p(e);
+      if (weight_in_[v] >= threshold_[v]) {
+        active_.Insert(v);
+        cascade_.order.push_back({v, e, current.step + 1});
+      }
+    }
+  }
+  return cascade_;
+}
+
+}  // namespace holim

@@ -1,0 +1,67 @@
+#include "diffusion/live_edge.h"
+
+#include "util/logging.h"
+
+namespace holim {
+
+LiveEdgeSimulator::LiveEdgeSimulator(const Graph& graph,
+                                     const InfluenceParams& params)
+    : graph_(graph),
+      params_(params),
+      active_(graph.num_nodes()),
+      live_choice_(graph.num_nodes(), -1),
+      live_sampled_(graph.num_nodes()) {
+  HOLIM_CHECK(params.probability.size() == graph.num_edges())
+      << "params/graph edge count mismatch";
+}
+
+int64_t LiveEdgeSimulator::SampleLiveInEdge(NodeId v, Rng& rng) const {
+  auto edge_ids = graph_.InEdgeIds(v);
+  if (edge_ids.empty()) return -1;
+  double r = rng.NextDouble();
+  for (std::size_t i = 0; i < edge_ids.size(); ++i) {
+    const double w = params_.p(edge_ids[i]);
+    if (r < w) return static_cast<int64_t>(i);
+    r -= w;
+  }
+  return -1;  // "no live edge" with residual probability
+}
+
+const Cascade& LiveEdgeSimulator::Run(std::span<const NodeId> seeds, Rng& rng) {
+  active_.Reset(graph_.num_nodes());
+  live_sampled_.Reset(graph_.num_nodes());
+  cascade_.order.clear();
+  for (NodeId s : seeds) {
+    if (active_.Contains(s)) continue;
+    active_.Insert(s);
+    cascade_.order.push_back({s, kSeedActivation, 0});
+  }
+  // Forward traversal: v activates if its (lazily sampled) live in-edge
+  // points to an active node. We expand frontier by scanning out-neighbors
+  // and checking whether their live edge is the one from u.
+  std::size_t head = 0;
+  while (head < cascade_.order.size()) {
+    const Activation current = cascade_.order[head++];
+    const NodeId u = current.node;
+    auto neighbors = graph_.OutNeighbors(u);
+    const EdgeId base = graph_.OutEdgeBegin(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId v = neighbors[i];
+      if (active_.Contains(v)) continue;
+      if (!live_sampled_.Contains(v)) {
+        live_sampled_.Insert(v);
+        live_choice_[v] = SampleLiveInEdge(v, rng);
+      }
+      if (live_choice_[v] < 0) continue;
+      const EdgeId live_edge =
+          graph_.InEdgeIds(v)[static_cast<std::size_t>(live_choice_[v])];
+      if (live_edge == base + i) {
+        active_.Insert(v);
+        cascade_.order.push_back({v, live_edge, current.step + 1});
+      }
+    }
+  }
+  return cascade_;
+}
+
+}  // namespace holim

@@ -1,0 +1,44 @@
+#ifndef HOLIM_DIFFUSION_LIVE_EDGE_H_
+#define HOLIM_DIFFUSION_LIVE_EDGE_H_
+
+#include <span>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "util/rng.h"
+
+namespace holim {
+
+/// \brief Live-edge instantiation of the LT model (Kempe's equivalence,
+/// paper Sec. 3.3).
+///
+/// Each node independently selects at most one live in-edge: edge e = (u, v)
+/// with probability w(u,v), none with probability 1 - sum_u w(u,v). A node
+/// activates iff it is forward-reachable from a seed over live edges.
+class LiveEdgeSimulator {
+ public:
+  LiveEdgeSimulator(const Graph& graph, const InfluenceParams& params);
+
+  /// Samples one live-edge graph, then BFS from seeds over live arcs.
+  const Cascade& Run(std::span<const NodeId> seeds, Rng& rng);
+
+  /// Samples the live in-edge choice for a single node: returns the chosen
+  /// in-CSR position or -1 if the node selects no live edge. Exposed for
+  /// the reverse-reachable (RIS) samplers.
+  int64_t SampleLiveInEdge(NodeId v, Rng& rng) const;
+
+ private:
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  Cascade cascade_;
+  EpochSet active_;
+  // live_choice_[v]: in-CSR position of v's live edge this run, or -1.
+  std::vector<int64_t> live_choice_;
+  EpochSet live_sampled_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_DIFFUSION_LIVE_EDGE_H_

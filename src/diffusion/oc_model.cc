@@ -1,0 +1,60 @@
+#include "diffusion/oc_model.h"
+
+#include "util/logging.h"
+
+namespace holim {
+
+double OcSimulator::OcCascade::OpinionSpread() const {
+  double sum = 0.0;
+  for (std::size_t i = num_seeds; i < final_opinion.size(); ++i) {
+    sum += final_opinion[i];
+  }
+  return sum;
+}
+
+OcSimulator::OcSimulator(const Graph& graph, const InfluenceParams& influence,
+                         const OpinionParams& opinions)
+    : graph_(graph),
+      opinions_(opinions),
+      lt_(graph, influence),
+      node_opinion_(graph.num_nodes(), 0.0),
+      node_step_(graph.num_nodes(), 0),
+      settled_(graph.num_nodes()) {
+  HOLIM_CHECK(opinions.opinion.size() == graph.num_nodes())
+      << "opinion/node count mismatch";
+}
+
+const OcSimulator::OcCascade& OcSimulator::Run(std::span<const NodeId> seeds,
+                                               Rng& rng) {
+  const Cascade& cascade = lt_.Run(seeds, rng);
+  result_.cascade = &cascade;
+  result_.final_opinion.clear();
+  result_.final_opinion.reserve(cascade.order.size());
+  result_.num_seeds = 0;
+  settled_.Reset(graph_.num_nodes());
+  for (const Activation& a : cascade.order) {
+    const NodeId v = a.node;
+    double o_final;
+    if (a.via_edge == kSeedActivation) {
+      ++result_.num_seeds;
+      o_final = opinions_.o(v);
+    } else {
+      double acc = 0.0;
+      uint32_t count = 0;
+      for (NodeId u : graph_.InNeighbors(v)) {
+        if (!settled_.Contains(u) || node_step_[u] >= a.step) continue;
+        acc += node_opinion_[u];  // phi == 1: orientation always preserved
+        ++count;
+      }
+      o_final = count == 0 ? opinions_.o(v) / 2.0
+                           : (opinions_.o(v) + acc / count) / 2.0;
+    }
+    node_opinion_[v] = o_final;
+    node_step_[v] = a.step;
+    settled_.Insert(v);
+    result_.final_opinion.push_back(o_final);
+  }
+  return result_;
+}
+
+}  // namespace holim

@@ -1,0 +1,53 @@
+#ifndef HOLIM_DIFFUSION_OC_MODEL_H_
+#define HOLIM_DIFFUSION_OC_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "diffusion/linear_threshold.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+#include "util/rng.h"
+
+namespace holim {
+
+/// \brief OC model (Zhang, Dinh, Thai, ICDCS'13) — opinion cascades over LT.
+///
+/// Reconstruction per this paper's description (Secs. 1, 4, 5): the first
+/// layer is LT; when a node activates, its new opinion depends on its own
+/// prior opinion and the opinions of the activating in-neighbors — with NO
+/// interaction probability (every contribution arrives with the activator's
+/// orientation):
+///   o'_v = (o_v + mean_{u in In(v)_active} o'_u) / 2.
+/// This is exactly OI-over-LT with phi ≡ 1, which is how the paper positions
+/// OC as a special case lacking interaction modelling.
+class OcSimulator {
+ public:
+  OcSimulator(const Graph& graph, const InfluenceParams& influence,
+              const OpinionParams& opinions);
+
+  /// Runs one OC cascade; reuses the OpinionCascade layout from oi_model.h.
+  struct OcCascade {
+    const Cascade* cascade = nullptr;
+    std::vector<double> final_opinion;
+    std::size_t num_seeds = 0;
+    double OpinionSpread() const;
+  };
+
+  const OcCascade& Run(std::span<const NodeId> seeds, Rng& rng);
+
+ private:
+  const Graph& graph_;
+  const OpinionParams& opinions_;
+  LtSimulator lt_;
+  OcCascade result_;
+  std::vector<double> node_opinion_;
+  std::vector<uint32_t> node_step_;
+  EpochSet settled_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_DIFFUSION_OC_MODEL_H_

@@ -1,0 +1,139 @@
+#include "diffusion/oi_model.h"
+
+#include "util/logging.h"
+
+namespace holim {
+
+double OpinionCascade::OpinionSpread() const {
+  double sum = 0.0;
+  for (std::size_t i = num_seeds; i < final_opinion.size(); ++i) {
+    sum += final_opinion[i];
+  }
+  return sum;
+}
+
+double OpinionCascade::EffectiveOpinionSpread(double lambda) const {
+  double positive = 0.0, negative = 0.0;
+  for (std::size_t i = num_seeds; i < final_opinion.size(); ++i) {
+    const double o = final_opinion[i];
+    if (o > 0) {
+      positive += o;
+    } else {
+      negative += -o;
+    }
+  }
+  return positive - lambda * negative;
+}
+
+OiSimulator::OiSimulator(const Graph& graph, const InfluenceParams& influence,
+                         const OpinionParams& opinions, OiBase base)
+    : graph_(graph),
+      influence_(influence),
+      opinions_(opinions),
+      base_(base),
+      ic_(graph, influence),
+      lt_(graph, influence),
+      node_opinion_(graph.num_nodes(), 0.0),
+      node_step_(graph.num_nodes(), 0),
+      settled_(graph.num_nodes()) {
+  HOLIM_CHECK(opinions.opinion.size() == graph.num_nodes())
+      << "opinion/node count mismatch";
+  HOLIM_CHECK(opinions.interaction.size() == graph.num_edges())
+      << "interaction/edge count mismatch";
+}
+
+const OpinionCascade& OiSimulator::Run(std::span<const NodeId> seeds,
+                                       Rng& rng) {
+  if (base_ == OiBase::kIndependentCascade) {
+    const Cascade& cascade = ic_.Run(seeds, rng);
+    return ComputeOpinionsIc(cascade, rng);
+  }
+  const Cascade& cascade = lt_.Run(seeds, rng);
+  return ComputeOpinionsLt(cascade, rng);
+}
+
+const OpinionCascade& OiSimulator::RunWithBlocked(std::span<const NodeId> seeds,
+                                                  Rng& rng,
+                                                  const EpochSet& blocked) {
+  if (base_ == OiBase::kIndependentCascade) {
+    const Cascade& cascade = ic_.RunWithBlocked(seeds, rng, blocked);
+    return ComputeOpinionsIc(cascade, rng);
+  }
+  const Cascade& cascade = lt_.RunWithBlocked(seeds, rng, blocked);
+  return ComputeOpinionsLt(cascade, rng);
+}
+
+const OpinionCascade& OiSimulator::ComputeOpinionsIc(const Cascade& cascade,
+                                                     Rng& rng) {
+  // Second layer over IC (paper Sec. 2.2): when u activates v along edge e,
+  //   o'_v = (o_v + (-1)^alpha o'_u) / 2,  alpha = 0 w.p. phi(e).
+  // Activations are processed in cascade order, so the activator's final
+  // opinion is already settled when we reach v.
+  result_.cascade = &cascade;
+  result_.final_opinion.clear();
+  result_.final_opinion.reserve(cascade.order.size());
+  result_.num_seeds = 0;
+  settled_.Reset(graph_.num_nodes());
+  for (const Activation& a : cascade.order) {
+    const NodeId v = a.node;
+    double o_final;
+    if (a.via_edge == kSeedActivation) {
+      ++result_.num_seeds;
+      o_final = opinions_.o(v);  // o'_s = o_s
+    } else {
+      const NodeId u = graph_.EdgeSource(a.via_edge);
+      HOLIM_DCHECK(settled_.Contains(u)) << "activator opinion not settled";
+      const double phi = opinions_.phi(a.via_edge);
+      const int alpha = rng.NextBernoulli(phi) ? 0 : 1;
+      const double signed_parent =
+          alpha == 0 ? node_opinion_[u] : -node_opinion_[u];
+      o_final = (opinions_.o(v) + signed_parent) / 2.0;
+    }
+    node_opinion_[v] = o_final;
+    settled_.Insert(v);
+    result_.final_opinion.push_back(o_final);
+  }
+  return result_;
+}
+
+const OpinionCascade& OiSimulator::ComputeOpinionsLt(const Cascade& cascade,
+                                                     Rng& rng) {
+  // Second layer over LT: v averages the signed opinions of in-neighbors
+  // that activated strictly before it:
+  //   o'_v = (o_v + (1/|In(v)_a|) sum_u (-1)^alpha(u,v) o'_u) / 2.
+  result_.cascade = &cascade;
+  result_.final_opinion.clear();
+  result_.final_opinion.reserve(cascade.order.size());
+  result_.num_seeds = 0;
+  settled_.Reset(graph_.num_nodes());
+  for (const Activation& a : cascade.order) {
+    const NodeId v = a.node;
+    double o_final;
+    if (a.via_edge == kSeedActivation) {
+      ++result_.num_seeds;
+      o_final = opinions_.o(v);
+    } else {
+      double acc = 0.0;
+      uint32_t count = 0;
+      auto in_neighbors = graph_.InNeighbors(v);
+      auto in_edges = graph_.InEdgeIds(v);
+      for (std::size_t i = 0; i < in_neighbors.size(); ++i) {
+        const NodeId u = in_neighbors[i];
+        if (!settled_.Contains(u) || node_step_[u] >= a.step) continue;
+        const double phi = opinions_.phi(in_edges[i]);
+        const int alpha = rng.NextBernoulli(phi) ? 0 : 1;
+        acc += alpha == 0 ? node_opinion_[u] : -node_opinion_[u];
+        ++count;
+      }
+      o_final = count == 0 ? opinions_.o(v) / 2.0
+                           : (opinions_.o(v) + acc / count) / 2.0;
+    }
+    node_opinion_[v] = o_final;
+    node_step_[v] = a.step;
+    settled_.Insert(v);
+    result_.final_opinion.push_back(o_final);
+  }
+  return result_;
+}
+
+}  // namespace holim

@@ -1,0 +1,109 @@
+#include "diffusion/spread_estimator.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "diffusion/independent_cascade.h"
+#include "diffusion/linear_threshold.h"
+#include "diffusion/oc_model.h"
+#include "util/rng.h"
+
+namespace holim {
+
+namespace {
+
+/// Splits `total` simulations across the pool; each shard gets an
+/// independent RNG stream derived from (seed, shard) so results do not
+/// depend on thread count. `shard_fn(shard_rng, count)` returns the sum of
+/// its per-run metric(s).
+template <typename ShardFn>
+std::vector<double> RunSharded(const McOptions& options, std::size_t num_metrics,
+                               ShardFn shard_fn) {
+  ThreadPool& pool = options.pool ? *options.pool : DefaultThreadPool();
+  const std::size_t shards =
+      std::min<std::size_t>(pool.num_threads() * 2, options.num_simulations);
+  std::vector<std::vector<double>> partial(
+      shards == 0 ? 1 : shards, std::vector<double>(num_metrics, 0.0));
+  if (options.num_simulations == 0) return partial[0];
+  const uint32_t per = options.num_simulations / shards;
+  const uint32_t rem = options.num_simulations % shards;
+  pool.ParallelFor(shards, [&](std::size_t s) {
+    const uint32_t count = per + (s < rem ? 1 : 0);
+    uint64_t state = options.seed + 0x1234567ULL * (s + 1);
+    Rng rng(Rng::SplitMix64(state));
+    partial[s] = shard_fn(rng, count);
+  });
+  std::vector<double> total(num_metrics, 0.0);
+  for (const auto& p : partial) {
+    for (std::size_t i = 0; i < num_metrics; ++i) total[i] += p[i];
+  }
+  for (double& t : total) t /= options.num_simulations;
+  return total;
+}
+
+}  // namespace
+
+double EstimateSpread(const Graph& graph, const InfluenceParams& params,
+                      const std::vector<NodeId>& seeds,
+                      const McOptions& options) {
+  if (seeds.empty()) return 0.0;
+  auto result = RunSharded(options, 1, [&](Rng& rng, uint32_t count) {
+    std::vector<double> acc(1, 0.0);
+    if (params.model == DiffusionModel::kLinearThreshold) {
+      LtSimulator sim(graph, params);
+      for (uint32_t i = 0; i < count; ++i) {
+        acc[0] += static_cast<double>(sim.Run(seeds, rng).SpreadCount(seeds.size()));
+      }
+    } else {
+      IcSimulator sim(graph, params);
+      for (uint32_t i = 0; i < count; ++i) {
+        acc[0] += static_cast<double>(sim.Run(seeds, rng).SpreadCount(seeds.size()));
+      }
+    }
+    return acc;
+  });
+  return result[0];
+}
+
+OpinionSpreadEstimate EstimateOpinionSpread(
+    const Graph& graph, const InfluenceParams& influence,
+    const OpinionParams& opinions, OiBase base,
+    const std::vector<NodeId>& seeds, double lambda, const McOptions& options) {
+  OpinionSpreadEstimate estimate;
+  if (seeds.empty()) return estimate;
+  auto result = RunSharded(options, 3, [&](Rng& rng, uint32_t count) {
+    std::vector<double> acc(3, 0.0);
+    OiSimulator sim(graph, influence, opinions, base);
+    for (uint32_t i = 0; i < count; ++i) {
+      const OpinionCascade& oc = sim.Run(seeds, rng);
+      acc[0] += oc.OpinionSpread();
+      acc[1] += oc.EffectiveOpinionSpread(lambda);
+      acc[2] += static_cast<double>(oc.cascade->SpreadCount(oc.num_seeds));
+    }
+    return acc;
+  });
+  estimate.opinion_spread = result[0];
+  estimate.effective_opinion_spread = result[1];
+  estimate.plain_spread = result[2];
+  return estimate;
+}
+
+double EstimateOcOpinionSpread(const Graph& graph,
+                               const InfluenceParams& influence,
+                               const OpinionParams& opinions,
+                               const std::vector<NodeId>& seeds,
+                               const McOptions& options) {
+  if (seeds.empty()) return 0.0;
+  auto result = RunSharded(options, 1, [&](Rng& rng, uint32_t count) {
+    std::vector<double> acc(1, 0.0);
+    OcSimulator sim(graph, influence, opinions);
+    for (uint32_t i = 0; i < count; ++i) {
+      acc[0] += sim.Run(seeds, rng).OpinionSpread();
+    }
+    return acc;
+  });
+  return result[0];
+}
+
+}  // namespace holim

@@ -1,0 +1,43 @@
+#ifndef HOLIM_GRAPH_BINARY_IO_H_
+#define HOLIM_GRAPH_BINARY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+#include "util/status.h"
+
+namespace holim {
+
+/// \brief Binary cache for graphs + model parameters.
+///
+/// Parsing large SNAP edge lists (renumber + two CSR builds) dominates
+/// start-up on billion-edge inputs; the binary format stores the already
+/// built out-CSR (in-CSR is rebuilt on load, which is cheap and keeps the
+/// file small) plus optional parameter arrays. Format: fixed little-endian
+/// header with magic/version, then raw arrays with length prefixes.
+///
+/// The cache is a private format, versioned; loaders reject mismatched
+/// versions rather than guessing.
+struct GraphBundle {
+  Graph graph;
+  /// Empty vectors when the file carried no parameters.
+  std::vector<double> edge_probability;
+  std::vector<double> node_opinion;
+  std::vector<double> edge_interaction;
+};
+
+/// Writes graph (+ optional params; pass nullptr to skip) to `path`.
+Status WriteGraphBundle(const std::string& path, const Graph& graph,
+                        const std::vector<double>* edge_probability = nullptr,
+                        const std::vector<double>* node_opinion = nullptr,
+                        const std::vector<double>* edge_interaction = nullptr);
+
+/// Reads a bundle written by WriteGraphBundle.
+Result<GraphBundle> ReadGraphBundle(const std::string& path);
+
+}  // namespace holim
+
+#endif  // HOLIM_GRAPH_BINARY_IO_H_

@@ -1,0 +1,163 @@
+#include "graph/edge_list_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace holim {
+
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+
+  std::vector<std::pair<uint64_t, uint64_t>> raw_edges;
+  std::unordered_map<uint64_t, NodeId> remap;
+  uint64_t max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#' || sv[0] == '%') continue;
+    auto tokens = SplitTokens(sv);
+    if (tokens.size() < 2) {
+      return Status::IOError("malformed edge line: " + line);
+    }
+    uint64_t u = 0, v = 0;
+    try {
+      u = std::stoull(std::string(tokens[0]));
+      v = std::stoull(std::string(tokens[1]));
+    } catch (...) {
+      return Status::IOError("non-numeric node id in line: " + line);
+    }
+    raw_edges.emplace_back(u, v);
+    max_id = std::max(max_id, std::max(u, v));
+    if (options.renumber) {
+      if (remap.emplace(u, static_cast<NodeId>(remap.size())).second) {}
+      if (remap.emplace(v, static_cast<NodeId>(remap.size())).second) {}
+    }
+  }
+
+  const uint64_t n64 = options.renumber ? remap.size() : max_id + 1;
+  if (n64 > static_cast<uint64_t>(kInvalidNode)) {
+    return Status::OutOfRange("node count exceeds NodeId range");
+  }
+  GraphBuilder builder(static_cast<NodeId>(raw_edges.empty() ? 0 : n64));
+  for (auto [u, v] : raw_edges) {
+    NodeId uu = options.renumber ? remap[u] : static_cast<NodeId>(u);
+    NodeId vv = options.renumber ? remap[v] : static_cast<NodeId>(v);
+    if (options.undirected) {
+      builder.AddUndirectedEdge(uu, vv);
+    } else {
+      builder.AddEdge(uu, vv);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<WeightedEdgeList> ReadWeightedEdgeList(const std::string& path,
+                                              const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+
+  struct Row {
+    uint64_t u, v;
+    double p;
+  };
+  std::vector<Row> rows;
+  std::unordered_map<uint64_t, NodeId> remap;
+  uint64_t max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty() || sv[0] == '#' || sv[0] == '%') continue;
+    auto tokens = SplitTokens(sv);
+    if (tokens.size() < 3) {
+      return Status::IOError("expected 'u v p' row, got: " + line);
+    }
+    Row row;
+    try {
+      row.u = std::stoull(std::string(tokens[0]));
+      row.v = std::stoull(std::string(tokens[1]));
+      row.p = std::stod(std::string(tokens[2]));
+    } catch (...) {
+      return Status::IOError("malformed weighted edge row: " + line);
+    }
+    if (row.p < 0.0 || row.p > 1.0) {
+      return Status::InvalidArgument("probability out of [0,1] in: " + line);
+    }
+    rows.push_back(row);
+    max_id = std::max(max_id, std::max(row.u, row.v));
+    if (options.renumber) {
+      remap.emplace(row.u, static_cast<NodeId>(remap.size()));
+      remap.emplace(row.v, static_cast<NodeId>(remap.size()));
+    }
+  }
+  const uint64_t n64 = options.renumber ? remap.size() : max_id + 1;
+  if (n64 > static_cast<uint64_t>(kInvalidNode)) {
+    return Status::OutOfRange("node count exceeds NodeId range");
+  }
+  const NodeId n = static_cast<NodeId>(rows.empty() ? 0 : n64);
+
+  // GraphBuilder sorts arcs by (src, dst); build the probability array in
+  // that same order. Duplicate arcs keep the max probability.
+  struct Arc {
+    NodeId u, v;
+    double p;
+  };
+  std::vector<Arc> arcs;
+  arcs.reserve(rows.size() * (options.undirected ? 2 : 1));
+  for (const Row& row : rows) {
+    const NodeId u =
+        options.renumber ? remap[row.u] : static_cast<NodeId>(row.u);
+    const NodeId v =
+        options.renumber ? remap[row.v] : static_cast<NodeId>(row.v);
+    if (u >= n || v >= n) {
+      return Status::InvalidArgument("endpoint out of range");
+    }
+    if (u == v) continue;
+    arcs.push_back({u, v, row.p});
+    if (options.undirected) arcs.push_back({v, u, row.p});
+  }
+  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+
+  WeightedEdgeList out;
+  GraphBuilder builder(n);
+  builder.set_deduplicate(false);
+  NodeId prev_u = kInvalidNode, prev_v = kInvalidNode;
+  for (const Arc& arc : arcs) {
+    if (arc.u == prev_u && arc.v == prev_v) {
+      out.probability.back() = std::max(out.probability.back(), arc.p);
+      continue;
+    }
+    prev_u = arc.u;
+    prev_v = arc.v;
+    builder.AddEdge(arc.u, arc.v);
+    out.probability.push_back(arc.p);
+  }
+  HOLIM_ASSIGN_OR_RETURN(out.graph, std::move(builder).Build());
+  return out;
+}
+
+Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
+  out << "# holim edge list: n=" << graph.num_nodes()
+      << " m=" << graph.num_edges() << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      out << u << '\t' << v << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace holim

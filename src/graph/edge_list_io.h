@@ -1,0 +1,43 @@
+#ifndef HOLIM_GRAPH_EDGE_LIST_IO_H_
+#define HOLIM_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace holim {
+
+/// Options for reading SNAP-style whitespace-separated edge lists.
+struct EdgeListOptions {
+  /// Treat each line "u v" as an undirected edge (emit both arcs).
+  bool undirected = false;
+  /// Lines starting with '#' or '%' are skipped regardless.
+  bool renumber = true;  ///< Compact arbitrary ids to [0, n).
+};
+
+/// Reads a SNAP edge-list file ("# comment" headers, "u<TAB>v" rows) into a
+/// Graph. Real SNAP datasets (NetHEPT, DBLP, ...) drop in here unchanged.
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListOptions& options = {});
+
+/// Writes the graph as a SNAP-style edge list (one "u\tv" row per arc).
+Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+/// A graph together with a per-edge influence probability read from a
+/// weighted edge list ("u v p" rows). Feeds real parameterized datasets
+/// (e.g., learned influence probabilities) straight into the selectors.
+struct WeightedEdgeList {
+  Graph graph;
+  std::vector<double> probability;  // indexed by EdgeId
+};
+
+/// Reads "u v p" rows (comments as in ReadEdgeList). Probabilities outside
+/// [0, 1] are rejected. With `options.undirected`, both arcs get p.
+Result<WeightedEdgeList> ReadWeightedEdgeList(
+    const std::string& path, const EdgeListOptions& options = {});
+
+}  // namespace holim
+
+#endif  // HOLIM_GRAPH_EDGE_LIST_IO_H_

@@ -1,0 +1,279 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace holim {
+
+Result<Graph> GenerateErdosRenyi(NodeId n, double avg_out_degree, uint64_t seed,
+                                 bool undirected) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (avg_out_degree < 0 || avg_out_degree > n - 1) {
+    return Status::InvalidArgument("avg_out_degree out of range");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  const uint64_t total = static_cast<uint64_t>(avg_out_degree * n);
+  for (uint64_t i = 0; i < total; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (undirected) {
+      builder.AddUndirectedEdge(u, v);
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateBarabasiAlbert(NodeId n, uint32_t edges_per_node,
+                                     uint64_t seed, bool undirected) {
+  if (n < 2) return Status::InvalidArgument("n must be >= 2");
+  if (edges_per_node == 0) {
+    return Status::InvalidArgument("edges_per_node must be positive");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // Endpoint list doubles as the preferential-attachment distribution:
+  // sampling a uniform entry picks a node proportional to its degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * n * edges_per_node);
+  // Seed clique among the first m0 = edges_per_node + 1 nodes.
+  const NodeId m0 = std::min<NodeId>(n, edges_per_node + 1);
+  for (NodeId u = 0; u < m0; ++u) {
+    for (NodeId v = u + 1; v < m0; ++v) {
+      if (undirected) {
+        builder.AddUndirectedEdge(u, v);
+      } else {
+        builder.AddEdge(u, v);
+      }
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId u = m0; u < n; ++u) {
+    std::unordered_set<NodeId> picked;
+    for (uint32_t e = 0; e < edges_per_node && picked.size() < u; ++e) {
+      NodeId v;
+      do {
+        v = endpoints.empty()
+                ? static_cast<NodeId>(rng.NextBounded(u))
+                : endpoints[rng.NextBounded(endpoints.size())];
+      } while (v == u || picked.count(v));
+      picked.insert(v);
+      if (undirected) {
+        builder.AddUndirectedEdge(u, v);
+      } else {
+        builder.AddEdge(u, v);
+      }
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateSocialGraph(NodeId n, double avg_edges_per_node,
+                                  uint64_t seed, bool undirected) {
+  if (n < 2) return Status::InvalidArgument("n must be >= 2");
+  if (avg_edges_per_node < 1.0) {
+    return Status::InvalidArgument("avg_edges_per_node must be >= 1");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  std::vector<NodeId> endpoints;  // degree-proportional sampling pool
+  endpoints.reserve(static_cast<std::size_t>(2.2 * n * avg_edges_per_node));
+  builder.AddUndirectedEdge(0, 1);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  const double mean_extra = avg_edges_per_node - 1.0;
+  for (NodeId u = 2; u < n; ++u) {
+    // c ~ 1 + Exponential(mean_extra): many 1s, a heavy tail.
+    double extra = 0.0;
+    if (mean_extra > 0) {
+      double r = rng.NextDouble();
+      while (r <= 1e-300) r = rng.NextDouble();
+      extra = -mean_extra * std::log(r);
+    }
+    const uint32_t c = 1 + static_cast<uint32_t>(extra);
+    std::unordered_set<NodeId> picked;
+    for (uint32_t e = 0; e < c && picked.size() < u; ++e) {
+      NodeId v;
+      do {
+        v = endpoints[rng.NextBounded(endpoints.size())];
+      } while (v == u || picked.count(v));
+      picked.insert(v);
+      if (undirected) {
+        builder.AddUndirectedEdge(u, v);
+      } else {
+        builder.AddEdge(u, v);
+      }
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateWattsStrogatz(NodeId n, uint32_t k, double beta,
+                                    uint64_t seed, bool undirected) {
+  if (n < 3) return Status::InvalidArgument("n must be >= 3");
+  if (k == 0 || k >= n) return Status::InvalidArgument("k out of range");
+  if (beta < 0 || beta > 1) return Status::InvalidArgument("beta in [0,1]");
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  const uint32_t half = std::max<uint32_t>(1, k / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= half; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (rng.NextBernoulli(beta)) {
+        // Rewire target uniformly (retry on self loop).
+        do {
+          v = static_cast<NodeId>(rng.NextBounded(n));
+        } while (v == u);
+      }
+      if (undirected) {
+        builder.AddUndirectedEdge(u, v);
+      } else {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateRmat(uint32_t scale, EdgeId num_edges, uint64_t seed,
+                           const RmatOptions& options) {
+  if (scale == 0 || scale > 31) return Status::InvalidArgument("scale in [1,31]");
+  const double sum = options.a + options.b + options.c + options.d;
+  if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("RMAT quadrant probabilities must sum to 1");
+  }
+  Rng rng(seed);
+  const NodeId n = static_cast<NodeId>(1u << scale);
+  GraphBuilder builder(n);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    NodeId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < options.a) {
+        // top-left: no bits set
+      } else if (r < options.a + options.b) {
+        v |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (options.undirected) {
+      builder.AddUndirectedEdge(u, v);
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateRandomTree(NodeId n, uint32_t max_children,
+                                 uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (max_children == 0) {
+    return Status::InvalidArgument("max_children must be positive");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  std::vector<uint32_t> child_count(n, 0);
+  std::vector<NodeId> open = {0};  // nodes that can still take children
+  for (NodeId u = 1; u < n; ++u) {
+    const std::size_t idx = rng.NextBounded(open.size());
+    const NodeId parent = open[idx];
+    builder.AddEdge(parent, u);
+    if (++child_count[parent] >= max_children) {
+      open[idx] = open.back();
+      open.pop_back();
+    }
+    open.push_back(u);
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateRandomDag(NodeId n, double edge_probability,
+                                uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (edge_probability < 0.0 || edge_probability > 1.0) {
+    return Status::InvalidArgument("edge_probability in [0,1]");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(edge_probability)) builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GeneratePath(NodeId n) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateSubmodularityGadget(NodeId nx) {
+  if (nx == 0) return Status::InvalidArgument("nx must be positive");
+  const NodeId n = nx + 2 * nx;  // X layer then Y layer
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i < nx; ++i) {
+    builder.AddEdge(i, nx + 2 * i);
+    builder.AddEdge(i, nx + 2 * i + 1);
+  }
+  return std::move(builder).Build();
+}
+
+Result<SetCoverGadget> GenerateSetCoverGadget(
+    const std::vector<std::vector<NodeId>>& sets, NodeId num_elements) {
+  if (sets.empty() || num_elements == 0) {
+    return Status::InvalidArgument("need at least one set and one element");
+  }
+  const NodeId m = static_cast<NodeId>(sets.size());
+  const NodeId n_elems = num_elements;
+  const NodeId z_count = m + n_elems - 2;
+  SetCoverGadget gadget;
+  gadget.first_set_node = 0;
+  gadget.first_element_node = m;
+  gadget.first_z_node = m + n_elems;
+  gadget.sink = m + n_elems + z_count;
+  GraphBuilder builder(gadget.sink + 1);
+  for (NodeId i = 0; i < m; ++i) {
+    for (NodeId q : sets[i]) {
+      if (q >= n_elems) {
+        return Status::InvalidArgument("element index out of range");
+      }
+      builder.AddEdge(gadget.first_set_node + i, gadget.first_element_node + q);
+    }
+  }
+  for (NodeId j = 0; j < n_elems; ++j) {
+    for (NodeId l = 0; l < z_count; ++l) {
+      builder.AddEdge(gadget.first_element_node + j, gadget.first_z_node + l);
+    }
+  }
+  for (NodeId l = 0; l < z_count; ++l) {
+    builder.AddEdge(gadget.first_z_node + l, gadget.sink);
+  }
+  HOLIM_ASSIGN_OR_RETURN(gadget.graph, std::move(builder).Build());
+  return gadget;
+}
+
+}  // namespace holim

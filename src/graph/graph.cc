@@ -1,0 +1,21 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace holim {
+
+NodeId Graph::EdgeSource(EdgeId e) const {
+  // First offset strictly greater than e belongs to source+1.
+  auto it = std::upper_bound(out_offsets_.begin(), out_offsets_.end(), e);
+  return static_cast<NodeId>((it - out_offsets_.begin()) - 1);
+}
+
+std::size_t Graph::MemoryFootprintBytes() const {
+  return out_offsets_.capacity() * sizeof(EdgeId) +
+         out_targets_.capacity() * sizeof(NodeId) +
+         in_offsets_.capacity() * sizeof(EdgeId) +
+         in_sources_.capacity() * sizeof(NodeId) +
+         in_edge_ids_.capacity() * sizeof(EdgeId);
+}
+
+}  // namespace holim

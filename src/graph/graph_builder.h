@@ -1,0 +1,55 @@
+#ifndef HOLIM_GRAPH_GRAPH_BUILDER_H_
+#define HOLIM_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace holim {
+
+/// \brief Accumulates directed edges, then freezes them into a CSR Graph.
+///
+/// Usage:
+///   GraphBuilder b(num_nodes);
+///   b.AddEdge(u, v);           // directed u -> v
+///   b.AddUndirectedEdge(u, v); // arcs in both directions (paper Sec. 4)
+///   Graph g = std::move(b).Build().ValueOrDie();
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : n_(num_nodes) {}
+
+  NodeId num_nodes() const { return n_; }
+  std::size_t num_edges() const { return srcs_.size(); }
+
+  /// Adds directed edge u -> v. Out of range endpoints are a caller bug and
+  /// surface as an error at Build() time.
+  void AddEdge(NodeId u, NodeId v) {
+    srcs_.push_back(u);
+    dsts_.push_back(v);
+  }
+
+  /// Adds both u -> v and v -> u (the paper makes undirected graphs directed
+  /// by adding arcs in both directions).
+  void AddUndirectedEdge(NodeId u, NodeId v) {
+    AddEdge(u, v);
+    AddEdge(v, u);
+  }
+
+  /// If enabled, duplicate (u, v) pairs and self-loops are dropped at Build.
+  void set_deduplicate(bool dedup) { dedup_ = dedup; }
+
+  /// Freezes into an immutable CSR graph. Consumes the builder.
+  Result<Graph> Build() &&;
+
+ private:
+  NodeId n_;
+  bool dedup_ = true;
+  std::vector<NodeId> srcs_;
+  std::vector<NodeId> dsts_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,107 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/rng.h"
+
+namespace holim {
+
+std::vector<uint32_t> BfsDistances(const Graph& graph, NodeId source) {
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t ForwardReachableCount(const Graph& graph,
+                                  const std::vector<NodeId>& seeds) {
+  std::vector<char> seen(graph.num_nodes(), 0);
+  std::deque<NodeId> queue;
+  std::size_t count = 0;
+  for (NodeId s : seeds) {
+    if (!seen[s]) {
+      seen[s] = 1;
+      ++count;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        queue.push_back(v);
+      }
+    }
+  }
+  return count;
+}
+
+GraphStats ComputeGraphStats(const Graph& graph, uint32_t diameter_samples,
+                             uint64_t seed) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  if (stats.num_nodes == 0) return stats;
+  stats.avg_out_degree =
+      static_cast<double>(stats.num_edges) / stats.num_nodes;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(u));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(u));
+  }
+
+  if (diameter_samples == 0) return stats;
+  // Hop-count histogram over sampled BFS runs; the 90th-percentile effective
+  // diameter is the interpolated hop count h such that 90% of reachable
+  // pairs are within distance h.
+  Rng rng(seed);
+  std::vector<uint64_t> hop_counts;  // hop_counts[d] = #pairs at distance d
+  uint64_t reachable_pairs = 0;
+  const uint32_t samples =
+      std::min<uint32_t>(diameter_samples, graph.num_nodes());
+  for (uint32_t i = 0; i < samples; ++i) {
+    const NodeId src = static_cast<NodeId>(rng.NextBounded(graph.num_nodes()));
+    auto dist = BfsDistances(graph, src);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const uint32_t d = dist[v];
+      if (d == kUnreachable || d == 0) continue;
+      if (d >= hop_counts.size()) hop_counts.resize(d + 1, 0);
+      ++hop_counts[d];
+      ++reachable_pairs;
+      stats.observed_diameter = std::max(stats.observed_diameter, d);
+    }
+  }
+  if (reachable_pairs == 0) return stats;
+  const double target = 0.9 * static_cast<double>(reachable_pairs);
+  uint64_t cumulative = 0;
+  for (uint32_t d = 1; d < hop_counts.size(); ++d) {
+    const uint64_t next = cumulative + hop_counts[d];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation within hop d (SNAP's effective diameter).
+      const double frac =
+          hop_counts[d] == 0
+              ? 0.0
+              : (target - static_cast<double>(cumulative)) / hop_counts[d];
+      stats.effective_diameter_90 = (d - 1) + frac;
+      break;
+    }
+    cumulative = next;
+  }
+  return stats;
+}
+
+}  // namespace holim

@@ -1,0 +1,42 @@
+#ifndef HOLIM_GRAPH_STATS_H_
+#define HOLIM_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace holim {
+
+/// Aggregate structural statistics, matching the columns of the paper's
+/// Table 2 (n, m, average degree, 90th-percentile effective diameter).
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  double avg_out_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  /// 90th-percentile effective diameter estimated by BFS from sampled
+  /// sources with linear interpolation between hop counts (SNAP convention).
+  double effective_diameter_90 = 0.0;
+  /// Largest observed shortest-path distance over the sampled BFS runs.
+  uint32_t observed_diameter = 0;
+};
+
+/// Computes stats; `diameter_samples` BFS sources are sampled for the
+/// effective-diameter estimate (0 disables the estimate).
+GraphStats ComputeGraphStats(const Graph& graph, uint32_t diameter_samples = 64,
+                             uint64_t seed = 1);
+
+/// Forward BFS distances from `source` (kUnreachable for unreached nodes).
+inline constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsDistances(const Graph& graph, NodeId source);
+
+/// Nodes reachable from any seed (forward closure size, includes seeds).
+std::size_t ForwardReachableCount(const Graph& graph,
+                                  const std::vector<NodeId>& seeds);
+
+}  // namespace holim
+
+#endif  // HOLIM_GRAPH_STATS_H_

@@ -1,0 +1,55 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace holim {
+
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& graph, const std::vector<NodeId>& nodes) {
+  InducedSubgraph sub;
+  sub.to_subgraph.assign(graph.num_nodes(), kInvalidNode);
+  sub.to_original.reserve(nodes.size());
+  for (NodeId u : nodes) {
+    if (u >= graph.num_nodes()) {
+      return Status::InvalidArgument("subgraph node out of range");
+    }
+    if (sub.to_subgraph[u] != kInvalidNode) continue;  // dedup
+    sub.to_subgraph[u] = static_cast<NodeId>(sub.to_original.size());
+    sub.to_original.push_back(u);
+  }
+
+  // Collect (new_u, new_v, original_edge) triples, then build in one pass.
+  struct Arc {
+    NodeId u, v;
+    EdgeId orig;
+  };
+  std::vector<Arc> arcs;
+  for (NodeId new_u = 0; new_u < sub.to_original.size(); ++new_u) {
+    const NodeId u = sub.to_original[new_u];
+    const EdgeId base = graph.OutEdgeBegin(u);
+    auto neighbors = graph.OutNeighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId new_v = sub.to_subgraph[neighbors[i]];
+      if (new_v == kInvalidNode) continue;
+      arcs.push_back({new_u, new_v, base + i});
+    }
+  }
+  // GraphBuilder sorts by (src, dst); replicate that order so edge ids line up.
+  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  GraphBuilder builder(static_cast<NodeId>(sub.to_original.size()));
+  builder.set_deduplicate(false);  // already deduped by construction
+  sub.edge_to_original.reserve(arcs.size());
+  for (const Arc& a : arcs) {
+    builder.AddEdge(a.u, a.v);
+    sub.edge_to_original.push_back(a.orig);
+  }
+  HOLIM_ASSIGN_OR_RETURN(sub.graph, std::move(builder).Build());
+  return sub;
+}
+
+}  // namespace holim

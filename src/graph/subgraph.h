@@ -1,0 +1,47 @@
+#ifndef HOLIM_GRAPH_SUBGRAPH_H_
+#define HOLIM_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace holim {
+
+/// Result of extracting an induced subgraph: the new graph plus mappings in
+/// both directions so node/edge attributes can be projected.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;   // subgraph id -> original id
+  std::vector<NodeId> to_subgraph;   // original id -> subgraph id (or kInvalidNode)
+  /// For each subgraph edge id, the original edge id it came from.
+  std::vector<EdgeId> edge_to_original;
+};
+
+/// Induces the subgraph on `nodes` (keeps edges with both endpoints inside).
+Result<InducedSubgraph> ExtractInducedSubgraph(const Graph& graph,
+                                               const std::vector<NodeId>& nodes);
+
+/// Projects per-original-edge values onto the subgraph's edges.
+template <typename T>
+std::vector<T> ProjectEdgeValues(const InducedSubgraph& sub,
+                                 const std::vector<T>& original) {
+  std::vector<T> out;
+  out.reserve(sub.edge_to_original.size());
+  for (EdgeId e : sub.edge_to_original) out.push_back(original[e]);
+  return out;
+}
+
+/// Projects per-original-node values onto the subgraph's nodes.
+template <typename T>
+std::vector<T> ProjectNodeValues(const InducedSubgraph& sub,
+                                 const std::vector<T>& original) {
+  std::vector<T> out;
+  out.reserve(sub.to_original.size());
+  for (NodeId u : sub.to_original) out.push_back(original[u]);
+  return out;
+}
+
+}  // namespace holim
+
+#endif  // HOLIM_GRAPH_SUBGRAPH_H_

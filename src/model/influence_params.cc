@@ -1,0 +1,61 @@
+#include "model/influence_params.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace holim {
+
+const char* DiffusionModelName(DiffusionModel model) {
+  switch (model) {
+    case DiffusionModel::kIndependentCascade: return "IC";
+    case DiffusionModel::kWeightedCascade: return "WC";
+    case DiffusionModel::kLinearThreshold: return "LT";
+  }
+  return "?";
+}
+
+InfluenceParams MakeUniformIc(const Graph& graph, double p) {
+  HOLIM_CHECK(p >= 0.0 && p <= 1.0) << "p out of [0,1]: " << p;
+  InfluenceParams params;
+  params.model = DiffusionModel::kIndependentCascade;
+  params.probability.assign(graph.num_edges(), p);
+  return params;
+}
+
+namespace {
+InfluenceParams MakeInverseInDegree(const Graph& graph, DiffusionModel model) {
+  InfluenceParams params;
+  params.model = model;
+  params.probability.assign(graph.num_edges(), 0.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t indeg = graph.InDegree(v);
+    if (indeg == 0) continue;
+    const double p = 1.0 / indeg;
+    for (EdgeId e : graph.InEdgeIds(v)) params.probability[e] = p;
+  }
+  return params;
+}
+}  // namespace
+
+InfluenceParams MakeWeightedCascade(const Graph& graph) {
+  return MakeInverseInDegree(graph, DiffusionModel::kWeightedCascade);
+}
+
+InfluenceParams MakeLinearThreshold(const Graph& graph) {
+  return MakeInverseInDegree(graph, DiffusionModel::kLinearThreshold);
+}
+
+InfluenceParams MakeTrivalency(const Graph& graph, uint64_t seed,
+                               const std::vector<double>& choices) {
+  HOLIM_CHECK(!choices.empty()) << "need at least one probability choice";
+  Rng rng(seed);
+  InfluenceParams params;
+  params.model = DiffusionModel::kIndependentCascade;
+  params.probability.resize(graph.num_edges());
+  for (auto& p : params.probability) {
+    p = choices[rng.NextBounded(choices.size())];
+  }
+  return params;
+}
+
+}  // namespace holim

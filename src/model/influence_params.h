@@ -1,0 +1,52 @@
+#ifndef HOLIM_MODEL_INFLUENCE_PARAMS_H_
+#define HOLIM_MODEL_INFLUENCE_PARAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace holim {
+
+/// Which first-layer (opinion-oblivious) diffusion model is in force.
+enum class DiffusionModel {
+  kIndependentCascade,  // IC: fixed p per edge
+  kWeightedCascade,     // WC: p(u,v) = 1/indeg(v)
+  kLinearThreshold,     // LT: weights w(u,v), random thresholds
+};
+
+const char* DiffusionModelName(DiffusionModel model);
+
+/// \brief Per-edge influence parameters for the first diffusion layer.
+///
+/// `probability[e]` is p(u,v) under IC/WC and also the live-edge probability
+/// under LT (where it equals the edge weight w(u,v); Kempe's equivalence).
+struct InfluenceParams {
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  std::vector<double> probability;  // indexed by EdgeId
+
+  double p(EdgeId e) const { return probability[e]; }
+
+  std::size_t MemoryFootprintBytes() const {
+    return probability.capacity() * sizeof(double);
+  }
+};
+
+/// IC with uniform probability (paper default p = 0.1).
+InfluenceParams MakeUniformIc(const Graph& graph, double p = 0.1);
+
+/// WC: p(u,v) = 1/|In(v)| (paper Sec. 3.3 / Sec. 4 convention).
+InfluenceParams MakeWeightedCascade(const Graph& graph);
+
+/// LT with w(u,v) = 1/|In(v)| so incoming weights sum to <= 1 (paper Sec. 4).
+InfluenceParams MakeLinearThreshold(const Graph& graph);
+
+/// Trivalency: each edge gets a probability drawn uniformly from `choices`
+/// (classical TRIVALENCY benchmark assignment).
+InfluenceParams MakeTrivalency(const Graph& graph, uint64_t seed,
+                               const std::vector<double>& choices = {0.1, 0.01,
+                                                                     0.001});
+
+}  // namespace holim
+
+#endif  // HOLIM_MODEL_INFLUENCE_PARAMS_H_

@@ -1,0 +1,39 @@
+#include "model/opinion_params.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace holim {
+
+double ClampOpinion(double o) { return std::clamp(o, -1.0, 1.0); }
+
+OpinionParams MakeRandomOpinions(const Graph& graph,
+                                 OpinionDistribution distribution,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  OpinionParams params;
+  params.opinion.resize(graph.num_nodes());
+  for (auto& o : params.opinion) {
+    switch (distribution) {
+      case OpinionDistribution::kUniform:
+        o = rng.Uniform(-1.0, 1.0);
+        break;
+      case OpinionDistribution::kStandardNormal:
+        o = ClampOpinion(rng.NextGaussian());
+        break;
+    }
+  }
+  params.interaction.resize(graph.num_edges());
+  for (auto& phi : params.interaction) phi = rng.NextDouble();
+  return params;
+}
+
+OpinionParams MakeDegenerateOpinions(const Graph& graph) {
+  OpinionParams params;
+  params.opinion.assign(graph.num_nodes(), 1.0);
+  params.interaction.assign(graph.num_edges(), 1.0);
+  return params;
+}
+
+}  // namespace holim

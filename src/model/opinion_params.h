@@ -1,0 +1,48 @@
+#ifndef HOLIM_MODEL_OPINION_PARAMS_H_
+#define HOLIM_MODEL_OPINION_PARAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace holim {
+
+/// \brief Second-layer (opinion) parameters of the OI model (paper Sec. 2.2).
+///
+/// `opinion[v]` in [-1, 1]: sign = orientation, magnitude = strength (Def. 4).
+/// `interaction[e]` in [0, 1]: probability that the target of edge e accepts
+/// information from the source with the same orientation (Def. 5).
+struct OpinionParams {
+  std::vector<double> opinion;      // indexed by NodeId
+  std::vector<double> interaction;  // indexed by EdgeId
+
+  double o(NodeId v) const { return opinion[v]; }
+  double phi(EdgeId e) const { return interaction[e]; }
+
+  std::size_t MemoryFootprintBytes() const {
+    return opinion.capacity() * sizeof(double) +
+           interaction.capacity() * sizeof(double);
+  }
+};
+
+/// How node opinions are synthesized for the benchmark datasets (Sec. 4.1.3):
+/// (a) o ~ rand(-1, 1); (b) o ~ N(0, 1) clamped to [-1, 1].
+enum class OpinionDistribution { kUniform, kStandardNormal };
+
+/// Generates opinions from the given distribution and interactions
+/// phi ~ rand(0, 1) (the paper's annotation procedure).
+OpinionParams MakeRandomOpinions(const Graph& graph,
+                                 OpinionDistribution distribution,
+                                 uint64_t seed);
+
+/// All opinions = 1, all interactions = 1: reduces MEO to classical IM
+/// (the Lemma 1 NP-hardness reduction).
+OpinionParams MakeDegenerateOpinions(const Graph& graph);
+
+/// Clamps a raw opinion value into [-1, 1].
+double ClampOpinion(double o);
+
+}  // namespace holim
+
+#endif  // HOLIM_MODEL_OPINION_PARAMS_H_

@@ -1,0 +1,40 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+
+namespace holim {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open for writing: " + path);
+  }
+}
+
+std::string CsvWriter::Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!status_.ok()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace holim

@@ -1,0 +1,38 @@
+#ifndef HOLIM_UTIL_CSV_WRITER_H_
+#define HOLIM_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace holim {
+
+/// \brief Tiny CSV emitter used by the benchmark harness to persist series.
+///
+/// Values containing commas/quotes/newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check `status()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  const Status& status() const { return status_; }
+
+  /// Writes one row; strings are escaped, numbers formatted with %.6g.
+  void WriteRow(const std::vector<std::string>& cells);
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+  /// Convenience: formats a double with enough precision for plotting.
+  static std::string Num(double v);
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_UTIL_CSV_WRITER_H_

@@ -1,0 +1,58 @@
+#ifndef HOLIM_UTIL_LOGGING_H_
+#define HOLIM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace holim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity emitted to stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+/// kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace holim
+
+#define HOLIM_LOG(level)                                              \
+  ::holim::internal::LogMessage(::holim::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check: always on (release included), aborts with location.
+#define HOLIM_CHECK(cond)                                   \
+  if (!(cond))                                              \
+  HOLIM_LOG(Fatal) << "Check failed: " #cond " "
+
+#define HOLIM_CHECK_OK(expr)                                  \
+  do {                                                        \
+    ::holim::Status _st = (expr);                             \
+    if (!_st.ok()) HOLIM_LOG(Fatal) << "Status not OK: " << _st.ToString(); \
+  } while (0)
+
+#define HOLIM_DCHECK(cond) HOLIM_CHECK(cond)
+
+#endif  // HOLIM_UTIL_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "util/memory.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace holim {
+
+std::size_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  long total = 0, resident = 0;
+  int got = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+
+std::size_t PeakRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::size_t peak_kb = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &peak_kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak_kb * 1024;
+}
+
+}  // namespace holim

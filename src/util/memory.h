@@ -1,0 +1,43 @@
+#ifndef HOLIM_UTIL_MEMORY_H_
+#define HOLIM_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace holim {
+
+/// Current resident set size of this process in bytes (0 if unavailable).
+/// Reads /proc/self/statm on Linux.
+std::size_t CurrentRssBytes();
+
+/// Peak resident set size (VmHWM) in bytes (0 if unavailable).
+std::size_t PeakRssBytes();
+
+/// \brief Tracks the additional memory an algorithm allocates beyond the
+/// loaded graph, mirroring the paper's "execution memory" vs "graph loading"
+/// split in Figs. 5h/6j.
+class MemoryMeter {
+ public:
+  MemoryMeter() : baseline_(CurrentRssBytes()) {}
+
+  void Rebase() { baseline_ = CurrentRssBytes(); }
+
+  std::size_t baseline_bytes() const { return baseline_; }
+
+  /// RSS growth since construction/Rebase (clamped at 0).
+  std::size_t OverheadBytes() const {
+    std::size_t now = CurrentRssBytes();
+    return now > baseline_ ? now - baseline_ : 0;
+  }
+
+  static double ToMiB(std::size_t bytes) {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  }
+
+ private:
+  std::size_t baseline_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_UTIL_MEMORY_H_

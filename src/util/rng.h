@@ -1,0 +1,49 @@
+#ifndef HOLIM_UTIL_RNG_H_
+#define HOLIM_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace holim {
+
+/// \brief Fast, reproducible 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+///
+/// All stochastic components in holim take an explicit seed and derive
+/// per-task streams with `Split()`, so results are reproducible regardless
+/// of thread count or scheduling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Standard normal via Box–Muller (stateless variant; discards the pair).
+  double NextGaussian();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Derives an independent stream; deterministic in (this stream, salt).
+  Rng Split(uint64_t salt);
+
+  /// SplitMix64 hash step; exposed for seed derivation elsewhere.
+  static uint64_t SplitMix64(uint64_t& state);
+
+ private:
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_UTIL_RNG_H_

@@ -1,0 +1,40 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace holim {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+namespace internal {
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace holim

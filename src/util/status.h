@@ -1,0 +1,130 @@
+#ifndef HOLIM_UTIL_STATUS_H_
+#define HOLIM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace holim {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of status-based error handling: no exceptions on hot paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIOError,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Lightweight success/error carrier returned by fallible operations.
+///
+/// A default-constructed Status is OK and carries no allocation. Error
+/// statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Modeled after arrow::Result. `ValueOrDie()` aborts on error and is meant
+/// for tests and examples; library code should check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& value() { return std::get<T>(repr_); }
+  const T& value() const { return std::get<T>(repr_); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, aborting the process if this Result holds an error.
+  T ValueOrDie() &&;
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::move(std::get<T>(repr_));
+}
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define HOLIM_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::holim::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a Result to `lhs`, propagating errors.
+#define HOLIM_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto HOLIM_CONCAT_(_res_, __LINE__) = (rexpr); \
+  if (!HOLIM_CONCAT_(_res_, __LINE__).ok())      \
+    return HOLIM_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(*HOLIM_CONCAT_(_res_, __LINE__))
+
+#define HOLIM_CONCAT_INNER_(a, b) a##b
+#define HOLIM_CONCAT_(a, b) HOLIM_CONCAT_INNER_(a, b)
+
+}  // namespace holim
+
+#endif  // HOLIM_UTIL_STATUS_H_

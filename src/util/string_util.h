@@ -1,0 +1,28 @@
+#ifndef HOLIM_UTIL_STRING_UTIL_H_
+#define HOLIM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace holim {
+
+/// Splits on any character in `delims`, dropping empty tokens.
+std::vector<std::string_view> SplitTokens(std::string_view s,
+                                          std::string_view delims = " \t\r\n");
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Human-readable byte count, e.g. "1.5 GiB".
+std::string HumanBytes(std::size_t bytes);
+
+/// Human-readable duration from seconds, e.g. "3.2 s", "45 ms", "2.1 min".
+std::string HumanSeconds(double seconds);
+
+}  // namespace holim
+
+#endif  // HOLIM_UTIL_STRING_UTIL_H_

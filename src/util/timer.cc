@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Timer is header-only; this TU anchors the header in the build so that
+// include hygiene is checked by the compiler.

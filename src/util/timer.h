@@ -1,0 +1,31 @@
+#ifndef HOLIM_UTIL_TIMER_H_
+#define HOLIM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace holim {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_UTIL_TIMER_H_

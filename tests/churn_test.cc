@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "data/churn.h"
+#include "graph/stats.h"
+
+namespace holim {
+namespace {
+
+ChurnOptions SmallChurn() {
+  ChurnOptions options;
+  options.num_customers = 3000;
+  options.target_avg_degree = 20.0;
+  options.seed = 5;
+  return options;
+}
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new ChurnData(BuildChurnData(SmallChurn()).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static ChurnData* data_;
+};
+
+ChurnData* ChurnTest::data_ = nullptr;
+
+TEST_F(ChurnTest, BalancedLabels) {
+  std::size_t churners = 0;
+  for (char c : data_->is_churner) churners += c;
+  EXPECT_EQ(churners, data_->is_churner.size() / 2);
+}
+
+TEST_F(ChurnTest, GraphShapeReasonable) {
+  EXPECT_EQ(data_->graph.num_nodes(), 3000u);
+  auto stats = ComputeGraphStats(data_->graph, 0);
+  EXPECT_GT(stats.avg_out_degree, 2.0);
+}
+
+TEST_F(ChurnTest, InfluenceProbabilitiesInRange) {
+  ASSERT_EQ(data_->influence.probability.size(), data_->graph.num_edges());
+  for (double p : data_->influence.probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 0.05);
+  }
+}
+
+TEST_F(ChurnTest, OpinionsInRange) {
+  for (double o : data_->opinions.opinion) {
+    EXPECT_GE(o, -1.0);
+    EXPECT_LE(o, 1.0);
+  }
+}
+
+TEST_F(ChurnTest, LabelledNodesClamped) {
+  for (NodeId u = 0; u < data_->graph.num_nodes(); ++u) {
+    if (!data_->is_labelled[u]) continue;
+    const double expected = data_->is_churner[u] ? -1.0 : 1.0;
+    EXPECT_DOUBLE_EQ(data_->opinions.opinion[u], expected);
+  }
+}
+
+TEST_F(ChurnTest, LabelPropagationPredictsHoldout) {
+  // Attribute similarity correlates with the label, so propagated signs
+  // should recover held-out labels far better than chance.
+  EXPECT_GT(data_->holdout_sign_accuracy, 0.75);
+}
+
+TEST_F(ChurnTest, InteractionsAreUniformRandom) {
+  double sum = 0.0;
+  for (double phi : data_->opinions.interaction) {
+    EXPECT_GE(phi, 0.0);
+    EXPECT_LE(phi, 1.0);
+    sum += phi;
+  }
+  if (!data_->opinions.interaction.empty()) {
+    EXPECT_NEAR(sum / data_->opinions.interaction.size(), 0.5, 0.05);
+  }
+}
+
+TEST(ChurnOptionsTest, RejectsTinyPopulation) {
+  ChurnOptions options;
+  options.num_customers = 10;
+  EXPECT_FALSE(BuildChurnData(options).ok());
+}
+
+TEST(ChurnDeterminismTest, SameSeedSameGraph) {
+  auto a = BuildChurnData(SmallChurn()).ValueOrDie();
+  auto b = BuildChurnData(SmallChurn()).ValueOrDie();
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.holdout_sign_accuracy, b.holdout_sign_accuracy);
+}
+
+}  // namespace
+}  // namespace holim

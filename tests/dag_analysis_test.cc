@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/easyim.h"
+#include "algo/path_union.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "model/influence_params.h"
+
+namespace holim {
+namespace {
+
+/// Tests for the paper's Sec. 3.4 analysis on DAGs: EaSyIM is exact under
+/// the LT live-edge model on DAGs (Conclusion 3), exact on trees under all
+/// models (Conclusion 2), and its IC-model error vs the PathUnion reference
+/// comes only from non-disjoint paths (Lemmas 5-6).
+
+std::vector<double> EasyScores(const Graph& g, const InfluenceParams& params,
+                               uint32_t l) {
+  EasyImScorer scorer(g, params, l);
+  EpochSet excluded(g.num_nodes());
+  excluded.Reset(g.num_nodes());
+  std::vector<double> scores;
+  scorer.AssignScores(excluded, &scores);
+  return scores;
+}
+
+TEST(DagGeneratorTest, IsAcyclic) {
+  Graph g = GenerateRandomDag(100, 0.1, 1).ValueOrDie();
+  // Topological order = node id order by construction: every edge ascends.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) EXPECT_GT(v, u);
+  }
+}
+
+TEST(DagGeneratorTest, EdgeDensityTracksProbability) {
+  const NodeId n = 200;
+  Graph g = GenerateRandomDag(n, 0.05, 2).ValueOrDie();
+  const double pairs = 0.5 * n * (n - 1);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) / pairs, 0.05, 0.01);
+}
+
+TEST(DagGeneratorTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateRandomDag(0, 0.1, 1).ok());
+  EXPECT_FALSE(GenerateRandomDag(10, 1.5, 1).ok());
+}
+
+TEST(DagAnalysisTest, Conclusion3EasyImExactOnDagUnderLt) {
+  // Under LT (live-edge: one incoming live edge per node), every u-v pair
+  // has at most one live path, so EaSyIM's sum over paths equals the exact
+  // expected spread. Verify score == MC spread on random DAGs.
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    Graph g = GenerateRandomDag(40, 0.12, seed).ValueOrDie();
+    auto lt = MakeLinearThreshold(g);
+    // l = longest possible path in a 40-node DAG.
+    auto scores = EasyScores(g, lt, 40);
+    McOptions mc;
+    mc.num_simulations = 40000;
+    mc.seed = seed;
+    for (NodeId u : {NodeId{0}, NodeId{5}, NodeId{10}}) {
+      const double sigma = EstimateSpread(g, lt, {u}, mc);
+      EXPECT_NEAR(scores[u], sigma, 0.06 * std::max(1.0, sigma))
+          << "seed " << seed << " node " << u;
+    }
+  }
+}
+
+TEST(DagAnalysisTest, Conclusion2EasyImExactOnTreesUnderWc) {
+  Graph g = GenerateRandomTree(80, 3, 6).ValueOrDie();
+  auto wc = MakeWeightedCascade(g);  // trees: indeg 1 -> p = 1 everywhere
+  auto scores = EasyScores(g, wc, 80);
+  // With p = 1 on a tree, sigma({u}) = subtree size - 1 exactly.
+  McOptions mc;
+  mc.num_simulations = 200;
+  mc.seed = 7;
+  for (NodeId u : {NodeId{0}, NodeId{3}, NodeId{20}}) {
+    const double sigma = EstimateSpread(g, wc, {u}, mc);
+    EXPECT_NEAR(scores[u], sigma, 1e-9);
+  }
+}
+
+TEST(DagAnalysisTest, EasyImOvercountsExactlyTheNonDisjointPaths) {
+  // Lemma 6: on DAGs, EaSyIM >= PU scores (plain sums vs probabilistic
+  // union), with equality iff all u;v path sets are disjoint.
+  Graph g = GenerateRandomDag(60, 0.15, 8).ValueOrDie();
+  auto ic = MakeUniformIc(g, 0.3);
+  const uint32_t l = 6;
+  auto easy = EasyScores(g, ic, l);
+  PathUnionScorer pu(g, ic, l);
+  auto pu_scores = pu.AssignScores().ValueOrDie();
+  bool strict_somewhere = false;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_GE(easy[u], pu_scores[u] - 1e-9) << "node " << u;
+    if (easy[u] > pu_scores[u] + 1e-9) strict_somewhere = true;
+  }
+  // A dense-enough DAG must have some non-disjoint path pair.
+  EXPECT_TRUE(strict_somewhere);
+}
+
+TEST(DagAnalysisTest, RelativeErrorSmallForSparseDags) {
+  // Sec. 3.4.2: with eta*p < 1 the EaSyIM-vs-PU gap stays small. Check the
+  // mean relative gap on a sparse DAG at p = 0.1.
+  Graph g = GenerateRandomDag(80, 0.08, 9).ValueOrDie();
+  auto ic = MakeUniformIc(g, 0.1);
+  auto easy = EasyScores(g, ic, 8);
+  PathUnionScorer pu(g, ic, 8);
+  auto pu_scores = pu.AssignScores().ValueOrDie();
+  double rel_gap_sum = 0;
+  uint32_t counted = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (pu_scores[u] < 1e-6) continue;
+    rel_gap_sum += (easy[u] - pu_scores[u]) / pu_scores[u];
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_LT(rel_gap_sum / counted, 0.05);  // < 5% mean relative error
+}
+
+TEST(DagAnalysisTest, RankingPreservedDespiteOvercount) {
+  // Theorem 2's practical upshot: the EaSyIM and PU rankings agree on the
+  // top node for sparse DAGs.
+  for (uint64_t seed : {10u, 11u, 12u}) {
+    Graph g = GenerateRandomDag(70, 0.1, seed).ValueOrDie();
+    auto ic = MakeUniformIc(g, 0.1);
+    auto easy = EasyScores(g, ic, 8);
+    PathUnionScorer pu(g, ic, 8);
+    auto pu_scores = pu.AssignScores().ValueOrDie();
+    NodeId easy_best = 0, pu_best = 0;
+    for (NodeId u = 1; u < g.num_nodes(); ++u) {
+      if (easy[u] > easy[easy_best]) easy_best = u;
+      if (pu_scores[u] > pu_scores[pu_best]) pu_best = u;
+    }
+    EXPECT_EQ(easy_best, pu_best) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace holim

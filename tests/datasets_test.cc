@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "graph/stats.h"
+
+namespace holim {
+namespace {
+
+TEST(DatasetsTest, RegistryHasAllTableTwoRows) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "NetHEPT");
+  EXPECT_EQ(specs[7].name, "Friendster");
+}
+
+TEST(DatasetsTest, FindByName) {
+  auto spec = FindDatasetSpec("DBLP").ValueOrDie();
+  EXPECT_EQ(spec.paper_nodes, 317'000u);
+  EXPECT_FALSE(spec.directed);
+  EXPECT_FALSE(FindDatasetSpec("NoSuchDataset").ok());
+}
+
+TEST(DatasetsTest, MediumAndLargeGroups) {
+  EXPECT_EQ(MediumDatasetNames().size(), 4u);
+  EXPECT_EQ(LargeDatasetNames().size(), 4u);
+}
+
+TEST(DatasetsTest, SyntheticNetHeptShape) {
+  Graph g = LoadSyntheticDataset("NetHEPT", 0.2).ValueOrDie();
+  // Scaled to ~3000 nodes; undirected edges doubled into arcs.
+  EXPECT_NEAR(static_cast<double>(g.num_nodes()), 3000.0, 300.0);
+  auto stats = ComputeGraphStats(g, 16, 1);
+  // NetHEPT's paper avg degree is 4.1 (arcs per node ~8.2); the BA stand-in
+  // should be in that band.
+  EXPECT_GT(stats.avg_out_degree, 2.0);
+  EXPECT_LT(stats.avg_out_degree, 20.0);
+}
+
+TEST(DatasetsTest, DirectedDatasetIsDirected) {
+  Graph g = LoadSyntheticDataset("SocLiveJournal", 0.002).ValueOrDie();
+  // RMAT digraph: in-degree and out-degree distributions differ; verify at
+  // least that some node has out-degree != in-degree.
+  bool asymmetric = false;
+  for (NodeId u = 0; u < g.num_nodes() && !asymmetric; ++u) {
+    asymmetric = g.OutDegree(u) != g.InDegree(u);
+  }
+  EXPECT_TRUE(asymmetric);
+}
+
+TEST(DatasetsTest, DeterministicInNameAndScale) {
+  Graph a = LoadSyntheticDataset("HepPh", 0.1).ValueOrDie();
+  Graph b = LoadSyntheticDataset("HepPh", 0.1).ValueOrDie();
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(DatasetsTest, ScaleGuards) {
+  EXPECT_FALSE(LoadSyntheticDataset("NetHEPT", 0.0).ok());
+  EXPECT_FALSE(LoadSyntheticDataset("NetHEPT", 1.5).ok());
+  EXPECT_FALSE(LoadSyntheticDataset("Unknown", 0.5).ok());
+}
+
+TEST(DatasetsTest, HeavyTailPresent) {
+  Graph g = LoadSyntheticDataset("HepPh", 0.2).ValueOrDie();
+  uint32_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.OutDegree(u));
+  }
+  auto stats = ComputeGraphStats(g, 0);
+  EXPECT_GT(max_deg, 5 * stats.avg_out_degree);
+}
+
+}  // namespace
+}  // namespace holim

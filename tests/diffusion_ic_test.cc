@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "diffusion/independent_cascade.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/stats.h"
+#include "model/influence_params.h"
+
+namespace holim {
+namespace {
+
+TEST(IcSimulatorTest, ZeroProbabilityActivatesOnlySeeds) {
+  Graph g = GenerateErdosRenyi(100, 5.0, 1).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.0);
+  IcSimulator sim(g, params);
+  Rng rng(1);
+  const NodeId seeds[] = {3, 7};
+  const Cascade& cascade = sim.Run(seeds, rng);
+  EXPECT_EQ(cascade.order.size(), 2u);
+  EXPECT_EQ(cascade.SpreadCount(2), 0u);
+}
+
+TEST(IcSimulatorTest, FullProbabilityActivatesReachableSet) {
+  Graph g = GenerateBarabasiAlbert(200, 2, 2).ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  IcSimulator sim(g, params);
+  Rng rng(1);
+  const NodeId seeds[] = {0};
+  const Cascade& cascade = sim.Run(seeds, rng);
+  EXPECT_EQ(cascade.order.size(), ForwardReachableCount(g, {0}));
+}
+
+TEST(IcSimulatorTest, DuplicateSeedsActivatedOnce) {
+  Graph g = GeneratePath(4).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.0);
+  IcSimulator sim(g, params);
+  Rng rng(1);
+  const NodeId seeds[] = {1, 1, 1};
+  EXPECT_EQ(sim.Run(seeds, rng).order.size(), 1u);
+}
+
+TEST(IcSimulatorTest, StepsIncreaseAlongPath) {
+  Graph g = GeneratePath(6).ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  IcSimulator sim(g, params);
+  Rng rng(1);
+  const NodeId seeds[] = {0};
+  const Cascade& cascade = sim.Run(seeds, rng);
+  ASSERT_EQ(cascade.order.size(), 6u);
+  for (std::size_t i = 0; i < cascade.order.size(); ++i) {
+    EXPECT_EQ(cascade.order[i].step, i);
+    EXPECT_EQ(cascade.order[i].node, i);
+  }
+  EXPECT_EQ(cascade.order[0].via_edge, kSeedActivation);
+}
+
+TEST(IcSimulatorTest, ViaEdgeConnectsParentToChild) {
+  Graph g = GenerateRandomTree(100, 3, 3).ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  IcSimulator sim(g, params);
+  Rng rng(1);
+  const NodeId seeds[] = {0};
+  const Cascade& cascade = sim.Run(seeds, rng);
+  for (const Activation& a : cascade.order) {
+    if (a.via_edge == kSeedActivation) continue;
+    EXPECT_EQ(g.EdgeTarget(a.via_edge), a.node);
+  }
+}
+
+TEST(IcSimulatorTest, BlockedNodesNeverActivate) {
+  Graph g = GeneratePath(5).ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  IcSimulator sim(g, params);
+  EpochSet blocked(5);
+  blocked.Reset(5);
+  blocked.Insert(2);
+  Rng rng(1);
+  const NodeId seeds[] = {0};
+  const Cascade& cascade = sim.RunWithBlocked(seeds, rng, blocked);
+  // Path breaks at the blocked node: only 0, 1 activate.
+  EXPECT_EQ(cascade.order.size(), 2u);
+}
+
+TEST(IcSimulatorTest, SimulatorReusableAcrossRuns) {
+  Graph g = GenerateErdosRenyi(500, 4.0, 4).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  IcSimulator sim(g, params);
+  Rng rng(5);
+  const NodeId seeds[] = {0};
+  std::size_t total = 0;
+  for (int i = 0; i < 100; ++i) total += sim.Run(seeds, rng).order.size();
+  EXPECT_GE(total, 100u);  // at least the seed each run
+}
+
+TEST(IcSimulatorTest, DeterministicGivenSameRngState) {
+  Graph g = GenerateErdosRenyi(300, 4.0, 6).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.2);
+  IcSimulator sim_a(g, params), sim_b(g, params);
+  Rng rng_a(77), rng_b(77);
+  const NodeId seeds[] = {5};
+  for (int i = 0; i < 10; ++i) {
+    const Cascade& ca = sim_a.Run(seeds, rng_a);
+    const Cascade& cb = sim_b.Run(seeds, rng_b);
+    ASSERT_EQ(ca.order.size(), cb.order.size());
+    for (std::size_t j = 0; j < ca.order.size(); ++j) {
+      EXPECT_EQ(ca.order[j].node, cb.order[j].node);
+    }
+  }
+}
+
+/// Monotonicity sweep: expected spread grows with p.
+class IcMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IcMonotonicityTest, SpreadGrowsWithProbability) {
+  const double p = GetParam();
+  Graph g = GenerateBarabasiAlbert(400, 3, 7).ValueOrDie();
+  auto low = MakeUniformIc(g, p);
+  auto high = MakeUniformIc(g, p + 0.2);
+  IcSimulator sim_low(g, low), sim_high(g, high);
+  Rng rng(8);
+  const NodeId seeds[] = {0};
+  double spread_low = 0, spread_high = 0;
+  for (int i = 0; i < 400; ++i) {
+    spread_low += sim_low.Run(seeds, rng).order.size();
+    spread_high += sim_high.Run(seeds, rng).order.size();
+  }
+  EXPECT_LT(spread_low, spread_high);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, IcMonotonicityTest,
+                         ::testing::Values(0.02, 0.1, 0.3, 0.5));
+
+}  // namespace
+}  // namespace holim

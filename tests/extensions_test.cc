@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "algo/asim.h"
+#include "algo/celf.h"
+#include "algo/easyim.h"
+#include "algo/icn_objective.h"
+#include "algo/osim.h"
+#include "algo/static_greedy.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+namespace {
+
+// ---------------------------------------------------------------- ASIM --
+
+TEST(AsimTest, MatchesEasyImWhenProbabilitiesEqualDamping) {
+  // ASIM with damping d == EaSyIM under uniform IC probability d.
+  Graph g = GenerateBarabasiAlbert(300, 3, 1).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  AsimOptions options;
+  options.l = 3;
+  options.damping = 0.1;
+  AsimSelector asim(g, params, options);
+  EasyImScorer easy(g, params, 3);
+  EpochSet excluded(g.num_nodes());
+  excluded.Reset(g.num_nodes());
+  std::vector<double> asim_scores, easy_scores;
+  asim.AssignScores(excluded, &asim_scores);
+  easy.AssignScores(excluded, &easy_scores);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(asim_scores[u], easy_scores[u], 1e-9) << "node " << u;
+  }
+}
+
+TEST(AsimTest, ProbabilityBlindUnlikeEasyIm) {
+  // Under WC, ASIM ignores the per-edge weights while EaSyIM uses them:
+  // on a graph where one node has high-degree *low-weight* edges the two
+  // must disagree on scores.
+  GraphBuilder b(6);
+  // Node 0 -> {1,2,3}: targets with in-degree 3 each (low WC weight).
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(4, 1);
+  b.AddEdge(4, 2);
+  b.AddEdge(4, 3);
+  b.AddEdge(5, 1);
+  b.AddEdge(5, 2);
+  b.AddEdge(5, 3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto wc = MakeWeightedCascade(g);
+  AsimOptions options;
+  options.l = 1;
+  options.damping = 0.5;
+  AsimSelector asim(g, wc, options);
+  EasyImScorer easy(g, wc, 1);
+  EpochSet excluded(g.num_nodes());
+  excluded.Reset(g.num_nodes());
+  std::vector<double> asim_scores, easy_scores;
+  asim.AssignScores(excluded, &asim_scores);
+  easy.AssignScores(excluded, &easy_scores);
+  // ASIM: 3 * 0.5 = 1.5; EaSyIM: 3 * (1/3) = 1.0.
+  EXPECT_NEAR(asim_scores[0], 1.5, 1e-12);
+  EXPECT_NEAR(easy_scores[0], 1.0, 1e-12);
+}
+
+TEST(AsimTest, SelectsValidSeeds) {
+  Graph g = GenerateBarabasiAlbert(200, 3, 2).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  AsimSelector asim(g, params);
+  auto selection = asim.Select(10).ValueOrDie();
+  EXPECT_EQ(selection.seeds.size(), 10u);
+  EXPECT_EQ(asim.name(), "ASIM(l=3)");
+}
+
+// -------------------------------------------------------- StaticGreedy --
+
+TEST(StaticGreedyTest, HubWinsOnStar) {
+  GraphBuilder b(10);
+  for (NodeId leaf = 1; leaf < 10; ++leaf) b.AddEdge(0, leaf);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.5);
+  StaticGreedySelector sg(g, params);
+  auto selection = sg.Select(1).ValueOrDie();
+  EXPECT_EQ(selection.seeds[0], 0u);
+  // Gain of the hub ~ 1 + 9 * 0.5.
+  EXPECT_NEAR(selection.seed_scores[0], 5.5, 1.0);
+}
+
+TEST(StaticGreedyTest, MatchesCelfSeedsOnSmallGraph) {
+  Graph g = GenerateBarabasiAlbert(60, 2, 3).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.2);
+  StaticGreedyOptions options;
+  options.num_snapshots = 400;
+  StaticGreedySelector sg(g, params, options);
+  McOptions mc;
+  mc.num_simulations = 3000;
+  mc.seed = 4;
+  auto objective = std::make_shared<SpreadObjective>(g, params, mc);
+  CelfSelector celf(g, objective, false, "CELF");
+  auto sg_sel = sg.Select(3).ValueOrDie();
+  auto celf_sel = celf.Select(3).ValueOrDie();
+  // Both optimize the same submodular objective; allow spread-equivalent
+  // differences by comparing achieved spread rather than identity.
+  const double sg_spread = EstimateSpread(g, params, sg_sel.seeds, mc);
+  const double celf_spread = EstimateSpread(g, params, celf_sel.seeds, mc);
+  EXPECT_NEAR(sg_spread, celf_spread, 0.1 * std::max(1.0, celf_spread));
+}
+
+TEST(StaticGreedyTest, LtSnapshotsRespectSingleLiveInEdge) {
+  Graph g = GeneratePath(5).ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  StaticGreedyOptions options;
+  options.num_snapshots = 50;
+  StaticGreedySelector sg(g, params, options);
+  auto selection = sg.Select(1).ValueOrDie();
+  // Full-weight chain: node 0 reaches everything in every snapshot.
+  EXPECT_EQ(selection.seeds[0], 0u);
+  EXPECT_NEAR(selection.seed_scores[0], 5.0, 1e-9);
+}
+
+TEST(StaticGreedyTest, SnapshotMemoryAccounted) {
+  Graph g = GenerateBarabasiAlbert(100, 3, 5).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.3);
+  StaticGreedySelector sg(g, params);
+  (void)sg.Select(2).ValueOrDie();
+  EXPECT_GT(sg.SnapshotBytes(), 0u);
+}
+
+TEST(StaticGreedyTest, RejectsBadK) {
+  Graph g = GeneratePath(4).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  StaticGreedySelector sg(g, params);
+  EXPECT_FALSE(sg.Select(0).ok());
+  EXPECT_FALSE(sg.Select(5).ok());
+}
+
+// ----------------------------------------------------- IC-N objective --
+
+TEST(IcnObjectiveTest, QualityOneEqualsPlainSpread) {
+  Graph g = GenerateBarabasiAlbert(150, 2, 6).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.2);
+  McOptions mc;
+  mc.num_simulations = 4000;
+  mc.seed = 7;
+  const double icn = EstimateIcnPositiveSpread(g, params, 1.0, {0, 3}, mc);
+  const double plain = EstimateSpread(g, params, {0, 3}, mc);
+  EXPECT_NEAR(icn, plain, 0.05 * std::max(1.0, plain));
+}
+
+TEST(IcnObjectiveTest, QualityZeroGivesZero) {
+  Graph g = GeneratePath(5).ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  McOptions mc;
+  mc.num_simulations = 100;
+  EXPECT_DOUBLE_EQ(EstimateIcnPositiveSpread(g, params, 0.0, {0}, mc), 0.0);
+}
+
+TEST(IcnObjectiveTest, MonotoneInQuality) {
+  Graph g = GenerateBarabasiAlbert(100, 2, 8).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.3);
+  McOptions mc;
+  mc.num_simulations = 4000;
+  mc.seed = 9;
+  double prev = -1.0;
+  for (double q : {0.2, 0.5, 0.8, 1.0}) {
+    const double value = EstimateIcnPositiveSpread(g, params, q, {0}, mc);
+    EXPECT_GE(value, prev - 0.05);
+    prev = value;
+  }
+}
+
+TEST(IcnObjectiveTest, DrivesGreedySelection) {
+  GraphBuilder b(8);
+  for (NodeId leaf = 1; leaf < 8; ++leaf) b.AddEdge(0, leaf);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.6);
+  McOptions mc;
+  mc.num_simulations = 1000;
+  mc.seed = 10;
+  auto objective =
+      std::make_shared<IcnPositiveSpreadObjective>(g, params, 0.9, mc);
+  GreedySelector greedy(g, objective, "IC-N GREEDY");
+  auto selection = greedy.Select(1).ValueOrDie();
+  EXPECT_EQ(selection.seeds[0], 0u);
+}
+
+// ----------------------------------------------- Weighted edge-list IO --
+
+TEST(WeightedEdgeListTest, ReadsProbabilities) {
+  const std::string path = "/tmp/holim_weighted_io.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "# comment\n10 20 0.25\n20 30 0.75\n");
+    fclose(f);
+  }
+  auto loaded = ReadWeightedEdgeList(path).ValueOrDie();
+  EXPECT_EQ(loaded.graph.num_nodes(), 3u);
+  ASSERT_EQ(loaded.probability.size(), 2u);
+  // Edge ids are (src,dst)-sorted after renumbering 10->0, 20->1, 30->2.
+  EXPECT_DOUBLE_EQ(loaded.probability[0], 0.25);
+  EXPECT_DOUBLE_EQ(loaded.probability[1], 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(WeightedEdgeListTest, UndirectedDuplicatesProbability) {
+  const std::string path = "/tmp/holim_weighted_io2.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "0 1 0.4\n");
+    fclose(f);
+  }
+  EdgeListOptions options;
+  options.undirected = true;
+  auto loaded = ReadWeightedEdgeList(path, options).ValueOrDie();
+  EXPECT_EQ(loaded.graph.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.probability[0], 0.4);
+  EXPECT_DOUBLE_EQ(loaded.probability[1], 0.4);
+  std::remove(path.c_str());
+}
+
+TEST(WeightedEdgeListTest, DuplicateArcsKeepMaxProbability) {
+  const std::string path = "/tmp/holim_weighted_io3.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "0 1 0.2\n0 1 0.6\n");
+    fclose(f);
+  }
+  auto loaded = ReadWeightedEdgeList(path).ValueOrDie();
+  EXPECT_EQ(loaded.graph.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.probability[0], 0.6);
+  std::remove(path.c_str());
+}
+
+TEST(WeightedEdgeListTest, RejectsBadRows) {
+  const std::string path = "/tmp/holim_weighted_io4.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "0 1\n");
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadWeightedEdgeList(path).ok());
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "0 1 1.7\n");
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadWeightedEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------- Parallel scoring --
+
+TEST(OsimParallelTest, BitwiseIdenticalToSerial) {
+  Graph g = GenerateBarabasiAlbert(1500, 3, 12).ValueOrDie();
+  auto influence = MakeUniformIc(g, 0.1);
+  auto opinions = MakeRandomOpinions(g, OpinionDistribution::kUniform, 13);
+  OsimScorer serial(g, influence, opinions, 4);
+  OsimScorer parallel(g, influence, opinions, 4);
+  EpochSet excluded(g.num_nodes());
+  excluded.Reset(g.num_nodes());
+  excluded.Insert(7);
+  std::vector<double> serial_scores, parallel_scores;
+  serial.AssignScores(excluded, &serial_scores);
+  ThreadPool pool(4);
+  parallel.AssignScoresParallel(excluded, &parallel_scores, &pool);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(serial_scores[u], parallel_scores[u]) << "node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace holim

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace holim {
+namespace {
+
+TEST(ErdosRenyiTest, ApproximatesTargetDegree) {
+  Graph g = GenerateErdosRenyi(2000, 6.0, 1).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  const double avg = static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_NEAR(avg, 6.0, 0.5);
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  Graph a = GenerateErdosRenyi(500, 4.0, 7).ValueOrDie();
+  Graph b = GenerateErdosRenyi(500, 4.0, 7).ValueOrDie();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    auto na = a.OutNeighbors(u);
+    auto nb = b.OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateErdosRenyi(0, 1.0, 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(10, -1.0, 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(10, 100.0, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, PowerLawHasHubs) {
+  Graph g = GenerateBarabasiAlbert(5000, 3, 2).ValueOrDie();
+  uint32_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.OutDegree(u));
+  }
+  const double avg = static_cast<double>(g.num_edges()) / g.num_nodes();
+  // Preferential attachment: hubs far above the mean degree.
+  EXPECT_GT(max_deg, 10 * avg);
+}
+
+TEST(BarabasiAlbertTest, EdgeCountMatchesAttachment) {
+  const NodeId n = 1000;
+  const uint32_t m0 = 3;
+  Graph g = GenerateBarabasiAlbert(n, m0, 3).ValueOrDie();
+  // Each arriving node adds ~m0 undirected edges = 2*m0 arcs.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 2.0 * m0 * n, 0.1 * m0 * n);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(1, 1, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 0, 1).ok());
+}
+
+TEST(WattsStrogatzTest, RingWhenNoRewiring) {
+  Graph g = GenerateWattsStrogatz(20, 2, 0.0, 1).ValueOrDie();
+  // k/2 = 1 neighbor clockwise, undirected -> every node has degree 2.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.OutDegree(u), 2u);
+  }
+}
+
+TEST(WattsStrogatzTest, RewiringShrinksDiameter) {
+  Graph ring = GenerateWattsStrogatz(400, 2, 0.0, 1).ValueOrDie();
+  Graph small_world = GenerateWattsStrogatz(400, 2, 0.3, 1).ValueOrDie();
+  auto ring_stats = ComputeGraphStats(ring, 16, 1);
+  auto sw_stats = ComputeGraphStats(small_world, 16, 1);
+  EXPECT_LT(sw_stats.effective_diameter_90, ring_stats.effective_diameter_90);
+}
+
+TEST(WattsStrogatzTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateWattsStrogatz(2, 1, 0.0, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 0, 0.0, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 2, 1.5, 1).ok());
+}
+
+TEST(RmatTest, GeneratesRequestedShape) {
+  Graph g = GenerateRmat(10, 5000, 4).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  EXPECT_GT(g.num_edges(), 3000u);  // some dedup/self-loop loss is fine
+  EXPECT_LE(g.num_edges(), 5000u);
+}
+
+TEST(RmatTest, SkewedQuadrantsProduceSkewedDegrees) {
+  Graph g = GenerateRmat(12, 40000, 5).ValueOrDie();
+  uint32_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.OutDegree(u));
+  }
+  const double avg = static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_GT(max_deg, 5 * avg);
+}
+
+TEST(RmatTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateRmat(0, 10, 1).ok());
+  RmatOptions bad;
+  bad.a = 0.9;  // sums > 1
+  EXPECT_FALSE(GenerateRmat(4, 10, 1, bad).ok());
+}
+
+TEST(RandomTreeTest, TreeInvariants) {
+  Graph g = GenerateRandomTree(200, 3, 6).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 199u);  // n-1 edges
+  EXPECT_EQ(g.InDegree(0), 0u);    // root
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.InDegree(u), 1u);  // unique parent
+    EXPECT_LE(g.OutDegree(u), 3u);
+  }
+  // All nodes reachable from root.
+  EXPECT_EQ(ForwardReachableCount(g, {0}), 200u);
+}
+
+TEST(PathTest, ChainShape) {
+  Graph g = GeneratePath(5).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (NodeId u = 0; u + 1 < 5; ++u) {
+    ASSERT_EQ(g.OutDegree(u), 1u);
+    EXPECT_EQ(g.OutNeighbors(u)[0], u + 1);
+  }
+  EXPECT_EQ(g.OutDegree(4), 0u);
+}
+
+TEST(SubmodularityGadgetTest, MatchesFig3aShape) {
+  const NodeId nx = 4;
+  Graph g = GenerateSubmodularityGadget(nx).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 3 * nx);
+  EXPECT_EQ(g.num_edges(), 2u * nx);
+  for (NodeId i = 0; i < nx; ++i) {
+    ASSERT_EQ(g.OutDegree(i), 2u);
+    EXPECT_EQ(g.OutNeighbors(i)[0], nx + 2 * i);
+    EXPECT_EQ(g.OutNeighbors(i)[1], nx + 2 * i + 1);
+  }
+  for (NodeId y = nx; y < 3 * nx; ++y) EXPECT_EQ(g.OutDegree(y), 0u);
+}
+
+TEST(SetCoverGadgetTest, LayeredStructure) {
+  // Sets over 3 elements: R0={0,1}, R1={1,2}.
+  auto gadget =
+      GenerateSetCoverGadget({{0, 1}, {1, 2}}, 3).ValueOrDie();
+  const Graph& g = gadget.graph;
+  const NodeId m = 2, q = 3, z = m + q - 2;
+  EXPECT_EQ(g.num_nodes(), m + q + z + 1);
+  // Set nodes point only at their elements.
+  EXPECT_EQ(g.OutDegree(gadget.first_set_node), 2u);
+  // Every element points at every z node.
+  for (NodeId j = 0; j < q; ++j) {
+    EXPECT_EQ(g.OutDegree(gadget.first_element_node + j), z);
+  }
+  // Every z node points at the sink; the sink is terminal.
+  for (NodeId l = 0; l < z; ++l) {
+    ASSERT_EQ(g.OutDegree(gadget.first_z_node + l), 1u);
+    EXPECT_EQ(g.OutNeighbors(gadget.first_z_node + l)[0], gadget.sink);
+  }
+  EXPECT_EQ(g.OutDegree(gadget.sink), 0u);
+}
+
+TEST(SetCoverGadgetTest, RejectsBadInput) {
+  EXPECT_FALSE(GenerateSetCoverGadget({}, 3).ok());
+  EXPECT_FALSE(GenerateSetCoverGadget({{5}}, 3).ok());
+}
+
+/// Property sweep: every generator yields a valid CSR whose in/out degree
+/// sums agree, across a grid of sizes and seeds.
+class GeneratorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(GeneratorPropertyTest, InOutDegreeSumsAgree) {
+  const auto [size, seed] = GetParam();
+  std::vector<Graph> graphs;
+  graphs.push_back(GenerateErdosRenyi(size, 3.0, seed).ValueOrDie());
+  graphs.push_back(GenerateBarabasiAlbert(size, 2, seed).ValueOrDie());
+  graphs.push_back(GenerateWattsStrogatz(size, 4, 0.1, seed).ValueOrDie());
+  graphs.push_back(GenerateRandomTree(size, 4, seed).ValueOrDie());
+  for (const Graph& g : graphs) {
+    EdgeId out_sum = 0, in_sum = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      out_sum += g.OutDegree(u);
+      in_sum += g.InDegree(u);
+    }
+    EXPECT_EQ(out_sum, g.num_edges());
+    EXPECT_EQ(in_sum, g.num_edges());
+    // Edge ids bijective with (source, position).
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const EdgeId base = g.OutEdgeBegin(u);
+      for (uint32_t i = 0; i < g.OutDegree(u); ++i) {
+        EXPECT_EQ(g.EdgeSource(base + i), u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorPropertyTest,
+    ::testing::Combine(::testing::Values(50, 200, 1000),
+                       ::testing::Values(1u, 17u, 99u)));
+
+}  // namespace
+}  // namespace holim

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/heuristics.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace holim {
+namespace {
+
+TEST(DegreeTest, OrdersByOutDegree) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 1);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 0);
+  b.AddEdge(3, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  DegreeSelector degree(g);
+  auto selection = degree.Select(2).ValueOrDie();
+  EXPECT_EQ(selection.seeds[0], 2u);  // degree 3
+  EXPECT_EQ(selection.seeds[1], 3u);  // degree 2
+}
+
+TEST(SingleDiscountTest, DiscountsNeighborsOfSeeds) {
+  // Hub 0 with 3 leaves; node 4 -> {1,2} (degree 2, but both are 0's
+  // leaves). After picking 0, node 4's discounted degree drops to 0, so an
+  // untouched degree-1 node wins next... construct: 5 -> 6.
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(4, 1);
+  b.AddEdge(4, 2);
+  b.AddEdge(5, 6);
+  Graph g = std::move(b).Build().ValueOrDie();
+  SingleDiscountSelector sd(g);
+  auto selection = sd.Select(2).ValueOrDie();
+  EXPECT_EQ(selection.seeds[0], 0u);
+  // SingleDiscount discounts per selected *neighbor* (0's out-neighbors
+  // lose degree units); node 4 is NOT 0's neighbor so keeps degree 2.
+  EXPECT_EQ(selection.seeds[1], 4u);
+}
+
+TEST(DegreeDiscountTest, SpreadsSeedsAcrossRegions) {
+  // Two cliques joined weakly; degree discount should not put both seeds
+  // in the same clique.
+  GraphBuilder b(8);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) b.AddEdge(u, v);
+    }
+  }
+  for (NodeId u = 4; u < 8; ++u) {
+    for (NodeId v = 4; v < 8; ++v) {
+      if (u != v) b.AddEdge(u, v);
+    }
+  }
+  Graph g = std::move(b).Build().ValueOrDie();
+  DegreeDiscountSelector dd(g, 0.5);
+  auto selection = dd.Select(2).ValueOrDie();
+  const bool spans = (selection.seeds[0] < 4) != (selection.seeds[1] < 4);
+  EXPECT_TRUE(spans);
+}
+
+TEST(PageRankTest, RanksSumToOne) {
+  Graph g = GenerateBarabasiAlbert(200, 3, 1).ValueOrDie();
+  PageRankSelector pr(g);
+  auto ranks = pr.ComputeRanks();
+  double sum = 0;
+  for (double r : ranks) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, InfluencerOutranksFollower) {
+  // 0 -> 1, 0 -> 2, 0 -> 3: on the transposed graph mass flows to 0.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  PageRankSelector pr(g);
+  auto selection = pr.Select(1).ValueOrDie();
+  EXPECT_EQ(selection.seeds[0], 0u);
+}
+
+TEST(RandomTest, ProducesDistinctValidSeeds) {
+  Graph g = GenerateErdosRenyi(50, 2.0, 2).ValueOrDie();
+  RandomSelector random(g, 7);
+  auto selection = random.Select(20).ValueOrDie();
+  std::set<NodeId> unique(selection.seeds.begin(), selection.seeds.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (NodeId s : selection.seeds) EXPECT_LT(s, 50u);
+}
+
+TEST(RandomTest, DeterministicInSeed) {
+  Graph g = GenerateErdosRenyi(50, 2.0, 3).ValueOrDie();
+  RandomSelector a(g, 9), b(g, 9), c(g, 10);
+  EXPECT_EQ(a.Select(5).ValueOrDie().seeds, b.Select(5).ValueOrDie().seeds);
+  EXPECT_NE(a.Select(5).ValueOrDie().seeds, c.Select(5).ValueOrDie().seeds);
+}
+
+TEST(HeuristicsTest, AllRejectBadK) {
+  Graph g = GenerateErdosRenyi(10, 2.0, 4).ValueOrDie();
+  EXPECT_FALSE(DegreeSelector(g).Select(0).ok());
+  EXPECT_FALSE(SingleDiscountSelector(g).Select(11).ok());
+  EXPECT_FALSE(DegreeDiscountSelector(g, 0.1).Select(0).ok());
+  EXPECT_FALSE(PageRankSelector(g).Select(99).ok());
+  EXPECT_FALSE(RandomSelector(g, 1).Select(0).ok());
+}
+
+TEST(HeuristicsTest, NamesStable) {
+  Graph g = GenerateErdosRenyi(10, 2.0, 5).ValueOrDie();
+  EXPECT_EQ(DegreeSelector(g).name(), "Degree");
+  EXPECT_EQ(SingleDiscountSelector(g).name(), "SingleDiscount");
+  EXPECT_EQ(DegreeDiscountSelector(g, 0.1).name(), "DegreeDiscountIC");
+  EXPECT_EQ(PageRankSelector(g).name(), "PageRank");
+  EXPECT_EQ(RandomSelector(g, 1).name(), "Random");
+}
+
+}  // namespace
+}  // namespace holim

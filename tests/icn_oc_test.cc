@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "diffusion/icn_model.h"
+#include "diffusion/oc_model.h"
+#include "diffusion/oi_model.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+
+namespace holim {
+namespace {
+
+TEST(IcnTest, QualityOneNeverTurnsNegative) {
+  Graph g = GenerateBarabasiAlbert(200, 2, 1).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.3);
+  IcnSimulator sim(g, params, /*quality_factor=*/1.0);
+  Rng rng(1);
+  const NodeId seeds[] = {0};
+  for (int i = 0; i < 50; ++i) {
+    const IcnCascade& c = sim.Run(seeds, rng);
+    for (bool pos : c.positive) EXPECT_TRUE(pos);
+    EXPECT_EQ(c.PositiveSpread(), c.cascade->SpreadCount(1));
+  }
+}
+
+TEST(IcnTest, QualityZeroAllNegative) {
+  Graph g = GenerateBarabasiAlbert(200, 2, 2).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.3);
+  IcnSimulator sim(g, params, 0.0);
+  Rng rng(2);
+  const NodeId seeds[] = {0};
+  for (int i = 0; i < 50; ++i) {
+    const IcnCascade& c = sim.Run(seeds, rng);
+    for (bool pos : c.positive) EXPECT_FALSE(pos);
+    EXPECT_EQ(c.PositiveSpread(), 0u);
+  }
+}
+
+TEST(IcnTest, NegativityDominatesDownstream) {
+  // Chain 0 -> 1 -> 2 with p = 1: once node 1 is negative, node 2 must be.
+  Graph g = GeneratePath(3).ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  IcnSimulator sim(g, params, 0.5);
+  Rng rng(3);
+  const NodeId seeds[] = {0};
+  for (int i = 0; i < 200; ++i) {
+    const IcnCascade& c = sim.Run(seeds, rng);
+    ASSERT_EQ(c.positive.size(), 3u);
+    if (!c.positive[1]) EXPECT_FALSE(c.positive[2]);
+  }
+}
+
+TEST(IcnTest, SignedSpreadConsistent) {
+  Graph g = GeneratePath(2).ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  IcnSimulator sim(g, params, 0.7);
+  Rng rng(4);
+  const NodeId seeds[] = {0};
+  double signed_sum = 0;
+  const int runs = 20000;
+  for (int i = 0; i < runs; ++i) {
+    signed_sum += sim.Run(seeds, rng).SignedSpread();
+  }
+  // Non-seed node positive w.p. P(seed pos) * q = 0.7*0.7 = 0.49.
+  // E[signed] = 0.49 - 0.51 = -0.02.
+  EXPECT_NEAR(signed_sum / runs, -0.02, 0.015);
+}
+
+TEST(IcnTest, RejectsBadQualityFactor) {
+  Graph g = GeneratePath(2).ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  EXPECT_DEATH(IcnSimulator(g, params, 1.5), "quality factor");
+}
+
+TEST(OcTest, MatchesOiLtWithPhiOne) {
+  // OC is OI-over-LT with phi == 1; expected opinion spreads must agree.
+  Graph g = GenerateBarabasiAlbert(300, 3, 5).ValueOrDie();
+  auto influence = MakeLinearThreshold(g);
+  OpinionParams opinions =
+      MakeRandomOpinions(g, OpinionDistribution::kUniform, 6);
+  OpinionParams phi_one = opinions;
+  std::fill(phi_one.interaction.begin(), phi_one.interaction.end(), 1.0);
+
+  OcSimulator oc_sim(g, influence, opinions);
+  OiSimulator oi_sim(g, influence, phi_one, OiBase::kLinearThreshold);
+  Rng rng_a(7), rng_b(8);
+  const NodeId seeds[] = {0, 3, 9};
+  double oc_spread = 0, oi_spread = 0;
+  const int runs = 4000;
+  for (int i = 0; i < runs; ++i) {
+    oc_spread += oc_sim.Run(seeds, rng_a).OpinionSpread();
+    oi_spread += oi_sim.Run(seeds, rng_b).OpinionSpread();
+  }
+  oc_spread /= runs;
+  oi_spread /= runs;
+  EXPECT_NEAR(oc_spread, oi_spread, 0.1 * std::max(1.0, std::abs(oc_spread)));
+}
+
+TEST(OcTest, DeterministicChainAverages) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto influence = MakeLinearThreshold(g);
+  OpinionParams opinions;
+  opinions.opinion = {1.0, 0.0, 0.0};
+  opinions.interaction = {0.3, 0.7};  // OC ignores phi entirely
+  OcSimulator sim(g, influence, opinions);
+  Rng rng(9);
+  const NodeId seeds[] = {0};
+  const auto& c = sim.Run(seeds, rng);
+  ASSERT_EQ(c.final_opinion.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.final_opinion[1], 0.5);
+  EXPECT_DOUBLE_EQ(c.final_opinion[2], 0.25);
+}
+
+TEST(OcTest, SeedsKeepOpinions) {
+  Graph g = GeneratePath(2).ValueOrDie();
+  auto influence = MakeLinearThreshold(g);
+  OpinionParams opinions;
+  opinions.opinion = {-0.7, 0.2};
+  opinions.interaction = {0.5};
+  OcSimulator sim(g, influence, opinions);
+  Rng rng(10);
+  const NodeId seeds[] = {0};
+  EXPECT_DOUBLE_EQ(sim.Run(seeds, rng).final_opinion[0], -0.7);
+}
+
+}  // namespace
+}  // namespace holim

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "algo/imrank.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/binary_io.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+namespace {
+
+// ------------------------------------------------------------- IMRank --
+
+TEST(ImRankTest, HubWinsOnStar) {
+  GraphBuilder b(10);
+  for (NodeId leaf = 1; leaf < 10; ++leaf) b.AddEdge(0, leaf);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.4);
+  ImRankSelector imrank(g, params);
+  auto selection = imrank.Select(1).ValueOrDie();
+  EXPECT_EQ(selection.seeds[0], 0u);
+}
+
+TEST(ImRankTest, MassConservedByLfa) {
+  // LFA only moves mass between nodes: the total must stay n.
+  Graph g = GenerateBarabasiAlbert(200, 3, 1).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.2);
+  ImRankSelector imrank(g, params);
+  std::vector<double> scores(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) scores[u] = g.OutDegree(u);
+  auto mass = imrank.LastToFirstAllocation(scores);
+  double total = 0;
+  for (double m : mass) total += m;
+  EXPECT_NEAR(total, static_cast<double>(g.num_nodes()), 1e-6);
+}
+
+TEST(ImRankTest, ConvergesQuickly) {
+  Graph g = GenerateBarabasiAlbert(300, 3, 2).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  ImRankSelector imrank(g, params);
+  auto selection = imrank.Select(10).ValueOrDie();
+  EXPECT_EQ(selection.seeds.size(), 10u);
+  EXPECT_LE(imrank.last_iterations(), 20u);
+}
+
+TEST(ImRankTest, BeatsRandomOnSpread) {
+  Graph g = GenerateBarabasiAlbert(400, 3, 3).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  ImRankSelector imrank(g, params);
+  auto selection = imrank.Select(8).ValueOrDie();
+  McOptions mc;
+  mc.num_simulations = 2000;
+  mc.seed = 4;
+  const double imrank_spread = EstimateSpread(g, params, selection.seeds, mc);
+  const double random_spread =
+      EstimateSpread(g, params, {11, 57, 123, 199, 250, 301, 350, 390}, mc);
+  EXPECT_GT(imrank_spread, random_spread);
+}
+
+TEST(ImRankTest, RejectsBadK) {
+  Graph g = GeneratePath(3).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  ImRankSelector imrank(g, params);
+  EXPECT_FALSE(imrank.Select(0).ok());
+  EXPECT_FALSE(imrank.Select(4).ok());
+}
+
+// ---------------------------------------------------------- Binary IO --
+
+TEST(BinaryIoTest, RoundTripGraphOnly) {
+  Graph g = GenerateBarabasiAlbert(500, 3, 5).ValueOrDie();
+  const std::string path = "/tmp/holim_bundle1.bin";
+  ASSERT_TRUE(WriteGraphBundle(path, g).ok());
+  auto bundle = ReadGraphBundle(path).ValueOrDie();
+  EXPECT_EQ(bundle.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(bundle.graph.num_edges(), g.num_edges());
+  // Edge ids preserved bit-for-bit.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(bundle.graph.EdgeSource(e), g.EdgeSource(e));
+    EXPECT_EQ(bundle.graph.EdgeTarget(e), g.EdgeTarget(e));
+  }
+  EXPECT_TRUE(bundle.edge_probability.empty());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripWithParameters) {
+  Graph g = GenerateErdosRenyi(200, 4.0, 6).ValueOrDie();
+  auto params = MakeWeightedCascade(g);
+  auto opinions = MakeRandomOpinions(g, OpinionDistribution::kUniform, 7);
+  const std::string path = "/tmp/holim_bundle2.bin";
+  ASSERT_TRUE(WriteGraphBundle(path, g, &params.probability,
+                               &opinions.opinion, &opinions.interaction)
+                  .ok());
+  auto bundle = ReadGraphBundle(path).ValueOrDie();
+  ASSERT_EQ(bundle.edge_probability.size(), g.num_edges());
+  ASSERT_EQ(bundle.node_opinion.size(), g.num_nodes());
+  ASSERT_EQ(bundle.edge_interaction.size(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(bundle.edge_probability[e], params.probability[e]);
+    EXPECT_DOUBLE_EQ(bundle.edge_interaction[e], opinions.interaction[e]);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(bundle.node_opinion[u], opinions.opinion[u]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  const std::string path = "/tmp/holim_bundle3.bin";
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    const char junk[] = "definitely not a holim bundle";
+    fwrite(junk, 1, sizeof(junk), f);
+    fclose(f);
+  }
+  auto bundle = ReadGraphBundle(path);
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_EQ(bundle.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsTruncatedFile) {
+  Graph g = GeneratePath(10).ValueOrDie();
+  const std::string path = "/tmp/holim_bundle4.bin";
+  ASSERT_TRUE(WriteGraphBundle(path, g).ok());
+  // Truncate to half.
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    fseek(f, 0, SEEK_END);
+    const long size = ftell(f);
+    fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  EXPECT_FALSE(ReadGraphBundle(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsIoError) {
+  auto bundle = ReadGraphBundle("/tmp/definitely_missing_bundle.bin");
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_EQ(bundle.status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryIoTest, ParameterSizeMismatchRejectedOnWrite) {
+  Graph g = GeneratePath(5).ValueOrDie();
+  std::vector<double> wrong_size = {0.1, 0.2};  // graph has 4 edges
+  EXPECT_FALSE(
+      WriteGraphBundle("/tmp/holim_bundle5.bin", g, &wrong_size).ok());
+  std::remove("/tmp/holim_bundle5.bin");
+}
+
+}  // namespace
+}  // namespace holim

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+namespace {
+
+TEST(InfluenceParamsTest, UniformIc) {
+  Graph g = GenerateErdosRenyi(100, 4.0, 1).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  EXPECT_EQ(params.model, DiffusionModel::kIndependentCascade);
+  ASSERT_EQ(params.probability.size(), g.num_edges());
+  for (double p : params.probability) EXPECT_DOUBLE_EQ(p, 0.1);
+}
+
+TEST(InfluenceParamsTest, WeightedCascadeIsInverseInDegree) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeWeightedCascade(g);
+  EXPECT_EQ(params.model, DiffusionModel::kWeightedCascade);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (EdgeId e : g.InEdgeIds(v)) {
+      EXPECT_DOUBLE_EQ(params.p(e), 1.0 / g.InDegree(v));
+    }
+  }
+}
+
+TEST(InfluenceParamsTest, LtWeightsSumToOne) {
+  Graph g = GenerateErdosRenyi(200, 5.0, 2).ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  EXPECT_EQ(params.model, DiffusionModel::kLinearThreshold);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) == 0) continue;
+    double sum = 0.0;
+    for (EdgeId e : g.InEdgeIds(v)) sum += params.p(e);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(InfluenceParamsTest, TrivalencyDrawsFromChoices) {
+  Graph g = GenerateErdosRenyi(300, 4.0, 3).ValueOrDie();
+  auto params = MakeTrivalency(g, 7);
+  std::set<double> seen(params.probability.begin(), params.probability.end());
+  for (double p : seen) {
+    EXPECT_TRUE(p == 0.1 || p == 0.01 || p == 0.001);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three appear on a graph this size
+}
+
+TEST(OpinionParamsTest, UniformOpinionsInRange) {
+  Graph g = GenerateErdosRenyi(500, 4.0, 4).ValueOrDie();
+  auto opinions =
+      MakeRandomOpinions(g, OpinionDistribution::kUniform, 11);
+  ASSERT_EQ(opinions.opinion.size(), g.num_nodes());
+  ASSERT_EQ(opinions.interaction.size(), g.num_edges());
+  double sum = 0.0;
+  for (double o : opinions.opinion) {
+    EXPECT_GE(o, -1.0);
+    EXPECT_LE(o, 1.0);
+    sum += o;
+  }
+  EXPECT_NEAR(sum / opinions.opinion.size(), 0.0, 0.1);
+  for (double phi : opinions.interaction) {
+    EXPECT_GE(phi, 0.0);
+    EXPECT_LE(phi, 1.0);
+  }
+}
+
+TEST(OpinionParamsTest, NormalOpinionsClamped) {
+  Graph g = GenerateErdosRenyi(500, 4.0, 5).ValueOrDie();
+  auto opinions =
+      MakeRandomOpinions(g, OpinionDistribution::kStandardNormal, 13);
+  int clamped = 0;
+  for (double o : opinions.opinion) {
+    EXPECT_GE(o, -1.0);
+    EXPECT_LE(o, 1.0);
+    if (o == 1.0 || o == -1.0) ++clamped;
+  }
+  // N(0,1) has ~32% mass beyond +/-1, so clamping must be visible.
+  EXPECT_GT(clamped, 50);
+}
+
+TEST(OpinionParamsTest, DegenerateReducesToClassicalIm) {
+  Graph g = GenerateErdosRenyi(50, 3.0, 6).ValueOrDie();
+  auto opinions = MakeDegenerateOpinions(g);
+  for (double o : opinions.opinion) EXPECT_DOUBLE_EQ(o, 1.0);
+  for (double phi : opinions.interaction) EXPECT_DOUBLE_EQ(phi, 1.0);
+}
+
+TEST(OpinionParamsTest, ClampOpinion) {
+  EXPECT_DOUBLE_EQ(ClampOpinion(2.5), 1.0);
+  EXPECT_DOUBLE_EQ(ClampOpinion(-3.0), -1.0);
+  EXPECT_DOUBLE_EQ(ClampOpinion(0.4), 0.4);
+}
+
+TEST(InfluenceParamsTest, ModelNames) {
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kIndependentCascade), "IC");
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kWeightedCascade), "WC");
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kLinearThreshold), "LT");
+}
+
+}  // namespace
+}  // namespace holim

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/irie.h"
+#include "algo/simpath.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+
+namespace holim {
+namespace {
+
+TEST(IrieTest, HubWinsOnStar) {
+  GraphBuilder b(10);
+  for (NodeId leaf = 1; leaf < 10; ++leaf) b.AddEdge(0, leaf);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.3);
+  IrieSelector irie(g, params);
+  auto selection = irie.Select(1).ValueOrDie();
+  EXPECT_EQ(selection.seeds[0], 0u);
+}
+
+TEST(IrieTest, RankDiscountsCoveredRegion) {
+  // Two disjoint stars: after picking hub A, IRIE's AP discount must send
+  // the second pick to hub B, not to one of A's leaves.
+  GraphBuilder b(10);
+  for (NodeId leaf = 2; leaf < 6; ++leaf) b.AddEdge(0, leaf);
+  for (NodeId leaf = 6; leaf < 10; ++leaf) b.AddEdge(1, leaf);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.5);
+  IrieSelector irie(g, params);
+  auto selection = irie.Select(2).ValueOrDie();
+  EXPECT_EQ(selection.seeds.size(), 2u);
+  const bool both_hubs = (selection.seeds[0] == 0 && selection.seeds[1] == 1) ||
+                         (selection.seeds[0] == 1 && selection.seeds[1] == 0);
+  EXPECT_TRUE(both_hubs);
+}
+
+TEST(IrieTest, RanksAtLeastOne) {
+  // r(u) = (1-AP)(1 + alpha sum p r) >= 0, and >= 1 with no seeds.
+  Graph g = GenerateBarabasiAlbert(100, 2, 1).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  IrieSelector irie(g, params);
+  auto selection = irie.Select(1).ValueOrDie();
+  EXPECT_GE(selection.seed_scores[0], 1.0);
+}
+
+TEST(IrieTest, SeedQualityBeatsRandom) {
+  Graph g = GenerateBarabasiAlbert(500, 3, 2).ValueOrDie();
+  auto params = MakeWeightedCascade(g);
+  IrieSelector irie(g, params);
+  auto selection = irie.Select(10).ValueOrDie();
+  McOptions mc;
+  mc.num_simulations = 3000;
+  mc.seed = 3;
+  const double irie_spread = EstimateSpread(g, params, selection.seeds, mc);
+  std::vector<NodeId> random_seeds = {3, 77, 111, 222, 333, 401, 42, 88, 199, 450};
+  const double random_spread = EstimateSpread(g, params, random_seeds, mc);
+  EXPECT_GT(irie_spread, random_spread);
+}
+
+TEST(SimpathTest, SpreadExactOnPath) {
+  // LT weights are 1 along a path: sigma({0}) counts every downstream node
+  // exactly, sum of path weights = 4 for a 5-node path.
+  Graph g = GeneratePath(5).ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  SimpathOptions options;
+  options.eta = 1e-9;
+  SimpathSelector simpath(g, params, options);
+  std::vector<char> none(5, 0);
+  EXPECT_NEAR(simpath.SpreadOfNode(0, none), 4.0, 1e-9);
+  EXPECT_NEAR(simpath.SpreadOfNode(3, none), 1.0, 1e-9);
+  EXPECT_NEAR(simpath.SpreadOfNode(4, none), 0.0, 1e-9);
+}
+
+TEST(SimpathTest, SpreadMatchesMonteCarloOnDag) {
+  // Small DAG; with eta -> 0 the enumeration is exact for LT.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  SimpathOptions options;
+  options.eta = 1e-12;
+  SimpathSelector simpath(g, params, options);
+  std::vector<char> none(5, 0);
+  const double analytic = simpath.SpreadOfNode(0, none);
+  McOptions mc;
+  mc.num_simulations = 100000;
+  mc.seed = 4;
+  const double sampled = EstimateSpread(g, params, {0}, mc);
+  EXPECT_NEAR(analytic, sampled, 0.03 * std::max(1.0, sampled));
+}
+
+TEST(SimpathTest, PruningReducesSpreadEstimate) {
+  Graph g = GenerateBarabasiAlbert(100, 3, 5).ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  SimpathOptions loose, tight;
+  loose.eta = 1e-6;
+  tight.eta = 0.3;
+  SimpathSelector loose_sp(g, params, loose), tight_sp(g, params, tight);
+  std::vector<char> none(g.num_nodes(), 0);
+  for (NodeId u : {NodeId{0}, NodeId{5}}) {
+    EXPECT_GE(loose_sp.SpreadOfNode(u, none),
+              tight_sp.SpreadOfNode(u, none) - 1e-12);
+  }
+}
+
+TEST(SimpathTest, SetSpreadExcludesInternalSeedPaths) {
+  // S = {0, 2} on path 0->1->2->3: paths from 0 stop at 2 (it is a seed),
+  // so sigma(S) = (node1, node2 excluded...) — enumeration from 0 covers
+  // 1 (weight 1) and stops before 2; from 2 covers 3.
+  Graph g = GeneratePath(4).ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  SimpathOptions options;
+  options.eta = 1e-9;
+  SimpathSelector simpath(g, params, options);
+  std::vector<char> none(4, 0);
+  EXPECT_NEAR(simpath.SpreadOfSet({0, 2}, none), 2.0, 1e-9);
+}
+
+TEST(SimpathTest, SelectsReasonableSeedsOnLt) {
+  Graph g = GenerateBarabasiAlbert(200, 2, 6).ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  SimpathSelector simpath(g, params);
+  auto selection = simpath.Select(5).ValueOrDie();
+  ASSERT_EQ(selection.seeds.size(), 5u);
+  McOptions mc;
+  mc.num_simulations = 3000;
+  mc.seed = 7;
+  const double sp = EstimateSpread(g, params, selection.seeds, mc);
+  const double random_sp = EstimateSpread(g, params, {11, 22, 33, 44, 55}, mc);
+  EXPECT_GT(sp, random_sp);
+}
+
+TEST(SimpathTest, RejectsBadK) {
+  Graph g = GeneratePath(3).ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  SimpathSelector simpath(g, params);
+  EXPECT_FALSE(simpath.Select(0).ok());
+  EXPECT_FALSE(simpath.Select(4).ok());
+}
+
+}  // namespace
+}  // namespace holim

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/oi_model.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/generators.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+namespace {
+
+/// Section 2.4 of the paper proves MEO is neither monotone nor submodular
+/// (Lemma 2) and not constant-factor approximable (Theorem 1) via explicit
+/// graph constructions. These tests instantiate both constructions and
+/// verify the claimed spread values mechanically.
+
+McOptions DeterministicMc() {
+  // All the gadget edges have p = 1 and phi in {0, 1}: cascades are
+  // deterministic, so a handful of simulations suffice.
+  McOptions mc;
+  mc.num_simulations = 8;
+  mc.seed = 1;
+  return mc;
+}
+
+TEST(SubmodularityGadgetTest, SpreadSequenceOneZeroOne) {
+  // Fig. 3a with nx = 3: seeding x_0 gives spread +1; adding x_{nx-1}
+  // (whose phi edges are 0) drops it to 0; adding x_1 restores +1.
+  const NodeId nx = 3;
+  Graph g = GenerateSubmodularityGadget(nx).ValueOrDie();
+  InfluenceParams influence = MakeUniformIc(g, 1.0);
+  OpinionParams opinions;
+  opinions.opinion.assign(g.num_nodes(), 0.0);
+  for (NodeId i = 0; i < nx; ++i) opinions.opinion[i] = 1.0;  // X layer
+  opinions.interaction.assign(g.num_edges(), 1.0);
+  // The last X node's two edges carry phi = 0 (always flip).
+  const NodeId last = nx - 1;
+  const EdgeId base = g.OutEdgeBegin(last);
+  opinions.interaction[base] = 0.0;
+  opinions.interaction[base + 1] = 0.0;
+
+  auto spread = [&](const std::vector<NodeId>& seeds) {
+    return EstimateOpinionSpread(g, influence, opinions,
+                                 OiBase::kIndependentCascade, seeds, 1.0,
+                                 DeterministicMc())
+        .opinion_spread;
+  };
+  // Activated y nodes get o' = (0 + 1)/2 = +1/2 (or -1/2 via phi = 0).
+  EXPECT_NEAR(spread({0}), 1.0, 1e-9);               // 2 * (1/2)
+  EXPECT_NEAR(spread({0, last}), 0.0, 1e-9);         // 1 - 1
+  EXPECT_NEAR(spread({0, last, 1}), 1.0, 1e-9);      // 0 + 1
+  // 1 -> 0 -> 1 over growing sets: monotonicity AND submodularity both fail.
+  const double g1 = spread({0});
+  const double g2 = spread({0, last}) - g1;
+  const double g3 = spread({0, last, 1}) - spread({0, last});
+  EXPECT_LT(g2, 0.0);       // not monotone
+  EXPECT_GT(g3, g2);        // marginal gain increased: not submodular
+}
+
+TEST(SetCoverGadgetTest, CoverExistsImpliesPositiveSpread) {
+  // Universe {0,1,2}; R0={0,1}, R1={2}: cover of size 2 exists.
+  const NodeId q = 3;
+  auto gadget = GenerateSetCoverGadget({{0, 1}, {2}}, q).ValueOrDie();
+  const Graph& g = gadget.graph;
+  InfluenceParams influence = MakeUniformIc(g, 1.0);
+  OpinionParams opinions;
+  opinions.opinion.assign(g.num_nodes(), 0.0);
+  const double n = q;
+  for (NodeId j = 0; j < q; ++j) {
+    opinions.opinion[gadget.first_element_node + j] = 1.0 / n;
+  }
+  const NodeId z_count = 2 + q - 2;
+  for (NodeId l = 0; l < z_count; ++l) {
+    opinions.opinion[gadget.first_z_node + l] = -1.0 / (2.0 * n);
+  }
+  opinions.opinion[gadget.sink] = -1.0 + 1.0 / n;
+  opinions.interaction.assign(g.num_edges(), 1.0);
+
+  // Theorem 1: choosing a full cover {x_0, x_1} gives spread 1/(2n) > 0.
+  auto estimate = EstimateOpinionSpread(
+      g, influence, opinions, OiBase::kIndependentCascade,
+      {gadget.first_set_node, gadget.first_set_node + 1}, 1.0,
+      DeterministicMc());
+  EXPECT_NEAR(estimate.opinion_spread, 1.0 / (2.0 * n), 1e-9);
+}
+
+TEST(SetCoverGadgetTest, NoCoverImpliesNonPositiveSpread) {
+  // Universe {0,1,2}; R0={0}, R1={1}: k=1 cannot cover; best k=1 spread <= 0.
+  const NodeId q = 3;
+  auto gadget = GenerateSetCoverGadget({{0}, {1}}, q).ValueOrDie();
+  const Graph& g = gadget.graph;
+  InfluenceParams influence = MakeUniformIc(g, 1.0);
+  OpinionParams opinions;
+  opinions.opinion.assign(g.num_nodes(), 0.0);
+  const double n = q;
+  for (NodeId j = 0; j < q; ++j) {
+    opinions.opinion[gadget.first_element_node + j] = 1.0 / n;
+  }
+  const NodeId z_count = 2 + q - 2;
+  for (NodeId l = 0; l < z_count; ++l) {
+    opinions.opinion[gadget.first_z_node + l] = -1.0 / (2.0 * n);
+  }
+  opinions.opinion[gadget.sink] = -1.0 + 1.0 / n;
+  opinions.interaction.assign(g.num_edges(), 1.0);
+
+  for (NodeId x = 0; x < 2; ++x) {
+    auto estimate = EstimateOpinionSpread(
+        g, influence, opinions, OiBase::kIndependentCascade,
+        {gadget.first_set_node + x}, 1.0, DeterministicMc());
+    EXPECT_LE(estimate.opinion_spread, 1e-9);
+  }
+}
+
+TEST(NpHardnessReductionTest, DegenerateMeoEqualsIm) {
+  // Lemma 1: with o = 1 and phi = 1, opinion spread == plain spread for
+  // every seed set, i.e. MEO contains IM.
+  Graph g = GenerateBarabasiAlbert(150, 2, 3).ValueOrDie();
+  InfluenceParams influence = MakeUniformIc(g, 0.2);
+  OpinionParams opinions = MakeDegenerateOpinions(g);
+  McOptions mc;
+  mc.num_simulations = 2000;
+  mc.seed = 5;
+  for (auto seeds : {std::vector<NodeId>{0}, std::vector<NodeId>{1, 5, 9}}) {
+    auto estimate = EstimateOpinionSpread(
+        g, influence, opinions, OiBase::kIndependentCascade, seeds, 1.0, mc);
+    EXPECT_NEAR(estimate.opinion_spread, estimate.plain_spread, 1e-9);
+    EXPECT_NEAR(estimate.effective_opinion_spread, estimate.plain_spread,
+                1e-9);
+  }
+}
+
+TEST(EffectiveSpreadTest, LambdaInterpolatesPenalty) {
+  // On any instance, Γoλ is non-increasing in lambda.
+  Graph g = GenerateBarabasiAlbert(120, 2, 7).ValueOrDie();
+  InfluenceParams influence = MakeUniformIc(g, 0.3);
+  OpinionParams opinions =
+      MakeRandomOpinions(g, OpinionDistribution::kUniform, 8);
+  McOptions mc;
+  mc.num_simulations = 2000;
+  mc.seed = 9;
+  double prev = std::numeric_limits<double>::infinity();
+  for (double lambda : {0.0, 0.5, 1.0, 2.0}) {
+    auto estimate = EstimateOpinionSpread(
+        g, influence, opinions, OiBase::kIndependentCascade, {0, 3}, lambda,
+        mc);
+    EXPECT_LE(estimate.effective_opinion_spread, prev + 1e-9);
+    prev = estimate.effective_opinion_spread;
+  }
+}
+
+}  // namespace
+}  // namespace holim

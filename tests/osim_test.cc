@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/easyim.h"
+#include "algo/osim.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+namespace {
+
+std::vector<double> OsimScores(const Graph& g, const InfluenceParams& influence,
+                               const OpinionParams& opinions, uint32_t l) {
+  OsimScorer scorer(g, influence, opinions, l);
+  EpochSet excluded(g.num_nodes());
+  excluded.Reset(g.num_nodes());
+  std::vector<double> scores;
+  scorer.AssignScores(excluded, &scores);
+  return scores;
+}
+
+/// Closed-form expected opinion spread of seeding u0 on a directed path,
+/// derived from Lemma 8: expected final opinion of u_i given activation is
+///   E[o'_{u_i}] = o_{u_i}/2 + psi_{i-1} E[o'_{u_{i-1}}],   E[o'_{u_0}] = o_0,
+/// with psi_e = (2 phi_e - 1)/2; activation of u_i happens w.p. prod p_j.
+double PathOpinionSpreadClosedForm(const std::vector<double>& o,
+                                   const std::vector<double>& p,
+                                   const std::vector<double>& phi) {
+  const std::size_t len = p.size();
+  double expected_opinion = o[0];
+  double reach_prob = 1.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i <= len; ++i) {
+    const double psi = (2.0 * phi[i - 1] - 1.0) / 2.0;
+    expected_opinion = o[i] / 2.0 + psi * expected_opinion;
+    reach_prob *= p[i - 1];
+    total += reach_prob * expected_opinion;
+  }
+  return total;
+}
+
+TEST(OsimTest, Lemma9PathScoreEqualsClosedForm) {
+  // Lemma 9: Delta_l(u0) == sigma_o({u0}) for a path, lambda = 1.
+  const std::vector<double> o = {0.8, -0.3, 0.5, 0.1};
+  const std::vector<double> p = {0.7, 0.4, 0.9};
+  const std::vector<double> phi = {0.9, 0.2, 0.6};
+  GraphBuilder b(4);
+  for (NodeId u = 0; u < 3; ++u) b.AddEdge(u, u + 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  InfluenceParams influence;
+  influence.model = DiffusionModel::kIndependentCascade;
+  influence.probability = p;
+  OpinionParams opinions;
+  opinions.opinion = o;
+  opinions.interaction = phi;
+
+  auto scores = OsimScores(g, influence, opinions, 3);
+  EXPECT_NEAR(scores[0], PathOpinionSpreadClosedForm(o, p, phi), 1e-12);
+  // Suffix paths too.
+  EXPECT_NEAR(scores[1],
+              PathOpinionSpreadClosedForm({o[1], o[2], o[3]}, {p[1], p[2]},
+                                          {phi[1], phi[2]}),
+              1e-12);
+  EXPECT_NEAR(scores[3], 0.0, 1e-12);
+}
+
+TEST(OsimTest, PathScoreMatchesMonteCarlo) {
+  const std::vector<double> o = {0.6, -0.8, 0.9};
+  const std::vector<double> p = {0.5, 0.7};
+  const std::vector<double> phi = {0.3, 0.85};
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build().ValueOrDie();
+  InfluenceParams influence;
+  influence.model = DiffusionModel::kIndependentCascade;
+  influence.probability = p;
+  OpinionParams opinions;
+  opinions.opinion = o;
+  opinions.interaction = phi;
+  auto scores = OsimScores(g, influence, opinions, 2);
+  McOptions mc;
+  mc.num_simulations = 400000;
+  mc.seed = 11;
+  auto estimate = EstimateOpinionSpread(
+      g, influence, opinions, OiBase::kIndependentCascade, {0}, 1.0, mc);
+  EXPECT_NEAR(scores[0], estimate.opinion_spread, 0.01);
+}
+
+TEST(OsimTest, DegenerateOpinionsRankLikeEasyIm) {
+  // With o = 1, phi = 1 the MEO instance reduces to IM (Lemma 1); OSIM's
+  // ranking should match EaSyIM's on any graph.
+  Graph g = GenerateBarabasiAlbert(400, 3, 12).ValueOrDie();
+  auto influence = MakeUniformIc(g, 0.1);
+  auto opinions = MakeDegenerateOpinions(g);
+  auto osim = OsimScores(g, influence, opinions, 3);
+
+  EasyImScorer easy(g, influence, 3);
+  EpochSet excluded(g.num_nodes());
+  excluded.Reset(g.num_nodes());
+  std::vector<double> easy_scores;
+  easy.AssignScores(excluded, &easy_scores);
+
+  // Same argmax and strong rank correlation on the top nodes.
+  NodeId best_osim = 0, best_easy = 0;
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    if (osim[u] > osim[best_osim]) best_osim = u;
+    if (easy_scores[u] > easy_scores[best_easy]) best_easy = u;
+  }
+  EXPECT_EQ(best_osim, best_easy);
+}
+
+TEST(OsimTest, Figure1RanksAFirst) {
+  // On the paper's Figure 1 network, OSIM must rank A above B, C, D
+  // (Example 2: sigma_o(A) = 0.136 is the unique positive value).
+  GraphBuilder b(4);
+  b.AddEdge(1, 0);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(2, 3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  InfluenceParams influence;
+  influence.model = DiffusionModel::kIndependentCascade;
+  influence.probability = {0.8, 0.1, 0.1, 0.9};  // (0,3),(1,0),(1,2),(2,3)
+  OpinionParams opinions;
+  opinions.opinion = {0.8, 0.0, 0.6, -0.3};
+  opinions.interaction = {0.9, 0.7, 0.8, 0.1};
+  auto scores = OsimScores(g, influence, opinions, 3);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[0], scores[2]);
+  EXPECT_GT(scores[0], scores[3]);
+  // And the exact single-hop score for A: p*(o_D/2 + o_A*psi) with
+  // psi = (2*0.9-1)/2 = 0.4: 0.8*(-0.15 + 0.32) = 0.136 (Example 2!).
+  EXPECT_NEAR(scores[0], 0.136, 1e-12);
+}
+
+TEST(OsimTest, ExcludedNodesCutPaths) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto influence = MakeUniformIc(g, 1.0);
+  OpinionParams opinions;
+  opinions.opinion = {0.0, 1.0, 1.0};
+  opinions.interaction = {1.0, 1.0};
+  OsimScorer scorer(g, influence, opinions, 3);
+  EpochSet excluded(3);
+  excluded.Reset(3);
+  excluded.Insert(1);
+  std::vector<double> scores;
+  scorer.AssignScores(excluded, &scores);
+  EXPECT_EQ(scores[0], 0.0);  // only path runs through excluded node
+  EXPECT_TRUE(std::isinf(scores[1]) && scores[1] < 0);
+}
+
+TEST(OsimTest, NegativeDownstreamOpinionLowersScore) {
+  // Identical chains except for the sign of the last node's opinion.
+  auto build = [](double last_opinion) {
+    GraphBuilder b(2);
+    b.AddEdge(0, 1);
+    Graph g = std::move(b).Build().ValueOrDie();
+    InfluenceParams influence = MakeUniformIc(g, 0.9);
+    OpinionParams opinions;
+    opinions.opinion = {0.5, last_opinion};
+    opinions.interaction = {0.8};
+    return OsimScores(g, influence, opinions, 1)[0];
+  };
+  EXPECT_GT(build(0.9), build(-0.9));
+}
+
+TEST(OsimTest, LinearSpaceContract) {
+  Graph g = GenerateBarabasiAlbert(10000, 3, 13).ValueOrDie();
+  auto influence = MakeUniformIc(g, 0.1);
+  auto opinions = MakeRandomOpinions(g, OpinionDistribution::kUniform, 14);
+  OsimScorer scorer(g, influence, opinions, 3);
+  // Seven O(n) buffers.
+  EXPECT_LE(scorer.ScratchBytes(), 7u * sizeof(double) * (g.num_nodes() + 16));
+}
+
+/// Property sweep over random paths: Lemma 9 equality holds for arbitrary
+/// parameters.
+class OsimPathPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OsimPathPropertyTest, ClosedFormAgreesOnRandomPaths) {
+  Rng rng(GetParam());
+  const std::size_t len = 2 + rng.NextBounded(6);  // path length 2..7 edges
+  std::vector<double> o(len + 1), p(len), phi(len);
+  for (auto& x : o) x = rng.Uniform(-1.0, 1.0);
+  for (auto& x : p) x = rng.Uniform(0.05, 1.0);
+  for (auto& x : phi) x = rng.NextDouble();
+  GraphBuilder b(static_cast<NodeId>(len + 1));
+  for (NodeId u = 0; u < len; ++u) b.AddEdge(u, u + 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  InfluenceParams influence;
+  influence.model = DiffusionModel::kIndependentCascade;
+  influence.probability = p;
+  OpinionParams opinions;
+  opinions.opinion = o;
+  opinions.interaction = phi;
+  auto scores = OsimScores(g, influence, opinions,
+                           static_cast<uint32_t>(len));
+  EXPECT_NEAR(scores[0], PathOpinionSpreadClosedForm(o, p, phi), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPaths, OsimPathPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace holim

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/easyim.h"
+#include "algo/path_union.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+
+namespace holim {
+namespace {
+
+TEST(PathUnionTest, PathGraphMatrixEntries) {
+  // After l rounds the PU matrix holds walks of length exactly l (the
+  // cumulative score lives in Delta, which AssignScores accumulates).
+  Graph g = GeneratePath(4).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.5);
+  for (uint32_t l = 1; l <= 3; ++l) {
+    PathUnionScorer scorer(g, params, l);
+    auto matrix = scorer.WalkUnionMatrix().ValueOrDie();
+    for (NodeId u = 0; u < 4; ++u) {
+      for (NodeId v = 0; v < 4; ++v) {
+        const double expected =
+            (v > u && v - u == l) ? std::pow(0.5, l) : 0.0;
+        EXPECT_NEAR(matrix[u][v], expected, 1e-12)
+            << "l=" << l << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(PathUnionTest, ScoresOnPathMatchEasyIm) {
+  // On a DAG with unique paths both algorithms count identically.
+  Graph g = GeneratePath(5).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.3);
+  PathUnionScorer pu(g, params, 4);
+  auto pu_scores = pu.AssignScores().ValueOrDie();
+  EasyImScorer easy(g, params, 4);
+  EpochSet excluded(5);
+  excluded.Reset(5);
+  std::vector<double> easy_scores;
+  easy.AssignScores(excluded, &easy_scores);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_NEAR(pu_scores[u], easy_scores[u], 1e-9) << "node " << u;
+  }
+}
+
+TEST(PathUnionTest, DiamondUsesProbabilisticUnion) {
+  // 0 -> {1,2} -> 3: PU combines the two 0->3 paths by union (Lemma 6's B1
+  // vs EaSyIM's plain sum). Union < sum.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.5);
+  PathUnionScorer pu(g, params, 2);
+  auto matrix = pu.WalkUnionMatrix().ValueOrDie();
+  // Two length-2 paths each weighing 0.25; union = 1-(1-.25)^2 = 0.4375.
+  EXPECT_NEAR(matrix[0][3], 0.4375, 1e-12);
+
+  EasyImScorer easy(g, params, 2);
+  EpochSet excluded(4);
+  excluded.Reset(4);
+  std::vector<double> easy_scores;
+  easy.AssignScores(excluded, &easy_scores);
+  // EaSyIM adds them: contribution of node 3 to Delta_2(0) is 0.5 > 0.4375,
+  // so Delta_EaSyIM(0) > row sum of PU.
+  double pu_row = matrix[0][1] + matrix[0][2] + matrix[0][3];
+  EXPECT_GT(easy_scores[0], pu_row);
+}
+
+TEST(PathUnionTest, CycleDiscountedOnDiagonal) {
+  // Triangle: walks that return to the origin are zeroed each round.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.5);
+  PathUnionScorer pu(g, params, 6);
+  auto matrix = pu.WalkUnionMatrix().ValueOrDie();
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(matrix[u][u], 0.0);
+}
+
+TEST(PathUnionTest, DenseLimitGuard) {
+  Graph g = GenerateErdosRenyi(5000, 2.0, 1).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  PathUnionScorer pu(g, params, 2);
+  auto result = pu.AssignScores();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PathUnionTest, ScoresUpperBoundedByReachableCount) {
+  Graph g = GenerateErdosRenyi(60, 3.0, 2).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.2);
+  PathUnionScorer pu(g, params, 4);
+  auto scores = pu.AssignScores().ValueOrDie();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_GE(scores[u], 0.0);
+    // Each pairwise union entry is a probability <= 1, and Delta accumulates
+    // l rounds of row sums, so Delta <= l * n.
+    EXPECT_LE(scores[u], 4.0 * g.num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace holim

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/spread_estimator.h"
+#include "graph/graph_builder.h"
+#include "model/influence_params.h"
+
+namespace holim {
+namespace {
+
+TEST(SpreadEstimatorTest, ExactOnTwoNodeGraph) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.35);
+  McOptions mc;
+  mc.num_simulations = 200000;
+  mc.seed = 1;
+  EXPECT_NEAR(EstimateSpread(g, params, {0}, mc), 0.35, 0.005);
+}
+
+TEST(SpreadEstimatorTest, ExactOnDiamond) {
+  // 0 -> {1,2} -> 3, all p = 0.5.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.5);
+  // E = P(1) + P(2) + P(3). P(1)=P(2)=.5.
+  // P(3) = 1 - (1 - .5*.5)^2 = 1 - .75^2 = .4375.
+  McOptions mc;
+  mc.num_simulations = 200000;
+  mc.seed = 2;
+  EXPECT_NEAR(EstimateSpread(g, params, {0}, mc), 0.5 + 0.5 + 0.4375, 0.01);
+}
+
+TEST(SpreadEstimatorTest, SeedsExcludedFromSpread) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  McOptions mc;
+  mc.num_simulations = 100;
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, params, {0, 1}, mc), 0.0);
+}
+
+TEST(SpreadEstimatorTest, DeterministicInSeed) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.5);
+  ThreadPool pool(1);
+  McOptions mc;
+  mc.num_simulations = 1000;
+  mc.seed = 77;
+  mc.pool = &pool;
+  const double a = EstimateSpread(g, params, {0}, mc);
+  const double b2 = EstimateSpread(g, params, {0}, mc);
+  EXPECT_DOUBLE_EQ(a, b2);
+}
+
+TEST(SpreadEstimatorTest, MonotoneInSeedSetSize) {
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 5; ++u) b.AddEdge(u, u + 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 0.3);
+  McOptions mc;
+  mc.num_simulations = 20000;
+  mc.seed = 3;
+  const double one = EstimateSpread(g, params, {0}, mc);
+  const double two = EstimateSpread(g, params, {0, 3}, mc);
+  EXPECT_GT(two, one);
+}
+
+TEST(SpreadEstimatorTest, OpinionEstimateBundlesAllThreeMetrics) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  OpinionParams opinions;
+  opinions.opinion = {1.0, -0.5};
+  opinions.interaction = {1.0};
+  McOptions mc;
+  mc.num_simulations = 1000;
+  auto e = EstimateOpinionSpread(g, params, opinions,
+                                 OiBase::kIndependentCascade, {0}, 1.0, mc);
+  // o'_1 = (-0.5 + 1)/2 = 0.25 deterministically.
+  EXPECT_NEAR(e.opinion_spread, 0.25, 1e-9);
+  EXPECT_NEAR(e.effective_opinion_spread, 0.25, 1e-9);
+  EXPECT_NEAR(e.plain_spread, 1.0, 1e-9);
+}
+
+TEST(SpreadEstimatorTest, LambdaZeroIgnoresNegativeMass) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeUniformIc(g, 1.0);
+  OpinionParams opinions;
+  opinions.opinion = {-1.0, -0.8};
+  opinions.interaction = {1.0};
+  McOptions mc;
+  mc.num_simulations = 1000;
+  auto lambda1 = EstimateOpinionSpread(g, params, opinions,
+                                       OiBase::kIndependentCascade, {0}, 1.0, mc);
+  auto lambda0 = EstimateOpinionSpread(g, params, opinions,
+                                       OiBase::kIndependentCascade, {0}, 0.0, mc);
+  EXPECT_LT(lambda1.effective_opinion_spread, 0.0);
+  EXPECT_DOUBLE_EQ(lambda0.effective_opinion_spread, 0.0);
+}
+
+TEST(SpreadEstimatorTest, OcEstimatorRuns) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto params = MakeLinearThreshold(g);
+  OpinionParams opinions;
+  opinions.opinion = {1.0, 0.0};
+  opinions.interaction = {0.5};
+  McOptions mc;
+  mc.num_simulations = 1000;
+  EXPECT_NEAR(EstimateOcOpinionSpread(g, params, opinions, {0}, mc), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace holim

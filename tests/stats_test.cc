@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/stats.h"
+
+namespace holim {
+namespace {
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph g = GeneratePath(5).ValueOrDie();
+  auto dist = BfsDistances(g, 0);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(dist[u], u);
+  // Reverse direction unreachable.
+  auto dist_from_end = BfsDistances(g, 4);
+  EXPECT_EQ(dist_from_end[0], kUnreachable);
+  EXPECT_EQ(dist_from_end[4], 0u);
+}
+
+TEST(BfsTest, StarGraph) {
+  GraphBuilder b(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) b.AddEdge(0, leaf);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto dist = BfsDistances(g, 0);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_EQ(dist[leaf], 1u);
+}
+
+TEST(ReachabilityTest, CountsClosure) {
+  Graph g = GeneratePath(10).ValueOrDie();
+  EXPECT_EQ(ForwardReachableCount(g, {0}), 10u);
+  EXPECT_EQ(ForwardReachableCount(g, {5}), 5u);
+  EXPECT_EQ(ForwardReachableCount(g, {0, 5}), 10u);  // union, no double count
+  EXPECT_EQ(ForwardReachableCount(g, {}), 0u);
+}
+
+TEST(StatsTest, PathDiameter) {
+  Graph g = GeneratePath(11).ValueOrDie();
+  auto stats = ComputeGraphStats(g, 11, 1);
+  EXPECT_EQ(stats.num_nodes, 11u);
+  EXPECT_EQ(stats.num_edges, 10u);
+  EXPECT_EQ(stats.observed_diameter, 10u);
+  EXPECT_GT(stats.effective_diameter_90, 1.0);
+}
+
+TEST(StatsTest, AverageDegree) {
+  Graph g = GenerateErdosRenyi(1000, 5.0, 3).ValueOrDie();
+  auto stats = ComputeGraphStats(g, 0);
+  EXPECT_NEAR(stats.avg_out_degree, 5.0, 0.5);
+  EXPECT_EQ(stats.effective_diameter_90, 0.0);  // samples disabled
+}
+
+TEST(StatsTest, EmptyGraph) {
+  GraphBuilder b(0);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.avg_out_degree, 0.0);
+}
+
+TEST(StatsTest, SmallWorldHasSmallEffectiveDiameter) {
+  Graph g = GenerateBarabasiAlbert(5000, 4, 9).ValueOrDie();
+  auto stats = ComputeGraphStats(g, 32, 1);
+  // Social-like graphs: effective diameter well under 10 (Table 2 band).
+  EXPECT_GT(stats.effective_diameter_90, 1.0);
+  EXPECT_LT(stats.effective_diameter_90, 10.0);
+}
+
+TEST(StatsTest, MaxDegreesTracked) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto stats = ComputeGraphStats(g, 0);
+  EXPECT_EQ(stats.max_out_degree, 3u);
+  EXPECT_EQ(stats.max_in_degree, 2u);
+}
+
+}  // namespace
+}  // namespace holim

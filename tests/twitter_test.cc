@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/twitter.h"
+#include "diffusion/spread_estimator.h"
+#include "model/influence_params.h"
+
+namespace holim {
+namespace {
+
+TwitterCorpusOptions SmallCorpus() {
+  TwitterCorpusOptions options;
+  options.num_users = 3000;
+  options.follower_edges_per_user = 5;
+  options.num_topics = 8;
+  options.originators_per_topic = 8;
+  options.seed = 77;
+  return options;
+}
+
+class TwitterCorpusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new TwitterCorpus(
+        BuildTwitterCorpus(SmallCorpus()).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static TwitterCorpus* corpus_;
+};
+
+TwitterCorpus* TwitterCorpusTest::corpus_ = nullptr;
+
+TEST_F(TwitterCorpusTest, BackgroundGraphBuilt) {
+  EXPECT_EQ(corpus_->background.num_nodes(), 3000u);
+  EXPECT_GT(corpus_->background.num_edges(), 3000u);
+}
+
+TEST_F(TwitterCorpusTest, AllTopicsMaterialized) {
+  EXPECT_EQ(corpus_->topics.size(), 8u);
+  for (const auto& topic : corpus_->topics) {
+    EXPECT_GT(topic.subgraph.graph.num_nodes(), 0u);
+  }
+}
+
+TEST_F(TwitterCorpusTest, OriginatorsHaveZeroInDegree) {
+  for (const auto& topic : corpus_->topics) {
+    for (NodeId o : topic.originators) {
+      EXPECT_EQ(topic.subgraph.graph.InDegree(o), 0u)
+          << topic.hashtag;
+    }
+  }
+}
+
+TEST_F(TwitterCorpusTest, GroundTruthOpinionsInRange) {
+  for (const auto& topic : corpus_->topics) {
+    for (double o : topic.ground_truth_opinion) {
+      if (std::isnan(o)) continue;
+      EXPECT_GE(o, -1.0);
+      EXPECT_LE(o, 1.0);
+    }
+  }
+}
+
+TEST_F(TwitterCorpusTest, EstimatedParamsWellFormed) {
+  ASSERT_EQ(corpus_->estimated.opinion.size(),
+            corpus_->background.num_nodes());
+  ASSERT_EQ(corpus_->estimated.interaction.size(),
+            corpus_->background.num_edges());
+  for (double o : corpus_->estimated.opinion) {
+    EXPECT_GE(o, -1.0);
+    EXPECT_LE(o, 1.0);
+  }
+  for (double phi : corpus_->estimated.interaction) {
+    EXPECT_GE(phi, 0.0);
+    EXPECT_LE(phi, 1.0);
+  }
+}
+
+TEST_F(TwitterCorpusTest, OpinionEstimationErrorBandsMatchPaper) {
+  // Paper Sec. 4.1.1: seeds ~3.43% error, non-seeds ~8.57% (the classifier
+  // sees personal opinion for seeds but influence-mixed opinion otherwise).
+  EXPECT_GT(corpus_->seed_opinion_error, 0.0);
+  EXPECT_LT(corpus_->seed_opinion_error, 0.15);
+  EXPECT_GT(corpus_->nonseed_opinion_error, corpus_->seed_opinion_error);
+  EXPECT_LT(corpus_->nonseed_opinion_error, 0.5);
+}
+
+TEST_F(TwitterCorpusTest, SubgraphMappingsConsistent) {
+  for (const auto& topic : corpus_->topics) {
+    const auto& sub = topic.subgraph;
+    for (NodeId s = 0; s < sub.graph.num_nodes(); ++s) {
+      const NodeId original = sub.to_original[s];
+      ASSERT_LT(original, corpus_->background.num_nodes());
+      EXPECT_EQ(sub.to_subgraph[original], s);
+    }
+  }
+}
+
+TEST_F(TwitterCorpusTest, Deterministic) {
+  auto again = BuildTwitterCorpus(SmallCorpus()).ValueOrDie();
+  EXPECT_EQ(again.background.num_edges(), corpus_->background.num_edges());
+  ASSERT_EQ(again.topics.size(), corpus_->topics.size());
+  for (std::size_t t = 0; t < again.topics.size(); ++t) {
+    EXPECT_EQ(again.topics[t].subgraph.graph.num_nodes(),
+              corpus_->topics[t].subgraph.graph.num_nodes());
+    EXPECT_NEAR(again.topics[t].ground_truth_spread,
+                corpus_->topics[t].ground_truth_spread, 1e-12);
+  }
+}
+
+TEST(TwitterCorpusOptionsTest, Rejected) {
+  TwitterCorpusOptions options;
+  options.num_users = 10;
+  EXPECT_FALSE(BuildTwitterCorpus(options).ok());
+  options = TwitterCorpusOptions{};
+  options.num_topics = 0;
+  EXPECT_FALSE(BuildTwitterCorpus(options).ok());
+}
+
+}  // namespace
+}  // namespace holim

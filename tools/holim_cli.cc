@@ -1,0 +1,194 @@
+// holim_cli — run any seed-selection algorithm on any dataset (synthetic
+// stand-in or a real SNAP edge list) and report seeds, spread, time, memory.
+//
+// Examples:
+//   holim_cli --algo=easyim --dataset=NetHEPT --scale=0.2 --model=IC --k=50
+//   holim_cli --algo=osim --dataset=HepPh --opinions=normal --lambda=1 --k=25
+//   holim_cli --algo=tim --edge_list=/data/soc-LiveJournal1.txt --k=100
+//   holim_cli --algo=celf --dataset=NetHEPT --scale=0.01 --mc=100 --k=10
+
+#include <cstdio>
+#include <memory>
+
+#include "algo/celf.h"
+#include "algo/greedy.h"
+#include "algo/heuristics.h"
+#include "algo/imm.h"
+#include "algo/irie.h"
+#include "algo/score_greedy.h"
+#include "algo/simpath.h"
+#include "algo/tim_plus.h"
+#include "bench_support/bench_main.h"
+#include "data/datasets.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/edge_list_io.h"
+#include "graph/stats.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+#include "util/string_util.h"
+
+namespace holim {
+namespace {
+
+Result<InfluenceParams> MakeParams(const Graph& graph,
+                                   const std::string& model, double p) {
+  if (model == "IC") return MakeUniformIc(graph, p);
+  if (model == "WC") return MakeWeightedCascade(graph);
+  if (model == "LT") return MakeLinearThreshold(graph);
+  return Status::InvalidArgument("unknown --model (IC|WC|LT): " + model);
+}
+
+Status Run(const BenchArgs& args) {
+  auto config = ReadCommonConfig(args);
+  const std::string algo = args.GetString("algo", "easyim");
+  const std::string model_name = args.GetString("model", "IC");
+  const uint32_t k = static_cast<uint32_t>(args.GetInt("k", 50));
+  const uint32_t l = static_cast<uint32_t>(args.GetInt("l", 3));
+  const double lambda = args.GetDouble("lambda", 1.0);
+
+  // Load the graph: real edge list beats synthetic stand-in when given.
+  Graph graph;
+  const std::string edge_list = args.GetString("edge_list", "");
+  if (!edge_list.empty()) {
+    EdgeListOptions io;
+    io.undirected = args.GetBool("undirected", false);
+    HOLIM_ASSIGN_OR_RETURN(graph, ReadEdgeList(edge_list, io));
+  } else {
+    HOLIM_ASSIGN_OR_RETURN(
+        graph, LoadSyntheticDataset(args.GetString("dataset", "NetHEPT"),
+                                    config.scale));
+  }
+  HOLIM_ASSIGN_OR_RETURN(InfluenceParams params,
+                         MakeParams(graph, model_name,
+                                    args.GetDouble("p", 0.1)));
+  auto stats = ComputeGraphStats(graph, 8, config.seed);
+  std::printf("graph: n=%u m=%llu avg_deg=%.2f eff_diam90=%.1f model=%s\n",
+              stats.num_nodes,
+              static_cast<unsigned long long>(stats.num_edges),
+              stats.avg_out_degree, stats.effective_diameter_90,
+              model_name.c_str());
+
+  // Optional opinion layer.
+  const std::string opinions_kind = args.GetString("opinions", "");
+  OpinionParams opinions;
+  const bool opinion_aware = !opinions_kind.empty();
+  if (opinion_aware) {
+    if (opinions_kind == "uniform") {
+      opinions = MakeRandomOpinions(graph, OpinionDistribution::kUniform,
+                                    config.seed);
+    } else if (opinions_kind == "normal") {
+      opinions = MakeRandomOpinions(
+          graph, OpinionDistribution::kStandardNormal, config.seed);
+    } else {
+      return Status::InvalidArgument(
+          "unknown --opinions (uniform|normal): " + opinions_kind);
+    }
+  }
+  const OiBase base = model_name == "LT" ? OiBase::kLinearThreshold
+                                         : OiBase::kIndependentCascade;
+
+  McOptions mc;
+  mc.num_simulations = config.mc;
+  mc.seed = config.seed;
+
+  // Build the selector.
+  std::unique_ptr<SeedSelector> selector;
+  if (algo == "easyim") {
+    selector = std::make_unique<EasyImSelector>(graph, params, l);
+  } else if (algo == "osim") {
+    if (!opinion_aware) {
+      return Status::InvalidArgument("--algo=osim needs --opinions=...");
+    }
+    selector =
+        std::make_unique<OsimSelector>(graph, params, opinions, base, l);
+  } else if (algo == "greedy" || algo == "celf") {
+    std::shared_ptr<McObjective> objective;
+    if (opinion_aware) {
+      objective = std::make_shared<EffectiveOpinionObjective>(
+          graph, params, opinions, base, lambda, mc);
+    } else {
+      objective = std::make_shared<SpreadObjective>(graph, params, mc);
+    }
+    if (algo == "greedy") {
+      selector = std::make_unique<GreedySelector>(graph, objective);
+    } else {
+      selector = std::make_unique<CelfSelector>(graph, objective);
+    }
+  } else if (algo == "tim") {
+    TimPlusOptions options;
+    options.epsilon = args.GetDouble("epsilon", 0.1);
+    options.max_theta =
+        static_cast<std::size_t>(args.GetInt("max_theta", 2'000'000));
+    selector = std::make_unique<TimPlusSelector>(graph, params, options);
+  } else if (algo == "imm") {
+    ImmOptions options;
+    options.epsilon = args.GetDouble("epsilon", 0.1);
+    options.max_theta =
+        static_cast<std::size_t>(args.GetInt("max_theta", 2'000'000));
+    selector = std::make_unique<ImmSelector>(graph, params, options);
+  } else if (algo == "irie") {
+    selector = std::make_unique<IrieSelector>(graph, params);
+  } else if (algo == "simpath") {
+    selector = std::make_unique<SimpathSelector>(graph, params);
+  } else if (algo == "degree") {
+    selector = std::make_unique<DegreeSelector>(graph);
+  } else if (algo == "degreediscount") {
+    selector = std::make_unique<DegreeDiscountSelector>(
+        graph, args.GetDouble("p", 0.1));
+  } else if (algo == "pagerank") {
+    selector = std::make_unique<PageRankSelector>(graph);
+  } else if (algo == "random") {
+    selector = std::make_unique<RandomSelector>(graph, config.seed);
+  } else {
+    return Status::InvalidArgument(
+        "unknown --algo (easyim|osim|greedy|celf|tim|imm|irie|simpath|"
+        "degree|degreediscount|pagerank|random): " + algo);
+  }
+
+  HOLIM_ASSIGN_OR_RETURN(SeedSelection selection, selector->Select(k));
+  std::printf("\n%s selected %zu seeds in %s (exec memory %s)\n",
+              selector->name().c_str(), selection.seeds.size(),
+              HumanSeconds(selection.elapsed_seconds).c_str(),
+              HumanBytes(selection.overhead_bytes).c_str());
+  std::printf("seeds:");
+  for (std::size_t i = 0; i < selection.seeds.size() && i < 20; ++i) {
+    std::printf(" %u", selection.seeds[i]);
+  }
+  if (selection.seeds.size() > 20) std::printf(" ...");
+  std::printf("\n\n");
+
+  const double spread = EstimateSpread(graph, params, selection.seeds, mc);
+  std::printf("expected spread sigma(S): %.2f (%u MC simulations)\n", spread,
+              mc.num_simulations);
+  if (opinion_aware) {
+    auto estimate = EstimateOpinionSpread(graph, params, opinions, base,
+                                          selection.seeds, lambda, mc);
+    std::printf("opinion spread:            %.2f\n",
+                estimate.opinion_spread);
+    std::printf("effective opinion spread:  %.2f (lambda=%.2f)\n",
+                estimate.effective_opinion_spread, lambda);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace holim
+
+int main(int argc, char** argv) {
+  return holim::BenchMain(
+      argc, argv, "holim_cli — influence maximization toolbox", holim::Run,
+      [](holim::BenchArgs* args) {
+        args->Declare("algo", "selection algorithm (see error text for list)");
+        args->Declare("dataset", "synthetic stand-in name (Table 2)");
+        args->Declare("edge_list", "path to a SNAP edge-list file");
+        args->Declare("undirected", "treat edge list rows as undirected");
+        args->Declare("model", "diffusion model: IC | WC | LT");
+        args->Declare("p", "uniform IC probability (default 0.1)");
+        args->Declare("k", "number of seeds (default 50)");
+        args->Declare("l", "EaSyIM/OSIM path-length horizon (default 3)");
+        args->Declare("opinions", "opinion layer: uniform | normal");
+        args->Declare("lambda", "negative-opinion penalty (default 1)");
+        args->Declare("epsilon", "TIM+/IMM approximation slack");
+        args->Declare("max_theta", "TIM+/IMM RR-set cap");
+      });
+}
