@@ -29,6 +29,7 @@ Status Run(const BenchArgs& args) {
   HOLIM_ASSIGN_OR_RETURN(
       Workload w, LoadWorkload("NetHEPT", scale,
                                DiffusionModel::kIndependentCascade));
+  w.graph.BuildEdgeSourceIndex();  // O(1) EdgeSource in opinion replay
   OpinionParams opinions = MakeRandomOpinions(
       w.graph, OpinionDistribution::kStandardNormal, config.seed);
   const uint32_t k =

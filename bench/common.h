@@ -35,6 +35,9 @@ inline Result<Workload> LoadWorkload(const std::string& dataset, double scale,
   Workload w;
   w.dataset = dataset;
   HOLIM_ASSIGN_OR_RETURN(w.graph, LoadSyntheticDataset(dataset, scale));
+  // Note: callers that replay cascades (OI opinion estimation) should call
+  // w.graph.BuildEdgeSourceIndex() for O(1) EdgeSource; it is not built
+  // here so the memory-figure binaries keep the bare CSR footprint.
   switch (model) {
     case DiffusionModel::kIndependentCascade:
       w.params = MakeUniformIc(w.graph, 0.1);

@@ -24,6 +24,7 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload(dataset, config.scale,
                                  DiffusionModel::kIndependentCascade));
+    w.graph.BuildEdgeSourceIndex();  // O(1) EdgeSource in opinion replay
     InfluenceParams lt = MakeLinearThreshold(w.graph);
     auto grid = SeedGrid(config.max_k);
     std::vector<double> oi_acc(grid.size(), 0), oc_acc(grid.size(), 0),

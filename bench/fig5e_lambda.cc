@@ -26,6 +26,7 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload(dataset, config.scale,
                                  DiffusionModel::kIndependentCascade));
+    w.graph.BuildEdgeSourceIndex();  // O(1) EdgeSource in opinion replay
     auto grid = SeedGrid(config.max_k);
     const int kInstances = 3;  // paper: averaged over 3 generated instances
     std::vector<double> v1(grid.size(), 0), v0(grid.size(), 0);

@@ -19,6 +19,7 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload(dataset, config.scale * shrink,
                                  DiffusionModel::kIndependentCascade));
+    w.graph.BuildEdgeSourceIndex();  // O(1) EdgeSource in opinion replay
     OpinionParams opinions = MakeRandomOpinions(
         w.graph, OpinionDistribution::kUniform, config.seed);
     OsimSelector lambda1_selector(w.graph, w.params, opinions,

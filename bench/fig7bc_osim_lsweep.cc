@@ -25,6 +25,7 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w,
         LoadWorkload("HepPh", scale, DiffusionModel::kLinearThreshold));
+    w.graph.BuildEdgeSourceIndex();  // O(1) EdgeSource in opinion replay
     OpinionParams opinions = MakeRandomOpinions(
         w.graph, OpinionDistribution::kStandardNormal, config.seed);
     std::fill(opinions.interaction.begin(), opinions.interaction.end(), 1.0);
@@ -71,6 +72,7 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload(dataset, config.scale * shrink,
                                  DiffusionModel::kIndependentCascade));
+    w.graph.BuildEdgeSourceIndex();  // O(1) EdgeSource in opinion replay
     OpinionParams opinions = MakeRandomOpinions(
         w.graph, OpinionDistribution::kUniform, config.seed);
     auto grid = SeedGrid(config.max_k);

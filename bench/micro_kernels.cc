@@ -92,6 +92,35 @@ void BM_RrSetSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_RrSetSampling)->Arg(1000)->Arg(10000);
 
+void BM_RrSetSamplingParallel(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  RrCollection rr(f.graph, f.params);
+  uint64_t seed = 2;
+  for (auto _ : state) {
+    rr.Clear();
+    rr.GenerateParallel(2048, seed++, &pool);
+    benchmark::DoNotOptimize(rr.num_sets());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_RrSetSamplingParallel)
+    ->Args({10000, 1})
+    ->Args({10000, 4})
+    ->Args({100000, 1})
+    ->Args({100000, 4});
+
+void BM_RrSelectMaxCoverage(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  RrCollection rr(f.graph, f.params);
+  rr.GenerateParallel(static_cast<std::size_t>(state.range(1)), 3, nullptr);
+  for (auto _ : state) {
+    auto coverage = rr.SelectMaxCoverage(50);
+    benchmark::DoNotOptimize(coverage.seeds.data());
+  }
+}
+BENCHMARK(BM_RrSelectMaxCoverage)->Args({10000, 20000})->Args({100000, 50000});
+
 }  // namespace
 }  // namespace holim
 

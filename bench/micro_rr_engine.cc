@@ -1,0 +1,191 @@
+// RR-engine microbenchmark: sets/sec and bytes/set for the flat-arena
+// sketch engine versus the legacy nested-vector serial path, across thread
+// counts. Emits BENCH_rr_engine.json so successive PRs can track RR-set
+// generation throughput (see .github/workflows/ci.yml).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algo/rr_sets.h"
+#include "common.h"
+#include "graph/generators.h"
+
+using namespace holim;
+
+namespace {
+
+// The seed's RR sampler: one heap-allocated std::vector per set, sampled
+// sequentially. Kept here as the throughput/memory baseline the arena
+// engine is measured against.
+struct NestedBaseline {
+  std::vector<std::vector<NodeId>> sets;
+
+  void Generate(const Graph& g, const InfluenceParams& params,
+                std::size_t count, Rng& rng) {
+    EpochSet visited(g.num_nodes());
+    std::vector<NodeId> stack;
+    const bool lt = params.model == DiffusionModel::kLinearThreshold;
+    sets.reserve(sets.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId root =
+          static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      visited.Reset(g.num_nodes());
+      stack.clear();
+      std::vector<NodeId> rr{root};
+      visited.Insert(root);
+      stack.push_back(root);
+      while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        auto in_neighbors = g.InNeighbors(v);
+        auto in_edges = g.InEdgeIds(v);
+        if (lt) {
+          double r = rng.NextDouble();
+          for (std::size_t j = 0; j < in_neighbors.size(); ++j) {
+            const double w = params.p(in_edges[j]);
+            if (r < w) {
+              const NodeId u = in_neighbors[j];
+              if (!visited.Contains(u)) {
+                visited.Insert(u);
+                stack.push_back(u);
+                rr.push_back(u);
+              }
+              break;
+            }
+            r -= w;
+          }
+        } else {
+          for (std::size_t j = 0; j < in_neighbors.size(); ++j) {
+            const NodeId u = in_neighbors[j];
+            if (visited.Contains(u)) continue;
+            if (rng.NextBernoulli(params.p(in_edges[j]))) {
+              visited.Insert(u);
+              stack.push_back(u);
+              rr.push_back(u);
+            }
+          }
+        }
+      }
+      sets.push_back(std::move(rr));
+    }
+  }
+
+  std::size_t MemoryBytes() const {
+    std::size_t bytes = sets.capacity() * sizeof(std::vector<NodeId>);
+    for (const auto& rr : sets) bytes += rr.capacity() * sizeof(NodeId);
+    return bytes;
+  }
+};
+
+struct Row {
+  std::string engine;
+  std::size_t threads;
+  double seconds;
+  double sets_per_sec;
+  double bytes_per_set;
+};
+
+Status Run(const BenchArgs& args) {
+  const NodeId nodes =
+      static_cast<NodeId>(args.GetInt("nodes", 100000));
+  const std::size_t num_sets =
+      static_cast<std::size_t>(args.GetInt("sets", 20000));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string json_path =
+      args.GetString("json", "BENCH_rr_engine.json");
+  if (nodes == 0 || num_sets == 0) {
+    return Status::InvalidArgument("--nodes and --sets must be positive");
+  }
+
+  HOLIM_ASSIGN_OR_RETURN(Graph graph,
+                         GenerateBarabasiAlbert(nodes, 4, seed));
+  InfluenceParams params = MakeWeightedCascade(graph);
+  std::printf("graph: n=%u m=%llu, WC weights, %zu RR sets per run\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()), num_sets);
+
+  std::vector<Row> rows;
+  {
+    NestedBaseline nested;
+    Rng rng(seed);
+    Timer timer;
+    nested.Generate(graph, params, num_sets, rng);
+    const double secs = timer.ElapsedSeconds();
+    rows.push_back({"nested_serial_seed", 1, secs, num_sets / secs,
+                    static_cast<double>(nested.MemoryBytes()) / num_sets});
+  }
+  {
+    RrCollection rr(graph, params);
+    Rng rng(seed);
+    Timer timer;
+    rr.Generate(num_sets, rng);
+    const double secs = timer.ElapsedSeconds();
+    rows.push_back({"arena_serial", 1, secs, num_sets / secs,
+                    static_cast<double>(rr.MemoryBytes()) / num_sets});
+  }
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    ThreadPool pool(threads);
+    RrCollection rr(graph, params);
+    Timer timer;
+    rr.GenerateParallel(num_sets, seed, &pool);
+    const double secs = timer.ElapsedSeconds();
+    char name[32];
+    std::snprintf(name, sizeof(name), "arena_parallel_%zut", threads);
+    rows.push_back({name, threads, secs, num_sets / secs,
+                    static_cast<double>(rr.MemoryBytes()) / num_sets});
+  }
+
+  ResultTable table(
+      "RR engine — generation throughput and memory",
+      {"engine", "threads", "seconds", "sets_per_sec", "bytes_per_set"},
+      bench::CsvPath("micro_rr_engine"));
+  for (const Row& r : rows) {
+    table.AddRow({r.engine, std::to_string(r.threads), CsvWriter::Num(r.seconds),
+                  CsvWriter::Num(r.sets_per_sec),
+                  CsvWriter::Num(r.bytes_per_set)});
+  }
+  table.Print();
+  const double speedup_8t = rows.back().sets_per_sec / rows[0].sets_per_sec;
+  std::printf("\narena 8-thread vs nested serial seed: %.2fx sets/sec, "
+              "%.0f vs %.0f bytes/set\n",
+              speedup_8t, rows.back().bytes_per_set, rows[0].bytes_per_set);
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) return Status::IOError("cannot write " + json_path);
+  std::fprintf(f,
+               "{\n  \"bench\": \"rr_engine\",\n  \"nodes\": %u,\n"
+               "  \"edges\": %llu,\n  \"model\": \"WC\",\n  \"sets\": %zu,\n"
+               "  \"speedup_8t_vs_seed\": %.4f,\n  \"results\": [\n",
+               graph.num_nodes(),
+               static_cast<unsigned long long>(graph.num_edges()), num_sets,
+               speedup_8t);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"engine\": \"%s\", \"threads\": %zu, "
+                 "\"seconds\": %.6f, \"sets_per_sec\": %.1f, "
+                 "\"bytes_per_set\": %.1f}%s\n",
+                 r.engine.c_str(), r.threads, r.seconds, r.sets_per_sec,
+                 r.bytes_per_set, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return BenchMain(argc, argv,
+                   "RR-engine microbenchmark (sets/sec, bytes/set)", Run,
+                   [](BenchArgs* args) {
+                     args->Declare("nodes", "graph size (default 100000)");
+                     args->Declare("sets", "RR sets per run (default 20000)");
+                     args->Declare("json",
+                                   "output JSON path "
+                                   "(default BENCH_rr_engine.json)");
+                   });
+}

@@ -56,7 +56,10 @@ Result<SeedSelection> ImmSelector::Select(uint32_t k) {
     std::size_t theta_i =
         static_cast<std::size_t>(std::ceil(lambda_prime / x));
     if (options_.max_theta > 0) theta_i = std::min(theta_i, options_.max_theta);
-    if (rr.num_sets() < theta_i) rr.Generate(theta_i - rr.num_sets(), rng);
+    if (rr.num_sets() < theta_i) {
+      rr.GenerateParallel(theta_i - rr.num_sets(), rng.Next64(),
+                          options_.pool);
+    }
     auto coverage = rr.SelectMaxCoverage(k);
     const double estimate = n * coverage.covered_fraction;
     if (estimate >= (1.0 + eps_prime) * x) {
@@ -70,7 +73,9 @@ Result<SeedSelection> ImmSelector::Select(uint32_t k) {
   std::size_t theta =
       static_cast<std::size_t>(std::ceil(lambda_star / std::max(1.0, lb)));
   if (options_.max_theta > 0) theta = std::min(theta, options_.max_theta);
-  if (rr.num_sets() < theta) rr.Generate(theta - rr.num_sets(), rng);
+  if (rr.num_sets() < theta) {
+    rr.GenerateParallel(theta - rr.num_sets(), rng.Next64(), options_.pool);
+  }
   stats_.theta = rr.num_sets();
   stats_.rr_memory_bytes = rr.MemoryBytes();
 

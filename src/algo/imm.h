@@ -17,6 +17,9 @@ struct ImmOptions {
   double ell = 1.0;
   uint64_t seed = 123;
   std::size_t max_theta = 0;  // 0 = uncapped; safety valve as in TIM+
+  /// Pool for sharded RR-set generation (nullptr -> DefaultThreadPool()).
+  /// Selected seeds are identical for every pool size (see rr_sets.h).
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief IMM — martingale-based RIS influence maximization.

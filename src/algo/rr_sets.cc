@@ -1,35 +1,44 @@
 #include "algo/rr_sets.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "util/logging.h"
 
 namespace holim {
 
-RrCollection::RrCollection(const Graph& graph, const InfluenceParams& params)
-    : graph_(graph), params_(params), visited_(graph.num_nodes()) {
+RrCollection::RrCollection(const Graph& graph, const InfluenceParams& params,
+                           bool track_widths)
+    : graph_(graph),
+      params_(params),
+      track_widths_(track_widths),
+      visited_(graph.num_nodes()) {
   HOLIM_CHECK(params.probability.size() == graph.num_edges());
+  offsets_.push_back(0);
 }
 
 void RrCollection::Clear() {
-  sets_.clear();
-  total_entries_ = 0;
+  entries_.clear();
+  offsets_.assign(1, 0);
+  widths_.clear();
   total_width_ = 0;
 }
 
-void RrCollection::SampleOne(Rng& rng) {
+uint64_t RrCollection::SampleOne(Rng& rng, EpochSet& visited,
+                                 std::vector<NodeId>& stack,
+                                 std::vector<NodeId>& out) const {
   const NodeId root = static_cast<NodeId>(rng.NextBounded(graph_.num_nodes()));
-  visited_.Reset(graph_.num_nodes());
-  stack_.clear();
-  std::vector<NodeId> rr;
-  visited_.Insert(root);
-  stack_.push_back(root);
-  rr.push_back(root);
+  visited.Reset(graph_.num_nodes());
+  stack.clear();
+  visited.Insert(root);
+  stack.push_back(root);
+  out.push_back(root);
+  uint64_t width = 0;
   const bool lt = params_.model == DiffusionModel::kLinearThreshold;
-  while (!stack_.empty()) {
-    const NodeId v = stack_.back();
-    stack_.pop_back();
-    total_width_ += graph_.InDegree(v);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    width += graph_.InDegree(v);
     auto in_neighbors = graph_.InNeighbors(v);
     auto in_edges = graph_.InEdgeIds(v);
     if (lt) {
@@ -39,10 +48,10 @@ void RrCollection::SampleOne(Rng& rng) {
         const double w = params_.p(in_edges[i]);
         if (r < w) {
           const NodeId u = in_neighbors[i];
-          if (!visited_.Contains(u)) {
-            visited_.Insert(u);
-            stack_.push_back(u);
-            rr.push_back(u);
+          if (!visited.Contains(u)) {
+            visited.Insert(u);
+            stack.push_back(u);
+            out.push_back(u);
           }
           break;
         }
@@ -51,104 +60,205 @@ void RrCollection::SampleOne(Rng& rng) {
     } else {
       for (std::size_t i = 0; i < in_neighbors.size(); ++i) {
         const NodeId u = in_neighbors[i];
-        if (visited_.Contains(u)) continue;
+        if (visited.Contains(u)) continue;
         if (rng.NextBernoulli(params_.p(in_edges[i]))) {
-          visited_.Insert(u);
-          stack_.push_back(u);
-          rr.push_back(u);
+          visited.Insert(u);
+          stack.push_back(u);
+          out.push_back(u);
         }
       }
     }
   }
-  total_entries_ += rr.size();
-  sets_.push_back(std::move(rr));
+  return width;
 }
 
 void RrCollection::Generate(std::size_t count, Rng& rng) {
-  sets_.reserve(sets_.size() + count);
-  for (std::size_t i = 0; i < count; ++i) SampleOne(rng);
+  offsets_.reserve(offsets_.size() + count);
+  if (track_widths_) widths_.reserve(widths_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const uint64_t w = SampleOne(rng, visited_, stack_, entries_);
+    offsets_.push_back(entries_.size());
+    if (track_widths_) widths_.push_back(w);
+    total_width_ += w;
+  }
+}
+
+void RrCollection::GenerateParallel(std::size_t count, uint64_t seed,
+                                    ThreadPool* pool) {
+  if (count == 0) return;
+  ThreadPool& p = pool ? *pool : DefaultThreadPool();
+  const std::size_t num_blocks =
+      (count + kGenerateBlockSize - 1) / kGenerateBlockSize;
+
+  // Shards only schedule blocks onto threads; each shard carries reusable
+  // scratch and one output buffer, never RNG state — block seeds depend on
+  // the global block index alone, so the merged arena does not depend on
+  // thread count. Blocks are processed in waves of `shards` and merged
+  // after each wave, capping peak transient memory at one wave of buffers
+  // instead of a full second copy of the arena.
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min<std::size_t>(p.num_threads() * 2, num_blocks));
+  struct ShardState {
+    EpochSet visited;
+    std::vector<NodeId> stack;
+    std::vector<NodeId> entries;
+    std::vector<uint32_t> sizes;
+    std::vector<uint64_t> widths;
+  };
+  std::vector<ShardState> shard(shards);
+  for (auto& s : shard) s.visited.Reset(graph_.num_nodes());
+
+  offsets_.reserve(offsets_.size() + count);
+  if (track_widths_) widths_.reserve(widths_.size() + count);
+  const std::size_t entries_before = entries_.size();
+  std::size_t sets_done = 0;
+  for (std::size_t wave_start = 0; wave_start < num_blocks;
+       wave_start += shards) {
+    const std::size_t wave_blocks =
+        std::min(shards, num_blocks - wave_start);
+    p.ParallelFor(wave_blocks, [&](std::size_t w) {
+      ShardState& sc = shard[w];
+      sc.entries.clear();
+      sc.sizes.clear();
+      sc.widths.clear();
+      const std::size_t b = wave_start + w;
+      uint64_t state = seed + kGenerateSeedSalt * (b + 1);
+      Rng rng(Rng::SplitMix64(state));
+      const std::size_t lo = b * kGenerateBlockSize;
+      const std::size_t n = std::min(kGenerateBlockSize, count - lo);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t before = sc.entries.size();
+        const uint64_t width =
+            SampleOne(rng, sc.visited, sc.stack, sc.entries);
+        sc.sizes.push_back(
+            static_cast<uint32_t>(sc.entries.size() - before));
+        sc.widths.push_back(width);
+      }
+    });
+    for (std::size_t w = 0; w < wave_blocks; ++w) {
+      const ShardState& sc = shard[w];
+      entries_.insert(entries_.end(), sc.entries.begin(), sc.entries.end());
+      std::size_t end = offsets_.back();
+      for (std::size_t i = 0; i < sc.sizes.size(); ++i) {
+        end += sc.sizes[i];
+        offsets_.push_back(end);
+        if (track_widths_) widths_.push_back(sc.widths[i]);
+        total_width_ += sc.widths[i];
+      }
+      sets_done += sc.sizes.size();
+    }
+    if (wave_start == 0 && sets_done < count) {
+      // Project the final arena size from the first wave's mean set size
+      // (+5% slack) so later waves rarely trigger a doubling realloc.
+      const std::size_t wave_entries = entries_.size() - entries_before;
+      const std::size_t projected =
+          entries_before + wave_entries * count / sets_done;
+      entries_.reserve(projected + projected / 20);
+    }
+  }
 }
 
 RrCollection::CoverageResult RrCollection::SelectMaxCoverage(uint32_t k) const {
   CoverageResult result;
-  if (sets_.empty()) return result;
-  // Node -> list of set indices containing it (built once per call).
+  const std::size_t num = num_sets();
+  if (num == 0) return result;
+  // Flat inverted index over the arena: node -> set ids containing it.
   std::vector<uint32_t> degree(graph_.num_nodes(), 0);
-  for (const auto& rr : sets_) {
-    for (NodeId u : rr) ++degree[u];
-  }
-  std::vector<std::size_t> offsets(graph_.num_nodes() + 1, 0);
+  for (NodeId u : entries_) ++degree[u];
+  std::vector<std::size_t> index_offsets(graph_.num_nodes() + 1, 0);
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
-    offsets[u + 1] = offsets[u] + degree[u];
+    index_offsets[u + 1] = index_offsets[u] + degree[u];
   }
-  std::vector<uint32_t> membership(total_entries_);
-  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (uint32_t s = 0; s < sets_.size(); ++s) {
-    for (NodeId u : sets_[s]) membership[cursor[u]++] = s;
+  std::vector<uint32_t> membership(entries_.size());
+  std::vector<std::size_t> cursor(index_offsets.begin(),
+                                  index_offsets.end() - 1);
+  for (std::size_t s = 0; s < num; ++s) {
+    for (std::size_t j = offsets_[s]; j < offsets_[s + 1]; ++j) {
+      membership[cursor[entries_[j]]++] = static_cast<uint32_t>(s);
+    }
   }
 
-  std::vector<char> set_covered(sets_.size(), 0);
-  std::vector<uint32_t> gain(degree.begin(), degree.end());
-  std::size_t covered = 0;
-  // Lazy-greedy with a simple bucket-free priority scan: k is small, and
-  // each pick decrements gains of co-members, so a full argmax scan per
-  // pick (O(kn)) is acceptable and allocation-free.
-  for (uint32_t i = 0; i < k; ++i) {
-    NodeId best = kInvalidNode;
-    uint32_t best_gain = 0;
-    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
-      if (gain[u] > best_gain) {
-        best_gain = gain[u];
-        best = u;
-      }
+  // CELF lazy greedy: heap entries carry a stale upper bound on the node's
+  // marginal gain (gains only shrink as sets get covered, so a stale value
+  // is always an upper bound). Pop, re-count against the covered bitmap,
+  // and select only when the refreshed gain still tops the heap.
+  struct Candidate {
+    uint32_t gain;
+    NodeId node;
+    bool operator<(const Candidate& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return node > other.node;  // max-heap: prefer the smaller node id
     }
-    if (best == kInvalidNode) {
-      // All sets covered; pad with arbitrary distinct nodes.
-      for (NodeId u = 0; u < graph_.num_nodes() &&
-                         result.seeds.size() < k; ++u) {
-        if (std::find(result.seeds.begin(), result.seeds.end(), u) ==
-            result.seeds.end()) {
-          result.seeds.push_back(u);
-        }
-      }
-      break;
-    }
-    result.seeds.push_back(best);
-    for (std::size_t j = offsets[best]; j < offsets[best + 1]; ++j) {
-      const uint32_t s = membership[j];
-      if (set_covered[s]) continue;
-      set_covered[s] = 1;
-      ++covered;
-      for (NodeId u : sets_[s]) {
-        if (gain[u] > 0) --gain[u];
-      }
-    }
-    gain[best] = 0;
+  };
+  std::priority_queue<Candidate> heap;
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    if (degree[u] > 0) heap.push({degree[u], u});
   }
-  result.covered_fraction = static_cast<double>(covered) / sets_.size();
+
+  std::vector<char> set_covered(num, 0);
+  std::vector<char> selected(graph_.num_nodes(), 0);
+  std::size_t covered = 0;
+  while (result.seeds.size() < k && !heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    if (selected[top.node]) continue;
+    uint32_t fresh = 0;
+    for (std::size_t j = index_offsets[top.node];
+         j < index_offsets[top.node + 1]; ++j) {
+      if (!set_covered[membership[j]]) ++fresh;
+    }
+    if (fresh == 0) continue;  // nothing uncovered left under this node
+    if (!heap.empty()) {
+      const Candidate& next = heap.top();
+      if (Candidate{fresh, top.node} < next) {
+        heap.push({fresh, top.node});
+        continue;
+      }
+    }
+    result.seeds.push_back(top.node);
+    selected[top.node] = 1;
+    for (std::size_t j = index_offsets[top.node];
+         j < index_offsets[top.node + 1]; ++j) {
+      const uint32_t s = membership[j];
+      if (!set_covered[s]) {
+        set_covered[s] = 1;
+        ++covered;
+      }
+    }
+  }
+  // All sets covered (or no positive-gain node left): pad with arbitrary
+  // distinct nodes, as the legacy selector did.
+  for (NodeId u = 0; u < graph_.num_nodes() && result.seeds.size() < k; ++u) {
+    if (!selected[u]) {
+      result.seeds.push_back(u);
+      selected[u] = 1;
+    }
+  }
+  result.covered_fraction = static_cast<double>(covered) / num;
   return result;
 }
 
 double RrCollection::CoveredFraction(const std::vector<NodeId>& seeds) const {
-  if (sets_.empty()) return 0.0;
+  const std::size_t num = num_sets();
+  if (num == 0) return 0.0;
   std::vector<char> is_seed(graph_.num_nodes(), 0);
   for (NodeId s : seeds) is_seed[s] = 1;
   std::size_t covered = 0;
-  for (const auto& rr : sets_) {
-    for (NodeId u : rr) {
-      if (is_seed[u]) {
+  for (std::size_t s = 0; s < num; ++s) {
+    for (std::size_t j = offsets_[s]; j < offsets_[s + 1]; ++j) {
+      if (is_seed[entries_[j]]) {
         ++covered;
         break;
       }
     }
   }
-  return static_cast<double>(covered) / sets_.size();
+  return static_cast<double>(covered) / num;
 }
 
 std::size_t RrCollection::MemoryBytes() const {
-  std::size_t bytes = sets_.capacity() * sizeof(std::vector<NodeId>);
-  for (const auto& rr : sets_) bytes += rr.capacity() * sizeof(NodeId);
-  return bytes;
+  return entries_.capacity() * sizeof(NodeId) +
+         offsets_.capacity() * sizeof(std::size_t) +
+         widths_.capacity() * sizeof(uint64_t);
 }
 
 }  // namespace holim

@@ -2,12 +2,14 @@
 #define HOLIM_ALGO_RR_SETS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "diffusion/cascade.h"
 #include "graph/graph.h"
 #include "model/influence_params.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace holim {
 
@@ -19,21 +21,82 @@ namespace holim {
 /// is traversed independently w.p. p(u,v); under LT each visited node picks
 /// at most one live in-edge (live-edge equivalence). E[coverage] * n / theta
 /// is an unbiased spread estimator.
+///
+/// ## Arena layout
+///
+/// Sets are stored CSR-style in one flat arena instead of one heap
+/// allocation per set:
+///
+///   entries_  : NodeId[total_entries]   — node members, sets back to back
+///   offsets_  : size_t[num_sets + 1]    — set i is entries_[offsets_[i]
+///                                          .. offsets_[i+1])
+///   widths_   : uint64[num_sets]        — per-set width w(R) = sum of
+///                                          in-degrees (TIM's KPT
+///                                          statistic); only stored when
+///                                          track_widths is requested
+///
+/// The first entry of every set is its root. Fixed per-set overhead is
+/// 8 bytes (one offset; 16 with per-set widths) versus 24 bytes of
+/// std::vector header plus a separate heap block in the legacy layout, and
+/// `SelectMaxCoverage` / `CoveredFraction` scan sets with zero pointer
+/// chasing. `set(i)` hands out zero-copy spans into the arena.
+///
+/// ## RNG-sharding contract (GenerateParallel)
+///
+/// `GenerateParallel(count, seed, pool)` appends `count` sets sampled in
+/// fixed-size blocks of `kGenerateBlockSize`. Block b (0-based within the
+/// call) is sampled sequentially by an independent RNG stream seeded with
+/// SplitMix64(seed + kGenerateSeedSalt * (b + 1)) — the same derivation
+/// shape as `RunSharded` in diffusion/spread_estimator.cc, with a
+/// different salt constant (the two streams are unrelated and must stay
+/// so; do not "unify" the constants). Because block
+/// decomposition and block seeds depend only on (count, seed) — never on
+/// the pool size — the resulting arena is bitwise identical for any thread
+/// count, including the inline single-thread pool. Blocks are processed in
+/// waves of one block per shard, with per-shard scratch (EpochSet + DFS
+/// stack) and reusable output buffers merged into the arena in block order
+/// after each wave — peak transient memory is one wave of buffers, not a
+/// second copy of the arena.
 class RrCollection {
  public:
-  RrCollection(const Graph& graph, const InfluenceParams& params);
+  /// Sets sampled per RNG block in GenerateParallel. Part of the
+  /// reproducibility contract: changing it changes sampled sets.
+  static constexpr std::size_t kGenerateBlockSize = 256;
+  /// Salt for deriving block seeds (same shape as RunSharded's derivation,
+  /// deliberately a different constant).
+  static constexpr uint64_t kGenerateSeedSalt = 0x9E3779B97F4A7C15ULL;
 
-  /// Appends `count` RR sets sampled with `rng`.
+  /// `track_widths` additionally records the per-set width w(R) (8 bytes
+  /// per set), needed only by TIM+'s KPT estimation; total_width() is
+  /// always maintained.
+  RrCollection(const Graph& graph, const InfluenceParams& params,
+               bool track_widths = false);
+
+  /// Appends `count` RR sets sampled sequentially with `rng` (legacy serial
+  /// path; draws are interleaved with the caller's stream).
   void Generate(std::size_t count, Rng& rng);
+
+  /// Appends `count` RR sets sharded across `pool` (nullptr selects
+  /// DefaultThreadPool()) under the RNG-sharding contract above. Output is
+  /// independent of the pool's thread count.
+  void GenerateParallel(std::size_t count, uint64_t seed,
+                        ThreadPool* pool = nullptr);
 
   /// Drops all sets (keeps capacity).
   void Clear();
 
-  std::size_t num_sets() const { return sets_.size(); }
-  const std::vector<NodeId>& set(std::size_t i) const { return sets_[i]; }
+  std::size_t num_sets() const { return offsets_.size() - 1; }
+  /// Zero-copy view of set i; the root is element 0. Invalidated by
+  /// Generate/GenerateParallel/Clear.
+  std::span<const NodeId> set(std::size_t i) const {
+    return {entries_.data() + offsets_[i], entries_.data() + offsets_[i + 1]};
+  }
+  /// Width w(R_i): in-degree sum over members (TIM Sec. 4 KPT estimate).
+  /// Only valid when constructed with track_widths.
+  uint64_t set_width(std::size_t i) const { return widths_[i]; }
   /// Total node entries across all sets (TIM's EPT uses width = in-degree
   /// sum; this is the node-count size used for memory accounting).
-  std::size_t total_entries() const { return total_entries_; }
+  std::size_t total_entries() const { return entries_.size(); }
   /// Sum over sets of the in-degree "width" w(R) (TIM Sec. 4 KPT estimate).
   uint64_t total_width() const { return total_width_; }
 
@@ -43,22 +106,32 @@ class RrCollection {
     std::vector<NodeId> seeds;
     double covered_fraction = 0.0;
   };
+  /// Lazy-greedy (CELF) max-coverage over a flat inverted index: each pick
+  /// pops the stale-max heap and re-counts that node's uncovered sets
+  /// instead of eagerly decrementing every co-member's gain. Ties break
+  /// toward the smaller node id.
   CoverageResult SelectMaxCoverage(uint32_t k) const;
 
   /// Fraction of sets that contain at least one of `seeds`.
   double CoveredFraction(const std::vector<NodeId>& seeds) const;
 
-  /// Bytes held by the RR sets (the memory-hungry part of TIM+; Fig. 6i).
+  /// Bytes held by the RR arena (the memory-hungry part of TIM+; Fig. 6i).
   std::size_t MemoryBytes() const;
 
  private:
-  void SampleOne(Rng& rng);
+  /// Samples one RR set with `rng`, appending its members to `out`
+  /// (root first). Returns the set's width.
+  uint64_t SampleOne(Rng& rng, EpochSet& visited, std::vector<NodeId>& stack,
+                     std::vector<NodeId>& out) const;
 
   const Graph& graph_;
   const InfluenceParams& params_;
-  std::vector<std::vector<NodeId>> sets_;
-  std::size_t total_entries_ = 0;
+  bool track_widths_ = false;
+  std::vector<NodeId> entries_;       // flat member arena
+  std::vector<std::size_t> offsets_;  // num_sets + 1, offsets_[0] == 0
+  std::vector<uint64_t> widths_;      // per-set width; empty unless tracked
   uint64_t total_width_ = 0;
+  // Scratch for the serial path (GenerateParallel uses per-shard scratch).
   EpochSet visited_;
   std::vector<NodeId> stack_;
 };

@@ -34,26 +34,20 @@ double TimPlusSelector::EstimateKpt(uint32_t k, Rng& rng) {
   const double m = static_cast<double>(graph_.num_edges());
   if (graph_.num_edges() == 0) return 1.0;
   const double log2n = std::log2(std::max(2.0, n));
-  RrCollection rr(graph_, params_);
+  RrCollection rr(graph_, params_, /*track_widths=*/true);
   for (uint32_t i = 1; i + 1 < static_cast<uint32_t>(log2n); ++i) {
     const double ci =
         (6.0 * options_.ell * std::log(n) + 6.0 * std::log(log2n)) *
         std::pow(2.0, i);
     const std::size_t need = static_cast<std::size_t>(std::ceil(ci));
     rr.Clear();
-    rr.Generate(need, rng);
+    rr.GenerateParallel(need, rng.Next64(), options_.pool);
     // kappa(R) = 1 - (1 - w(R)/m)^k per set; estimate the mean.
     double sum = 0.0;
-    uint64_t width_acc = 0;
     for (std::size_t s = 0; s < rr.num_sets(); ++s) {
-      // Per-set width: recompute from the stored nodes (in-degree sum).
-      uint64_t w = 0;
-      for (NodeId u : rr.set(s)) w += graph_.InDegree(u);
-      width_acc += w;
-      const double frac = static_cast<double>(w) / m;
+      const double frac = static_cast<double>(rr.set_width(s)) / m;
       sum += 1.0 - std::pow(1.0 - frac, static_cast<double>(k));
     }
-    (void)width_acc;
     const double mean = sum / static_cast<double>(rr.num_sets());
     if (mean > 1.0 / std::pow(2.0, i)) {
       return n * mean / 2.0;  // KPT* = n * kappa / 2
@@ -78,11 +72,11 @@ double TimPlusSelector::RefineKpt(uint32_t k, double kpt_star, Rng& rng) {
     theta_prime = std::min(theta_prime, options_.max_theta);
   }
   RrCollection sample(graph_, params_);
-  sample.Generate(theta_prime, rng);
+  sample.GenerateParallel(theta_prime, rng.Next64(), options_.pool);
   auto coverage = sample.SelectMaxCoverage(k);
 
   RrCollection fresh(graph_, params_);
-  fresh.Generate(theta_prime, rng);
+  fresh.GenerateParallel(theta_prime, rng.Next64(), options_.pool);
   const double f = fresh.CoveredFraction(coverage.seeds);
   const double kpt_refined = f * n / (1.0 + eps_prime);
   return std::max(kpt_star, kpt_refined);
@@ -120,7 +114,7 @@ Result<SeedSelection> TimPlusSelector::Select(uint32_t k) {
   stats_.theta = theta;
 
   RrCollection rr(graph_, params_);
-  rr.Generate(theta, rng);
+  rr.GenerateParallel(theta, rng.Next64(), options_.pool);
   stats_.rr_memory_bytes = rr.MemoryBytes();
   auto coverage = rr.SelectMaxCoverage(k);
   selection.seeds = std::move(coverage.seeds);

@@ -19,6 +19,9 @@ struct TimPlusOptions {
   /// Safety cap on theta so a mis-parameterized run cannot OOM the host;
   /// 0 disables. When the cap binds, the run records `theta_capped`.
   std::size_t max_theta = 0;
+  /// Pool for sharded RR-set generation (nullptr -> DefaultThreadPool()).
+  /// Selected seeds are identical for every pool size (see rr_sets.h).
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief TIM+ — two-phase RIS influence maximization.

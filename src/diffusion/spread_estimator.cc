@@ -21,10 +21,13 @@ template <typename ShardFn>
 std::vector<double> RunSharded(const McOptions& options, std::size_t num_metrics,
                                ShardFn shard_fn) {
   ThreadPool& pool = options.pool ? *options.pool : DefaultThreadPool();
-  const std::size_t shards =
-      std::min<std::size_t>(pool.num_threads() * 2, options.num_simulations);
+  // Clamp to >= 1 so the per-shard division below can never fault, even if
+  // a pool ever reports zero threads.
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min<std::size_t>(pool.num_threads() * 2,
+                               options.num_simulations));
   std::vector<std::vector<double>> partial(
-      shards == 0 ? 1 : shards, std::vector<double>(num_metrics, 0.0));
+      shards, std::vector<double>(num_metrics, 0.0));
   if (options.num_simulations == 0) return partial[0];
   const uint32_t per = options.num_simulations / shards;
   const uint32_t rem = options.num_simulations % shards;

@@ -4,10 +4,20 @@
 
 namespace holim {
 
-NodeId Graph::EdgeSource(EdgeId e) const {
+NodeId Graph::EdgeSourceBinarySearch(EdgeId e) const {
   // First offset strictly greater than e belongs to source+1.
   auto it = std::upper_bound(out_offsets_.begin(), out_offsets_.end(), e);
   return static_cast<NodeId>((it - out_offsets_.begin()) - 1);
+}
+
+void Graph::BuildEdgeSourceIndex() {
+  if (!edge_sources_.empty() || num_edges() == 0) return;
+  edge_sources_.resize(num_edges());
+  for (NodeId u = 0; u < n_; ++u) {
+    for (EdgeId e = out_offsets_[u]; e < out_offsets_[u + 1]; ++e) {
+      edge_sources_[e] = u;
+    }
+  }
 }
 
 std::size_t Graph::MemoryFootprintBytes() const {
@@ -15,7 +25,8 @@ std::size_t Graph::MemoryFootprintBytes() const {
          out_targets_.capacity() * sizeof(NodeId) +
          in_offsets_.capacity() * sizeof(EdgeId) +
          in_sources_.capacity() * sizeof(NodeId) +
-         in_edge_ids_.capacity() * sizeof(EdgeId);
+         in_edge_ids_.capacity() * sizeof(EdgeId) +
+         edge_sources_.capacity() * sizeof(NodeId);
 }
 
 }  // namespace holim

@@ -57,9 +57,19 @@ class Graph {
     return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
   }
 
-  /// Source node of edge `e` (ids are out-CSR positions); O(log n) via
-  /// binary search over the offset array.
-  NodeId EdgeSource(EdgeId e) const;
+  /// Source node of edge `e` (ids are out-CSR positions). O(1) after
+  /// BuildEdgeSourceIndex(); otherwise O(log n) via binary search over the
+  /// offset array.
+  NodeId EdgeSource(EdgeId e) const {
+    if (!edge_sources_.empty()) return edge_sources_[e];
+    return EdgeSourceBinarySearch(e);
+  }
+
+  /// Precomputes the m-entry edge -> source array so EdgeSource is O(1) on
+  /// hot paths (cascade replay, stats). Optional: costs m * sizeof(NodeId)
+  /// bytes, counted by MemoryFootprintBytes(). Idempotent.
+  void BuildEdgeSourceIndex();
+  bool has_edge_source_index() const { return !edge_sources_.empty(); }
 
   /// Target node of edge `e`; O(1).
   NodeId EdgeTarget(EdgeId e) const { return out_targets_[e]; }
@@ -71,12 +81,15 @@ class Graph {
  private:
   friend class GraphBuilder;
 
+  NodeId EdgeSourceBinarySearch(EdgeId e) const;
+
   NodeId n_ = 0;
   std::vector<EdgeId> out_offsets_;   // size n_+1
   std::vector<NodeId> out_targets_;   // size m
   std::vector<EdgeId> in_offsets_;    // size n_+1
   std::vector<NodeId> in_sources_;    // size m
   std::vector<EdgeId> in_edge_ids_;   // size m
+  std::vector<NodeId> edge_sources_;  // size m when built, else empty
 };
 
 }  // namespace holim

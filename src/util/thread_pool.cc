@@ -55,26 +55,28 @@ void ThreadPool::ParallelFor(std::size_t count,
     return;
   }
   const std::size_t chunks = std::min(count, workers * 4);
-  std::atomic<std::size_t> done{0};
+  std::size_t done = 0;  // guarded by done_mu
   std::mutex done_mu;
   std::condition_variable done_cv;
   const std::size_t per = (count + chunks - 1) / chunks;
-  std::size_t launched = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  // Fixed before any task is submitted: workers compare `done` against it,
+  // so it must not mutate while tasks are already running.
+  const std::size_t launched = (count + per - 1) / per;
+  for (std::size_t c = 0; c < launched; ++c) {
     const std::size_t lo = c * per;
-    if (lo >= count) break;
     const std::size_t hi = std::min(count, lo + per);
-    ++launched;
     Submit([&, lo, hi] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
-      if (done.fetch_add(1) + 1 == launched) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
+      // Update and notify under the lock: the caller cannot observe
+      // done == launched and destroy these stack objects until the worker
+      // has released the mutex and is done touching them.
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++done;
+      if (done == launched) done_cv.notify_one();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load() == launched; });
+  done_cv.wait(lock, [&] { return done == launched; });
 }
 
 ThreadPool& DefaultThreadPool() {
