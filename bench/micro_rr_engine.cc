@@ -1,7 +1,11 @@
 // RR-engine microbenchmark: sets/sec and bytes/set for the flat-arena
 // sketch engine versus the legacy nested-vector serial path, across thread
-// counts. Emits BENCH_rr_engine.json so successive PRs can track RR-set
-// generation throughput (see .github/workflows/ci.yml).
+// counts, plus the incremental_select section — IMM-style append-then-select
+// rounds with the persistent incremental index versus the legacy
+// rebuild-the-index-every-round path. Emits BENCH_rr_engine.json; the CI
+// bench-gate (tools/check_bench_regression.py) fails the job when
+// bytes_per_set or the incremental_select speedup regresses against the
+// committed baseline (see .github/workflows/ci.yml).
 
 #include <cstdio>
 #include <string>
@@ -86,6 +90,32 @@ struct Row {
   double bytes_per_set;
 };
 
+// One append-then-select path of the incremental_select comparison.
+struct SelectPathStats {
+  double generate_seconds = 0.0;
+  double select_seconds = 0.0;
+  std::vector<RrCollection::CoverageResult> per_round;
+};
+
+// Runs `rounds` IMM-style doubling rounds — append `round_sets` sets, then
+// select k — timing generation and selection separately. `select` is
+// invoked with the collection after each append.
+template <typename SelectFn>
+SelectPathStats RunSelectRounds(RrCollection& rr, std::size_t rounds,
+                                std::size_t round_sets, uint64_t seed,
+                                const SelectFn& select) {
+  SelectPathStats stats;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Timer generate_timer;
+    rr.GenerateParallel(round_sets, seed + 1000 * (r + 1), nullptr);
+    stats.generate_seconds += generate_timer.ElapsedSeconds();
+    Timer select_timer;
+    stats.per_round.push_back(select(rr));
+    stats.select_seconds += select_timer.ElapsedSeconds();
+  }
+  return stats;
+}
+
 Status Run(const BenchArgs& args) {
   const NodeId nodes =
       static_cast<NodeId>(args.GetInt("nodes", 100000));
@@ -152,6 +182,62 @@ Status Run(const BenchArgs& args) {
               "%.0f vs %.0f bytes/set\n",
               speedup_8t, rows.back().bytes_per_set, rows[0].bytes_per_set);
 
+  // incremental_select: rounds x (append round_sets, select k), comparing
+  // the legacy rebuild-every-round path against the persistent incremental
+  // index. Selection output must be identical; only the cost may differ.
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.GetInt("rounds", 8));
+  const std::size_t round_sets =
+      static_cast<std::size_t>(args.GetInt("round_sets", 5000));
+  const uint32_t select_k = static_cast<uint32_t>(args.GetInt("k", 50));
+  if (rounds == 0 || round_sets == 0 || select_k == 0) {
+    return Status::InvalidArgument("--rounds/--round_sets/--k must be positive");
+  }
+  SelectPathStats rebuild_path;
+  {
+    RrCollection rr(graph, params, /*track_widths=*/false,
+                    /*build_index=*/false);
+    rebuild_path = RunSelectRounds(
+        rr, rounds, round_sets, seed,
+        [select_k](RrCollection& c) {
+          return c.SelectMaxCoverageRebuild(select_k);
+        });
+  }
+  SelectPathStats incremental_path;
+  double index_bytes_per_set = 0.0;
+  {
+    RrCollection rr(graph, params);
+    incremental_path = RunSelectRounds(
+        rr, rounds, round_sets, seed,
+        [select_k](RrCollection& c) {
+          return c.Snapshot().SelectMaxCoverage(select_k);
+        });
+    index_bytes_per_set =
+        static_cast<double>(rr.IndexMemoryBytes()) / rr.num_sets();
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    HOLIM_CHECK(rebuild_path.per_round[r].seeds ==
+                incremental_path.per_round[r].seeds)
+        << "incremental/rebuild seed divergence in round " << r;
+    HOLIM_CHECK(rebuild_path.per_round[r].covered_fraction ==
+                incremental_path.per_round[r].covered_fraction)
+        << "incremental/rebuild coverage divergence in round " << r;
+  }
+  const double select_speedup =
+      rebuild_path.select_seconds / incremental_path.select_seconds;
+  const double end_to_end_speedup =
+      (rebuild_path.generate_seconds + rebuild_path.select_seconds) /
+      (incremental_path.generate_seconds + incremental_path.select_seconds);
+  std::printf(
+      "\nincremental_select (%zu rounds x %zu sets, k=%u):\n"
+      "  rebuild     generate %.4fs  select %.4fs\n"
+      "  incremental generate %.4fs  select %.4fs  (index %.1f B/set)\n"
+      "  select speedup %.2fx, end-to-end %.2fx\n",
+      rounds, round_sets, select_k, rebuild_path.generate_seconds,
+      rebuild_path.select_seconds, incremental_path.generate_seconds,
+      incremental_path.select_seconds, index_bytes_per_set, select_speedup,
+      end_to_end_speedup);
+
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (!f) return Status::IOError("cannot write " + json_path);
   std::fprintf(f,
@@ -170,7 +256,22 @@ Status Run(const BenchArgs& args) {
                  r.engine.c_str(), r.threads, r.seconds, r.sets_per_sec,
                  r.bytes_per_set, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f,
+               "  ],\n  \"incremental_select\": {\n"
+               "    \"rounds\": %zu,\n    \"sets_per_round\": %zu,\n"
+               "    \"k\": %u,\n"
+               "    \"rebuild_generate_seconds\": %.6f,\n"
+               "    \"rebuild_select_seconds\": %.6f,\n"
+               "    \"incremental_generate_seconds\": %.6f,\n"
+               "    \"incremental_select_seconds\": %.6f,\n"
+               "    \"index_bytes_per_set\": %.1f,\n"
+               "    \"select_speedup\": %.4f,\n"
+               "    \"end_to_end_speedup\": %.4f\n  }\n}\n",
+               rounds, round_sets, select_k, rebuild_path.generate_seconds,
+               rebuild_path.select_seconds,
+               incremental_path.generate_seconds,
+               incremental_path.select_seconds, index_bytes_per_set,
+               select_speedup, end_to_end_speedup);
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
   return Status::OK();
@@ -184,6 +285,13 @@ int main(int argc, char** argv) {
                    [](BenchArgs* args) {
                      args->Declare("nodes", "graph size (default 100000)");
                      args->Declare("sets", "RR sets per run (default 20000)");
+                     args->Declare("rounds",
+                                   "incremental_select append/select rounds "
+                                   "(default 8)");
+                     args->Declare("round_sets",
+                                   "sets appended per round (default 5000)");
+                     args->Declare("k",
+                                   "seeds selected per round (default 50)");
                      args->Declare("json",
                                    "output JSON path "
                                    "(default BENCH_rr_engine.json)");

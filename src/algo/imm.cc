@@ -56,11 +56,17 @@ Result<SeedSelection> ImmSelector::Select(uint32_t k) {
     std::size_t theta_i =
         static_cast<std::size_t>(std::ceil(lambda_prime / x));
     if (options_.max_theta > 0) theta_i = std::min(theta_i, options_.max_theta);
+    // Draw the round seed unconditionally: RNG consumption per round must
+    // not depend on whether this round appended sets (max_theta can cap
+    // theta_i at the current size), or seeds downstream would diverge
+    // across max_theta settings.
+    const uint64_t round_seed = rng.Next64();
     if (rr.num_sets() < theta_i) {
-      rr.GenerateParallel(theta_i - rr.num_sets(), rng.Next64(),
-                          options_.pool);
+      rr.GenerateParallel(theta_i - rr.num_sets(), round_seed, options_.pool);
     }
-    auto coverage = rr.SelectMaxCoverage(k);
+    // The snapshot CELF runs against the incrementally maintained index, so
+    // this round only paid indexing for the sets appended above.
+    auto coverage = rr.Snapshot().SelectMaxCoverage(k);
     const double estimate = n * coverage.covered_fraction;
     if (estimate >= (1.0 + eps_prime) * x) {
       lb = estimate / (1.0 + eps_prime);
@@ -73,13 +79,17 @@ Result<SeedSelection> ImmSelector::Select(uint32_t k) {
   std::size_t theta =
       static_cast<std::size_t>(std::ceil(lambda_star / std::max(1.0, lb)));
   if (options_.max_theta > 0) theta = std::min(theta, options_.max_theta);
+  // Hoisted for the same reason as round_seed above: consume one draw on
+  // both the generate and the already-enough-sets path.
+  const uint64_t final_seed = rng.Next64();
   if (rr.num_sets() < theta) {
-    rr.GenerateParallel(theta - rr.num_sets(), rng.Next64(), options_.pool);
+    rr.GenerateParallel(theta - rr.num_sets(), final_seed, options_.pool);
   }
   stats_.theta = rr.num_sets();
   stats_.rr_memory_bytes = rr.MemoryBytes();
+  stats_.rr_index_bytes = rr.IndexMemoryBytes();
 
-  auto coverage = rr.SelectMaxCoverage(k);
+  auto coverage = rr.Snapshot().SelectMaxCoverage(k);
   selection.seeds = std::move(coverage.seeds);
   selection.elapsed_seconds = timer.ElapsedSeconds();
   selection.overhead_bytes = meter.OverheadBytes();

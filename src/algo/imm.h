@@ -16,7 +16,11 @@ struct ImmOptions {
   double epsilon = 0.1;
   double ell = 1.0;
   uint64_t seed = 123;
-  std::size_t max_theta = 0;  // 0 = uncapped; safety valve as in TIM+
+  /// 0 = uncapped; safety valve as in TIM+. Select() consumes one RNG draw
+  /// per doubling round and one for the final theta regardless of whether
+  /// the round actually appends sets, so the seed a given round generates
+  /// with does not depend on where max_theta capped an earlier round.
+  std::size_t max_theta = 0;
   /// Pool for sharded RR-set generation (nullptr -> DefaultThreadPool()).
   /// Selected seeds are identical for every pool size (see rr_sets.h).
   ThreadPool* pool = nullptr;
@@ -42,7 +46,10 @@ class ImmSelector : public SeedSelector {
   struct RunStats {
     double lower_bound = 0.0;
     std::size_t theta = 0;
+    /// RR arena only (paper Fig. 6i metric; comparable across releases).
     std::size_t rr_memory_bytes = 0;
+    /// Persistent incremental inverted index on top of the arena.
+    std::size_t rr_index_bytes = 0;
   };
   const RunStats& last_run_stats() const { return stats_; }
 

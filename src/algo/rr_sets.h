@@ -38,8 +38,53 @@ namespace holim {
 /// The first entry of every set is its root. Fixed per-set overhead is
 /// 8 bytes (one offset; 16 with per-set widths) versus 24 bytes of
 /// std::vector header plus a separate heap block in the legacy layout, and
-/// `SelectMaxCoverage` / `CoveredFraction` scan sets with zero pointer
-/// chasing. `set(i)` hands out zero-copy spans into the arena.
+/// coverage queries scan sets with zero pointer chasing. `set(i)` hands out
+/// zero-copy spans into the arena.
+///
+/// ## Incremental inverted index (node -> containing set ids)
+///
+/// The index CELF greedy runs against is owned, persistent state, not a
+/// per-call temporary: every `Generate` / `GenerateParallel` call indexes
+/// exactly the sets it appended, so a caller that alternates appends and
+/// selections (IMM's doubling rounds) pays O(new entries) per round instead
+/// of O(total entries).
+///
+/// The index is a short list of CSR *segments*, one per generate call; each
+/// segment groups the set ids of a contiguous, ascending range of sets by
+/// node. Per-node lists are therefore sorted ascending across and within
+/// segments. `cover_count_[u]` (number of indexed sets containing u) is
+/// maintained alongside and seeds the CELF heap. If the segment list ever
+/// exceeds `kMaxIndexSegments` (many tiny appends, or doubling rounds on
+/// graphs past ~2^24 nodes), the adjacent pair with the fewest sets is
+/// merged until the cap holds again — a binomial-style compaction that
+/// keeps total index work amortized near-linear while typical
+/// doubling-round usage triggers few or no merges.
+///
+/// In `GenerateParallel` the per-node counts that shape a new segment are
+/// accumulated as shard-local partial indexes on the pool (each shard
+/// counts the members of the blocks it sampled, wave by wave) and reduced
+/// once at the end of the call; the placement pass then scatters set ids in
+/// arena order, so index content — like the arena — is bitwise identical
+/// for any thread count.
+///
+/// ## Snapshot lifecycle & invalidation
+///
+/// `Snapshot()` returns a `CoverageSnapshot`, a zero-copy view that runs
+/// CELF against the live index restricted to the sets present at snapshot
+/// time:
+///
+///  - Appending more sets does NOT invalidate a snapshot: set ids are
+///    append-only and per-node lists are sorted, so the view simply stops
+///    at its pinned `num_sets()` bound.
+///  - `Clear()` bumps the collection's epoch counter and resets the index;
+///    using a snapshot taken before the `Clear` aborts via HOLIM_CHECK
+///    (its set ids would dangle). `valid()` reports whether the snapshot's
+///    epoch still matches.
+///
+/// `SelectMaxCoverage(k)` is shorthand for `Snapshot().SelectMaxCoverage(k)`;
+/// `SelectMaxCoverageRebuild(k)` is the legacy from-scratch path (rebuilds a
+/// transient index on every call) kept as the reference baseline for tests
+/// and the `incremental_select` microbenchmark section.
 ///
 /// ## RNG-sharding contract (GenerateParallel)
 ///
@@ -65,24 +110,36 @@ class RrCollection {
   /// Salt for deriving block seeds (same shape as RunSharded's derivation,
   /// deliberately a different constant).
   static constexpr uint64_t kGenerateSeedSalt = 0x9E3779B97F4A7C15ULL;
+  /// Cap on live index segments; exceeding it merges the adjacent pair
+  /// with the fewest sets (O(num_nodes + merged entries) each) until the
+  /// cap holds. IMM's <= log2(n) doubling rounds stay under it for graphs
+  /// up to ~2^24 nodes; beyond that (or with many tiny appends) a few
+  /// cheap merges of the small early segments occur.
+  static constexpr std::size_t kMaxIndexSegments = 24;
 
   /// `track_widths` additionally records the per-set width w(R) (8 bytes
   /// per set), needed only by TIM+'s KPT estimation; total_width() is
-  /// always maintained.
+  /// always maintained. `build_index = false` disables the incremental
+  /// inverted index (Snapshot()/SelectMaxCoverage become unavailable;
+  /// SelectMaxCoverageRebuild still works) — used by callers that only
+  /// sample, e.g. TIM+'s KPT rounds and the rebuild-baseline bench path.
   RrCollection(const Graph& graph, const InfluenceParams& params,
-               bool track_widths = false);
+               bool track_widths = false, bool build_index = true);
 
   /// Appends `count` RR sets sampled sequentially with `rng` (legacy serial
-  /// path; draws are interleaved with the caller's stream).
+  /// path; draws are interleaved with the caller's stream), then indexes
+  /// the new sets.
   void Generate(std::size_t count, Rng& rng);
 
   /// Appends `count` RR sets sharded across `pool` (nullptr selects
-  /// DefaultThreadPool()) under the RNG-sharding contract above. Output is
-  /// independent of the pool's thread count.
+  /// DefaultThreadPool()) under the RNG-sharding contract above, indexing
+  /// the new sets from shard-local partial counts. Output (arena and
+  /// index) is independent of the pool's thread count.
   void GenerateParallel(std::size_t count, uint64_t seed,
                         ThreadPool* pool = nullptr);
 
-  /// Drops all sets (keeps capacity).
+  /// Drops all sets and index segments (keeps capacity) and bumps the
+  /// epoch, invalidating every outstanding CoverageSnapshot.
   void Clear();
 
   std::size_t num_sets() const { return offsets_.size() - 1; }
@@ -99,6 +156,9 @@ class RrCollection {
   std::size_t total_entries() const { return entries_.size(); }
   /// Sum over sets of the in-degree "width" w(R) (TIM Sec. 4 KPT estimate).
   uint64_t total_width() const { return total_width_; }
+  /// Monotone counter bumped by Clear(); snapshots pin the epoch they were
+  /// created under and abort if used after it moves.
+  uint64_t epoch() const { return epoch_; }
 
   /// Greedy max-coverage over the collected sets. Returns k seeds and the
   /// fraction of sets covered.
@@ -106,31 +166,101 @@ class RrCollection {
     std::vector<NodeId> seeds;
     double covered_fraction = 0.0;
   };
-  /// Lazy-greedy (CELF) max-coverage over a flat inverted index: each pick
-  /// pops the stale-max heap and re-counts that node's uncovered sets
-  /// instead of eagerly decrementing every co-member's gain. Ties break
-  /// toward the smaller node id.
+
+  /// Zero-copy CELF view over the live incremental index, pinned to the
+  /// sets present when it was created (later appends are ignored; Clear
+  /// invalidates — see the lifecycle notes above).
+  class CoverageSnapshot {
+   public:
+    /// Lazy-greedy (CELF) max-coverage over the pinned prefix of sets.
+    /// Aborts via HOLIM_CHECK if the owning collection was Cleared after
+    /// this snapshot was taken.
+    CoverageResult SelectMaxCoverage(uint32_t k) const;
+
+    /// Number of sets this snapshot views (pinned at creation).
+    std::size_t num_sets() const { return limit_; }
+    /// False once the owning collection has been Cleared.
+    bool valid() const { return rr_->epoch_ == epoch_; }
+
+   private:
+    friend class RrCollection;
+    CoverageSnapshot(const RrCollection* rr, uint64_t epoch,
+                     std::size_t limit)
+        : rr_(rr), epoch_(epoch), limit_(limit) {}
+
+    const RrCollection* rr_;
+    uint64_t epoch_;
+    std::size_t limit_;
+  };
+
+  /// Snapshot of the current sets for coverage queries. Requires
+  /// build_index (checked).
+  CoverageSnapshot Snapshot() const;
+
+  /// Shorthand for Snapshot().SelectMaxCoverage(k): CELF lazy greedy
+  /// against the live incremental index — each pick pops the stale-max
+  /// heap and re-counts that node's uncovered sets instead of eagerly
+  /// decrementing every co-member's gain. Ties break toward the smaller
+  /// node id.
   CoverageResult SelectMaxCoverage(uint32_t k) const;
+
+  /// Legacy from-scratch path: rebuilds a transient inverted index over
+  /// the whole arena on every call, then runs the same CELF. O(total
+  /// entries) per call; kept as the reference/baseline for tests and the
+  /// bench's incremental_select comparison. Works without build_index.
+  CoverageResult SelectMaxCoverageRebuild(uint32_t k) const;
 
   /// Fraction of sets that contain at least one of `seeds`.
   double CoveredFraction(const std::vector<NodeId>& seeds) const;
 
   /// Bytes held by the RR arena (the memory-hungry part of TIM+; Fig. 6i).
+  /// Excludes the inverted index — see IndexMemoryBytes() — so the metric
+  /// stays comparable with pre-index releases.
   std::size_t MemoryBytes() const;
 
+  /// Bytes held by the incremental inverted index (segments + per-node
+  /// coverage counts).
+  std::size_t IndexMemoryBytes() const;
+
  private:
+  /// One CSR index segment covering sets [first_set, first_set + num_sets):
+  /// set ids grouped by node, ascending within each node's range.
+  struct IndexSegment {
+    std::size_t first_set = 0;
+    std::size_t num_sets = 0;
+    std::vector<uint32_t> offsets;  // num_nodes + 1
+    std::vector<uint32_t> sets;     // set ids grouped by node
+  };
+
   /// Samples one RR set with `rng`, appending its members to `out`
   /// (root first). Returns the set's width.
   uint64_t SampleOne(Rng& rng, EpochSet& visited, std::vector<NodeId>& stack,
                      std::vector<NodeId>& out) const;
 
+  /// Builds one index segment over the not-yet-indexed arena suffix
+  /// [indexed_sets_, num_sets()). `new_counts`, when non-null, holds the
+  /// per-node member counts of exactly that suffix (the reduced shard
+  /// partials of GenerateParallel); otherwise they are recounted from the
+  /// arena. Updates cover_count_ and runs compaction.
+  void IndexNewSets(const uint32_t* new_counts);
+
+  /// Merges adjacent segment pairs (fewest combined sets first) until the
+  /// segment count is back under kMaxIndexSegments.
+  void CompactSegments();
+
   const Graph& graph_;
   const InfluenceParams& params_;
   bool track_widths_ = false;
+  bool build_index_ = true;
   std::vector<NodeId> entries_;       // flat member arena
   std::vector<std::size_t> offsets_;  // num_sets + 1, offsets_[0] == 0
   std::vector<uint64_t> widths_;      // per-set width; empty unless tracked
   uint64_t total_width_ = 0;
+  // Incremental inverted index (see class comment).
+  std::vector<IndexSegment> segments_;
+  std::vector<uint32_t> cover_count_;  // per node: #indexed sets containing it
+  std::size_t indexed_sets_ = 0;       // == num_sets() between generate calls
+  uint64_t epoch_ = 0;
   // Scratch for the serial path (GenerateParallel uses per-shard scratch).
   EpochSet visited_;
   std::vector<NodeId> stack_;

@@ -34,7 +34,10 @@ double TimPlusSelector::EstimateKpt(uint32_t k, Rng& rng) {
   const double m = static_cast<double>(graph_.num_edges());
   if (graph_.num_edges() == 0) return 1.0;
   const double log2n = std::log2(std::max(2.0, n));
-  RrCollection rr(graph_, params_, /*track_widths=*/true);
+  // KPT rounds only sample + read widths, never select, so skip the
+  // incremental index entirely.
+  RrCollection rr(graph_, params_, /*track_widths=*/true,
+                  /*build_index=*/false);
   for (uint32_t i = 1; i + 1 < static_cast<uint32_t>(log2n); ++i) {
     const double ci =
         (6.0 * options_.ell * std::log(n) + 6.0 * std::log(log2n)) *
@@ -73,9 +76,11 @@ double TimPlusSelector::RefineKpt(uint32_t k, double kpt_star, Rng& rng) {
   }
   RrCollection sample(graph_, params_);
   sample.GenerateParallel(theta_prime, rng.Next64(), options_.pool);
-  auto coverage = sample.SelectMaxCoverage(k);
+  auto coverage = sample.Snapshot().SelectMaxCoverage(k);
 
-  RrCollection fresh(graph_, params_);
+  // Only CoveredFraction (an arena scan) runs on the fresh sample; no index.
+  RrCollection fresh(graph_, params_, /*track_widths=*/false,
+                     /*build_index=*/false);
   fresh.GenerateParallel(theta_prime, rng.Next64(), options_.pool);
   const double f = fresh.CoveredFraction(coverage.seeds);
   const double kpt_refined = f * n / (1.0 + eps_prime);
@@ -116,7 +121,8 @@ Result<SeedSelection> TimPlusSelector::Select(uint32_t k) {
   RrCollection rr(graph_, params_);
   rr.GenerateParallel(theta, rng.Next64(), options_.pool);
   stats_.rr_memory_bytes = rr.MemoryBytes();
-  auto coverage = rr.SelectMaxCoverage(k);
+  stats_.rr_index_bytes = rr.IndexMemoryBytes();
+  auto coverage = rr.Snapshot().SelectMaxCoverage(k);
   selection.seeds = std::move(coverage.seeds);
 
   selection.elapsed_seconds = timer.ElapsedSeconds();

@@ -48,7 +48,10 @@ class TimPlusSelector : public SeedSelector {
     double kpt_plus = 0.0;
     std::size_t theta = 0;
     bool theta_capped = false;
+    /// RR arena only (paper Fig. 6i metric; comparable across releases).
     std::size_t rr_memory_bytes = 0;
+    /// Persistent incremental inverted index on top of the arena.
+    std::size_t rr_index_bytes = 0;
   };
   const RunStats& last_run_stats() const { return stats_; }
 

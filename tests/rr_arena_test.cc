@@ -224,6 +224,95 @@ TEST(RrArenaTest, CelfMatchesEagerGreedy) {
   }
 }
 
+TEST(RrArenaTest, IncrementalSelectMatchesFromScratchRebuild) {
+  // IMM's usage pattern: append, select, append, select. The incremental
+  // index must yield seed sets and covered fractions identical to a
+  // from-scratch rebuild, at 1 and 8 threads.
+  Graph g = GenerateBarabasiAlbert(300, 3, 26).ValueOrDie();
+  auto params = MakeWeightedCascade(g);
+  for (std::size_t threads : {1u, 8u}) {
+    ThreadPool pool(threads);
+    RrCollection rr(g, params);
+    rr.GenerateParallel(800, 91, &pool);
+    auto incremental1 = rr.Snapshot().SelectMaxCoverage(6);
+    auto rebuild1 = rr.SelectMaxCoverageRebuild(6);
+    EXPECT_EQ(incremental1.seeds, rebuild1.seeds) << threads << " threads";
+    EXPECT_DOUBLE_EQ(incremental1.covered_fraction,
+                     rebuild1.covered_fraction);
+
+    rr.GenerateParallel(700, 92, &pool);
+    auto incremental2 = rr.Snapshot().SelectMaxCoverage(6);
+    auto rebuild2 = rr.SelectMaxCoverageRebuild(6);
+    EXPECT_EQ(incremental2.seeds, rebuild2.seeds) << threads << " threads";
+    EXPECT_DOUBLE_EQ(incremental2.covered_fraction,
+                     rebuild2.covered_fraction);
+
+    // Paranoia: a collection built from scratch with the same two append
+    // calls (identical arena by the RNG-sharding contract) must agree too.
+    RrCollection scratch(g, params);
+    scratch.GenerateParallel(800, 91, &pool);
+    scratch.GenerateParallel(700, 92, &pool);
+    auto from_scratch = scratch.SelectMaxCoverageRebuild(6);
+    EXPECT_EQ(incremental2.seeds, from_scratch.seeds);
+    EXPECT_DOUBLE_EQ(incremental2.covered_fraction,
+                     from_scratch.covered_fraction);
+  }
+}
+
+TEST(RrArenaTest, SnapshotPinsPrefixAcrossAppends) {
+  // A snapshot taken before an append keeps viewing exactly the sets that
+  // existed at creation time (appends never invalidate, Clear does).
+  Graph g = GenerateErdosRenyi(200, 4.0, 27).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.15);
+  ThreadPool pool(4);
+  RrCollection rr(g, params);
+  rr.GenerateParallel(500, 93, &pool);
+  auto snapshot = rr.Snapshot();
+  ASSERT_EQ(snapshot.num_sets(), 500u);
+  rr.GenerateParallel(500, 94, &pool);
+  ASSERT_TRUE(snapshot.valid());
+  auto pinned = snapshot.SelectMaxCoverage(5);
+
+  RrCollection prefix_only(g, params);
+  prefix_only.GenerateParallel(500, 93, &pool);
+  auto expected = prefix_only.Snapshot().SelectMaxCoverage(5);
+  EXPECT_EQ(pinned.seeds, expected.seeds);
+  EXPECT_DOUBLE_EQ(pinned.covered_fraction, expected.covered_fraction);
+}
+
+TEST(RrArenaTest, ManyTinyAppendsCompactSegmentsAndStayCorrect) {
+  // Serial Generate in dribbles pushes the segment list past
+  // kMaxIndexSegments, forcing compaction merges; selection must keep
+  // matching the from-scratch rebuild throughout.
+  Graph g = GenerateBarabasiAlbert(150, 2, 28).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.2);
+  RrCollection rr(g, params);
+  Rng rng(95);
+  for (int round = 0; round < 3 * static_cast<int>(
+                                  RrCollection::kMaxIndexSegments);
+       ++round) {
+    rr.Generate(7, rng);
+    if (round % 10 == 9) {
+      auto incremental = rr.SelectMaxCoverage(4);
+      auto rebuild = rr.SelectMaxCoverageRebuild(4);
+      EXPECT_EQ(incremental.seeds, rebuild.seeds) << "round " << round;
+      EXPECT_DOUBLE_EQ(incremental.covered_fraction,
+                       rebuild.covered_fraction);
+    }
+  }
+}
+
+TEST(RrArenaDeathTest, StaleSnapshotAfterClearAborts) {
+  Graph g = GenerateErdosRenyi(80, 3.0, 29).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.1);
+  RrCollection rr(g, params);
+  rr.GenerateParallel(100, 96, nullptr);
+  auto snapshot = rr.Snapshot();
+  rr.Clear();
+  EXPECT_FALSE(snapshot.valid());
+  EXPECT_DEATH(snapshot.SelectMaxCoverage(1), "stale CoverageSnapshot");
+}
+
 TEST(RrArenaTest, ArenaMemoryBelowNestedVectorBaseline) {
   Graph g = GenerateErdosRenyi(400, 5.0, 41).ValueOrDie();
   auto params = MakeUniformIc(g, 0.1);

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for BENCH_rr_engine.json.
+
+Compares one or more fresh runs of bench_micro_rr_engine against the
+committed baseline and fails (exit 1) when a tracked metric regresses more
+than the allowed threshold:
+
+  * bytes_per_set, per engine row — deterministic given the build (same
+    seeds, same growth policy), so every run must stay within threshold of
+    the baseline, and runs must agree with each other almost exactly.
+  * incremental_select.select_speedup — a timing *ratio* (rebuild path vs
+    incremental index on the same machine), so it transfers across runner
+    hardware where raw seconds would not. The gate takes the best value
+    across the supplied runs: CI runs the bench twice and a regression is
+    only real if neither run reaches the bar.
+
+Run-to-run jitter of the speedup is reported; if it exceeds --jitter-limit
+the environment is too noisy for the timing gate to mean anything, and the
+gate fails with a distinct message (rerun the job) rather than letting a
+lucky pair of runs mask a real regression.
+
+Usage:
+  tools/check_bench_regression.py --baseline BENCH_rr_engine.json \
+      --run run1.json --run run2.json [--threshold 0.15] [--jitter-limit 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_rr_engine.json")
+    parser.add_argument("--run", action="append", required=True,
+                        dest="runs", help="fresh bench JSON (repeatable)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--jitter-limit", type=float, default=0.5,
+                        help="max run-to-run speedup spread before the "
+                             "timing gate is declared unusable (default 0.5)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    runs = [(path, load(path)) for path in args.runs]
+    failures = []
+
+    # The comparison only makes sense on identical workload geometry.
+    for key in ("nodes", "sets"):
+        for path, run in runs:
+            if run.get(key) != baseline.get(key):
+                sys.exit(f"error: {path} ran with {key}={run.get(key)} but "
+                         f"baseline has {key}={baseline.get(key)}; "
+                         "regenerate the baseline or fix the CI invocation")
+
+    # --- deterministic gate: bytes_per_set per engine row -----------------
+    base_rows = {row["engine"]: row for row in baseline.get("results", [])}
+    for engine, base_row in sorted(base_rows.items()):
+        base_bytes = base_row["bytes_per_set"]
+        limit = base_bytes * (1.0 + args.threshold)
+        values = []
+        for path, run in runs:
+            row = next((r for r in run.get("results", [])
+                        if r["engine"] == engine), None)
+            if row is None:
+                failures.append(f"{path}: engine row '{engine}' missing")
+                continue
+            values.append(row["bytes_per_set"])
+            if row["bytes_per_set"] > limit:
+                failures.append(
+                    f"{path}: {engine} bytes_per_set {row['bytes_per_set']:.1f} "
+                    f"> {limit:.1f} (baseline {base_bytes:.1f} +{args.threshold:.0%})")
+        if values and max(values) - min(values) > 0.001 * max(values):
+            failures.append(
+                f"{engine}: bytes_per_set differs across runs {values} — "
+                "it is deterministic; the binary or growth policy changed "
+                "between runs")
+        status = "ok" if not any(engine in f for f in failures) else "FAIL"
+        print(f"bytes_per_set  {engine:<22} baseline {base_bytes:7.1f}  "
+              f"runs {values}  [{status}]")
+
+    # --- timing gate: incremental_select.select_speedup -------------------
+    base_inc = baseline.get("incremental_select")
+    if base_inc is None:
+        sys.exit("error: baseline has no incremental_select section; "
+                 "regenerate it with the current bench binary")
+    base_speedup = base_inc["select_speedup"]
+    speedups = []
+    for path, run in runs:
+        inc = run.get("incremental_select")
+        if inc is None:
+            failures.append(f"{path}: incremental_select section missing")
+            continue
+        speedups.append(inc["select_speedup"])
+    if speedups:
+        best = max(speedups)
+        floor = base_speedup * (1.0 - args.threshold)
+        jitter = (max(speedups) - min(speedups)) / max(speedups)
+        print(f"select_speedup {'incremental_select':<22} baseline "
+              f"{base_speedup:7.2f}  runs {speedups}  "
+              f"jitter {jitter:.0%}  floor {floor:.2f}")
+        if jitter > args.jitter_limit:
+            failures.append(
+                f"select_speedup jitter {jitter:.0%} exceeds "
+                f"{args.jitter_limit:.0%}: runs too noisy to gate on; rerun")
+        elif best < floor:
+            failures.append(
+                f"incremental_select.select_speedup best-of-{len(speedups)} "
+                f"{best:.2f} < {floor:.2f} "
+                f"(baseline {base_speedup:.2f} -{args.threshold:.0%})")
+
+    if failures:
+        print("\nbench-gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench-gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
