@@ -15,6 +15,9 @@ namespace {
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
   const double scale = args.GetDouble("scale", 0.05);
+  ScoreGreedyOptions sg_options;
+  HOLIM_ASSIGN_OR_RETURN(sg_options.incremental_rescore,
+                         ParseRescoreFlag(args, "full"));
   HOLIM_ASSIGN_OR_RETURN(
       Workload w,
       LoadWorkload("NetHEPT", scale, DiffusionModel::kIndependentCascade));
@@ -29,7 +32,7 @@ Status Run(const BenchArgs& args) {
   for (uint32_t l : {1u, 2u, 3u, 5u}) {
     for (uint32_t k : SeedGrid(max_k)) {
       OsimSelector osim(w.graph, w.params, opinions,
-                        OiBase::kIndependentCascade, l);
+                        OiBase::kIndependentCascade, l, sg_options);
       HOLIM_ASSIGN_OR_RETURN(SeedSelection selection, osim.Select(k));
       table.AddRow({"OSIM,l=" + std::to_string(l), std::to_string(k),
                     CsvWriter::Num(selection.elapsed_seconds)});
@@ -57,5 +60,8 @@ Status Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   return BenchMain(argc, argv,
-                   "Figure 5g — OSIM vs Modified-GREEDY running time", Run);
+                   "Figure 5g — OSIM vs Modified-GREEDY running time", Run,
+                   [](BenchArgs* args) {
+                     holim::DeclareRescoreFlag(args, "full");
+                   });
 }

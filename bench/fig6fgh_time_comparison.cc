@@ -17,6 +17,9 @@ namespace {
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
   const double scale = args.GetDouble("scale", 0.01);
+  ScoreGreedyOptions sg_options;
+  HOLIM_ASSIGN_OR_RETURN(sg_options.incremental_rescore,
+                         ParseRescoreFlag(args, "full"));
   struct Panel {
     const char* figure;
     const char* dataset;
@@ -39,7 +42,7 @@ Status Run(const BenchArgs& args) {
         std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
     for (uint32_t k : SeedGrid(max_k)) {
       for (uint32_t l : {1u, 3u, 5u}) {
-        EasyImSelector easyim(w.graph, w.params, l);
+        EasyImSelector easyim(w.graph, w.params, l, sg_options);
         HOLIM_ASSIGN_OR_RETURN(SeedSelection sel, easyim.Select(k));
         table.AddRow({panel.figure, panel.dataset, easyim.name(),
                       std::to_string(k),
@@ -78,5 +81,8 @@ Status Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   return BenchMain(argc, argv,
-                   "Figures 6f-6h — EaSyIM vs CELF++/TIM+ running time", Run);
+                   "Figures 6f-6h — EaSyIM vs CELF++/TIM+ running time", Run,
+                   [](BenchArgs* args) {
+                     holim::DeclareRescoreFlag(args, "full");
+                   });
 }

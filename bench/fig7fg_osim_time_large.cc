@@ -14,6 +14,9 @@ namespace {
 
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
+  ScoreGreedyOptions sg_options;
+  HOLIM_ASSIGN_OR_RETURN(sg_options.incremental_rescore,
+                         ParseRescoreFlag(args, "full"));
   ResultTable table("Figures 7f-7g — OSIM time vs seeds",
                     {"figure", "dataset", "selector", "k", "seconds"},
                     CsvPath("fig7fg_osim_time_large"));
@@ -32,7 +35,7 @@ Status Run(const BenchArgs& args) {
     for (uint32_t l : {1u, 2u, 3u, 5u}) {
       for (uint32_t k : SeedGrid(max_k)) {
         OsimSelector osim(w.graph, w.params, opinions,
-                          OiBase::kLinearThreshold, l);
+                          OiBase::kLinearThreshold, l, sg_options);
         HOLIM_ASSIGN_OR_RETURN(SeedSelection sel, osim.Select(k));
         table.AddRow({"7f", "HepPh", "OSIM,l=" + std::to_string(l),
                       std::to_string(k),
@@ -63,7 +66,7 @@ Status Run(const BenchArgs& args) {
     for (uint32_t l : {1u, 2u, 3u, 5u}) {
       for (uint32_t k : SeedGrid(config.max_k)) {
         OsimSelector osim(w.graph, w.params, opinions,
-                          OiBase::kIndependentCascade, l);
+                          OiBase::kIndependentCascade, l, sg_options);
         HOLIM_ASSIGN_OR_RETURN(SeedSelection sel, osim.Select(k));
         table.AddRow({"7g", dataset, "OSIM,l=" + std::to_string(l),
                       std::to_string(k),
@@ -81,5 +84,7 @@ Status Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   return BenchMain(argc, argv, "Figures 7f-7g — OSIM running time (appendix)",
-                   Run);
+                   Run, [](BenchArgs* args) {
+                     holim::DeclareRescoreFlag(args, "full");
+                   });
 }

@@ -67,6 +67,91 @@ void BM_OsimScorePass(benchmark::State& state) {
 }
 BENCHMARK(BM_OsimScorePass)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_EasyImScorePassParallel(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  EasyImScorer scorer(f.graph, f.params, 3);
+  EpochSet excluded(f.graph.num_nodes());
+  excluded.Reset(f.graph.num_nodes());
+  std::vector<double> scores;
+  for (auto _ : state) {
+    scorer.AssignScoresParallel(excluded, &scores, &pool);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          (f.graph.num_edges() + f.graph.num_nodes()));
+}
+BENCHMARK(BM_EasyImScorePassParallel)
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
+
+void BM_OsimScorePassParallel(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  OsimScorer scorer(f.graph, f.params, f.opinions, 3);
+  EpochSet excluded(f.graph.num_nodes());
+  excluded.Reset(f.graph.num_nodes());
+  std::vector<double> scores;
+  for (auto _ : state) {
+    scorer.AssignScoresParallel(excluded, &scores, &pool);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          (f.graph.num_edges() + f.graph.num_nodes()));
+}
+BENCHMARK(BM_OsimScorePassParallel)
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
+
+// One-seed-per-round dirty-frontier rescore against the level table (an
+// early ScoreGREEDY round; compare with BM_*ScorePass). The exclusion set
+// is rebuilt (outside the timed region) whenever it reaches 1% of the
+// graph so iterations keep measuring sparse-exclusion rescores instead of
+// drifting toward an almost-empty graph.
+template <typename Scorer>
+void RunIncrementalRescore(benchmark::State& state, const Graph& graph,
+                           Scorer& scorer) {
+  const NodeId n = graph.num_nodes();
+  const NodeId reset_at = std::max<NodeId>(1, n / 100);
+  EpochSet excluded(n);
+  excluded.Reset(n);
+  std::vector<double> scores;
+  scorer.AssignScoresIncremental(excluded, nullptr, &scores, nullptr);
+  NodeId next = 1, excluded_count = 0;
+  std::vector<NodeId> newly(1);
+  for (auto _ : state) {
+    if (excluded_count == reset_at) {
+      state.PauseTiming();
+      excluded.Reset(n);
+      excluded_count = 0;
+      scorer.AssignScoresIncremental(excluded, nullptr, &scores, nullptr);
+      state.ResumeTiming();
+    }
+    newly[0] = next;
+    excluded.Insert(next);
+    ++excluded_count;
+    scorer.AssignScoresIncremental(excluded, &newly, &scores, nullptr);
+    benchmark::DoNotOptimize(scores.data());
+    next = (next + 7919) % n;  // stride; re-picks impossible before reset
+  }
+}
+
+void BM_EasyImIncrementalRescore(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  EasyImScorer scorer(f.graph, f.params, 3);
+  RunIncrementalRescore(state, f.graph, scorer);
+}
+BENCHMARK(BM_EasyImIncrementalRescore)->Arg(10000)->Arg(100000);
+
+void BM_OsimIncrementalRescore(benchmark::State& state) {
+  const Fixture& f = GetFixture(state.range(0));
+  OsimScorer scorer(f.graph, f.params, f.opinions, 3);
+  RunIncrementalRescore(state, f.graph, scorer);
+}
+BENCHMARK(BM_OsimIncrementalRescore)->Arg(10000)->Arg(100000);
+
 void BM_IcSimulation(benchmark::State& state) {
   const Fixture& f = GetFixture(state.range(0));
   IcSimulator sim(f.graph, f.params);

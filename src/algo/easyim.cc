@@ -1,82 +1,31 @@
 #include "algo/easyim.h"
 
-#include <limits>
-
 #include "util/logging.h"
 
 namespace holim {
 
 EasyImScorer::EasyImScorer(const Graph& graph, const InfluenceParams& params,
                            uint32_t l)
-    : graph_(graph),
-      params_(params),
-      l_(l),
-      prev_(graph.num_nodes(), 0.0),
-      cur_(graph.num_nodes(), 0.0) {
-  HOLIM_CHECK(l >= 1) << "path length l must be >= 1";
+    : engine_(graph, EasyImSweepPolicy(graph, params, l), l) {
   HOLIM_CHECK(params.probability.size() == graph.num_edges())
       << "params/graph edge count mismatch";
 }
 
-namespace {
-
-/// One node's Delta update for a single sweep (shared by the serial and
-/// parallel drivers so they stay bitwise identical).
-inline double SweepNode(const Graph& graph, const InfluenceParams& params,
-                        const EpochSet& excluded,
-                        const std::vector<double>& prev, NodeId u) {
-  if (excluded.Contains(u)) return 0.0;
-  double acc = 0.0;
-  const EdgeId base = graph.OutEdgeBegin(u);
-  auto neighbors = graph.OutNeighbors(u);
-  for (std::size_t j = 0; j < neighbors.size(); ++j) {
-    const NodeId v = neighbors[j];
-    if (excluded.Contains(v)) continue;
-    acc += params.p(base + j) * (1.0 + prev[v]);
-  }
-  return acc;
-}
-
-}  // namespace
-
 void EasyImScorer::AssignScores(const EpochSet& excluded,
                                 std::vector<double>* scores) {
-  const NodeId n = graph_.num_nodes();
-  std::fill(prev_.begin(), prev_.end(), 0.0);
-  for (uint32_t i = 1; i <= l_; ++i) {
-    for (NodeId u = 0; u < n; ++u) {
-      cur_[u] = SweepNode(graph_, params_, excluded, prev_, u);
-    }
-    std::swap(prev_, cur_);
-  }
-  scores->assign(n, 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    (*scores)[u] = excluded.Contains(u)
-                       ? -std::numeric_limits<double>::infinity()
-                       : prev_[u];
-  }
+  engine_.FullSweep(excluded, scores);
 }
 
 void EasyImScorer::AssignScoresParallel(const EpochSet& excluded,
                                         std::vector<double>* scores,
                                         ThreadPool* pool) {
-  ThreadPool& workers = pool ? *pool : DefaultThreadPool();
-  const NodeId n = graph_.num_nodes();
-  std::fill(prev_.begin(), prev_.end(), 0.0);
-  for (uint32_t i = 1; i <= l_; ++i) {
-    // Each sweep reads prev_ and writes cur_[u] only: race-free sharding.
-    workers.ParallelFor(n, [&](std::size_t u) {
-      cur_[u] = SweepNode(graph_, params_, excluded, prev_,
-                          static_cast<NodeId>(u));
-    });
-    std::swap(prev_, cur_);
-  }
-  scores->assign(n, 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    (*scores)[u] = excluded.Contains(u)
-                       ? -std::numeric_limits<double>::infinity()
-                       : prev_[u];
-  }
+  engine_.FullSweep(excluded, scores, pool ? pool : &DefaultThreadPool());
+}
+
+void EasyImScorer::AssignScoresIncremental(
+    const EpochSet& excluded, const std::vector<NodeId>* newly_excluded,
+    std::vector<double>* scores, ThreadPool* pool) {
+  engine_.Rescore(excluded, newly_excluded, scores, pool);
 }
 
 }  // namespace holim

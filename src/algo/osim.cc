@@ -1,130 +1,32 @@
 #include "algo/osim.h"
 
-#include <limits>
-
 #include "util/logging.h"
 
 namespace holim {
 
 OsimScorer::OsimScorer(const Graph& graph, const InfluenceParams& influence,
                        const OpinionParams& opinions, uint32_t l)
-    : graph_(graph),
-      influence_(influence),
-      opinions_(opinions),
-      l_(l),
-      or_prev_(graph.num_nodes()),
-      or_cur_(graph.num_nodes()),
-      alpha_prev_(graph.num_nodes()),
-      alpha_cur_(graph.num_nodes()),
-      sc_prev_(graph.num_nodes()),
-      sc_cur_(graph.num_nodes()),
-      delta_(graph.num_nodes()) {
-  HOLIM_CHECK(l >= 1) << "path length l must be >= 1";
+    : engine_(graph, OsimSweepPolicy(graph, influence, opinions), l) {
   HOLIM_CHECK(influence.probability.size() == graph.num_edges());
   HOLIM_CHECK(opinions.opinion.size() == graph.num_nodes());
   HOLIM_CHECK(opinions.interaction.size() == graph.num_edges());
 }
 
-namespace {
-
-/// One node's sweep of Algorithm 5 lines 5-11; returns the Delta increment.
-/// Shared by the serial and parallel drivers for bitwise-identical results.
-struct SweepResult {
-  double or_acc, alpha_acc, sc_acc, delta_inc;
-};
-
-inline SweepResult SweepNode(const Graph& graph,
-                             const InfluenceParams& influence,
-                             const OpinionParams& opinions,
-                             const EpochSet& excluded,
-                             const std::vector<double>& or_prev,
-                             const std::vector<double>& alpha_prev,
-                             const std::vector<double>& sc_prev, NodeId u) {
-  if (excluded.Contains(u)) return {0.0, 0.0, 0.0, 0.0};
-  double or_acc = 0.0, alpha_acc = 0.0, sc_acc = 0.0;
-  const EdgeId base = graph.OutEdgeBegin(u);
-  auto neighbors = graph.OutNeighbors(u);
-  for (std::size_t j = 0; j < neighbors.size(); ++j) {
-    const NodeId v = neighbors[j];
-    if (excluded.Contains(v)) continue;
-    const EdgeId e = base + j;
-    const double p = influence.p(e);
-    or_acc += p * or_prev[v];                                       // line 6
-    alpha_acc += p * alpha_prev[v] *
-                 (2.0 * opinions.phi(e) - 1.0) / 2.0;               // line 7
-    sc_acc += p * sc_prev[v];                                       // line 8
-  }
-  const double o_u = opinions.o(u);
-  sc_acc += o_u * alpha_acc;                                        // line 10
-  return {or_acc, alpha_acc, sc_acc,
-          (or_acc + sc_acc + o_u * alpha_acc) / 2.0};               // line 11
-}
-
-}  // namespace
-
 void OsimScorer::AssignScores(const EpochSet& excluded,
                               std::vector<double>* scores) {
-  const NodeId n = graph_.num_nodes();
-  // Algorithm 5 line 1 initialisation.
-  for (NodeId u = 0; u < n; ++u) {
-    alpha_prev_[u] = 1.0;
-    or_prev_[u] = opinions_.o(u);
-    sc_prev_[u] = 0.0;
-    delta_[u] = 0.0;
-  }
-  for (uint32_t i = 1; i <= l_; ++i) {
-    for (NodeId u = 0; u < n; ++u) {
-      const SweepResult r = SweepNode(graph_, influence_, opinions_, excluded,
-                                      or_prev_, alpha_prev_, sc_prev_, u);
-      or_cur_[u] = r.or_acc;
-      alpha_cur_[u] = r.alpha_acc;
-      sc_cur_[u] = r.sc_acc;
-      delta_[u] += r.delta_inc;
-    }
-    std::swap(or_prev_, or_cur_);
-    std::swap(alpha_prev_, alpha_cur_);
-    std::swap(sc_prev_, sc_cur_);
-  }
-  scores->assign(n, 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    (*scores)[u] = excluded.Contains(u)
-                       ? -std::numeric_limits<double>::infinity()
-                       : delta_[u];
-  }
+  engine_.FullSweep(excluded, scores);
 }
 
 void OsimScorer::AssignScoresParallel(const EpochSet& excluded,
                                       std::vector<double>* scores,
                                       ThreadPool* pool) {
-  ThreadPool& workers = pool ? *pool : DefaultThreadPool();
-  const NodeId n = graph_.num_nodes();
-  for (NodeId u = 0; u < n; ++u) {
-    alpha_prev_[u] = 1.0;
-    or_prev_[u] = opinions_.o(u);
-    sc_prev_[u] = 0.0;
-    delta_[u] = 0.0;
-  }
-  for (uint32_t i = 1; i <= l_; ++i) {
-    // Each sweep reads the prev buffers and writes slot u only: race-free.
-    workers.ParallelFor(n, [&](std::size_t idx) {
-      const NodeId u = static_cast<NodeId>(idx);
-      const SweepResult r = SweepNode(graph_, influence_, opinions_, excluded,
-                                      or_prev_, alpha_prev_, sc_prev_, u);
-      or_cur_[u] = r.or_acc;
-      alpha_cur_[u] = r.alpha_acc;
-      sc_cur_[u] = r.sc_acc;
-      delta_[u] += r.delta_inc;
-    });
-    std::swap(or_prev_, or_cur_);
-    std::swap(alpha_prev_, alpha_cur_);
-    std::swap(sc_prev_, sc_cur_);
-  }
-  scores->assign(n, 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    (*scores)[u] = excluded.Contains(u)
-                       ? -std::numeric_limits<double>::infinity()
-                       : delta_[u];
-  }
+  engine_.FullSweep(excluded, scores, pool ? pool : &DefaultThreadPool());
+}
+
+void OsimScorer::AssignScoresIncremental(
+    const EpochSet& excluded, const std::vector<NodeId>* newly_excluded,
+    std::vector<double>* scores, ThreadPool* pool) {
+  engine_.Rescore(excluded, newly_excluded, scores, pool);
 }
 
 }  // namespace holim

@@ -21,13 +21,30 @@ const char* ActivationStrategyName(ActivationStrategy strategy) {
   return "?";
 }
 
-ScoreGreedy::ScoreGreedy(const Graph& graph, ScoreFn score_fn,
+ScoreGreedy::ScoreGreedy(const Graph& graph, IncrementalScoreFn score_fn,
                          const ScoreGreedyOptions& options)
     : graph_(graph),
       score_fn_(std::move(score_fn)),
       options_(options),
       activated_(graph.num_nodes()),
       rng_(options.seed) {}
+
+ScoreGreedy::ScoreGreedy(const Graph& graph, ScoreFn score_fn,
+                         const ScoreGreedyOptions& options)
+    : ScoreGreedy(graph,
+                  IncrementalScoreFn([fn = std::move(score_fn)](
+                                         const EpochSet& excluded,
+                                         const std::vector<NodeId>*,
+                                         std::vector<double>* scores) {
+                    fn(excluded, scores);
+                  }),
+                  options) {}
+
+void ScoreGreedy::InsertActivated(NodeId u) {
+  if (activated_.Contains(u)) return;
+  activated_.Insert(u);
+  newly_activated_.push_back(u);
+}
 
 void ScoreGreedy::ExpectedReach(NodeId seed, std::vector<NodeId>* out) {
   // Deterministic union-bound propagation of activation probability from
@@ -67,7 +84,7 @@ void ScoreGreedy::GrowActivatedSet(NodeId new_seed) {
   // rounds must be able to activate it as their source.
   switch (options_.activation) {
     case ActivationStrategy::kSeedsOnly:
-      activated_.Insert(new_seed);
+      InsertActivated(new_seed);
       return;
     case ActivationStrategy::kMonteCarloMajority: {
       HOLIM_CHECK(simulate_fn_ != nullptr)
@@ -84,16 +101,16 @@ void ScoreGreedy::GrowActivatedSet(NodeId new_seed) {
       }
       const double need = options_.majority_fraction * options_.mc_rounds;
       for (NodeId v : candidates) {
-        if (static_cast<double>(hits[v]) >= need) activated_.Insert(v);
+        if (static_cast<double>(hits[v]) >= need) InsertActivated(v);
       }
-      activated_.Insert(new_seed);
+      InsertActivated(new_seed);
       return;
     }
     case ActivationStrategy::kExpectedReach: {
       std::vector<NodeId> reached;
       ExpectedReach(new_seed, &reached);
-      for (NodeId v : reached) activated_.Insert(v);
-      activated_.Insert(new_seed);
+      for (NodeId v : reached) InsertActivated(v);
+      InsertActivated(new_seed);
       return;
     }
   }
@@ -108,11 +125,24 @@ Result<SeedSelection> ScoreGreedy::Select(uint32_t k) {
   MemoryMeter meter;
   Timer timer;
   activated_.Reset(graph_.num_nodes());
+  newly_activated_.clear();
   EpochSet seed_set(graph_.num_nodes());
   seed_set.Reset(graph_.num_nodes());
   std::vector<double> scores;
+  // Incremental-delta bookkeeping: the assigner may keep per-level state
+  // keyed to the set it last scored. We hand it the exact V(a) delta when
+  // this round's set is "last round's set plus newly_activated_"; any other
+  // call (first round, or right after the saturation fallback scored
+  // seed_set) passes nullptr to force a full recompute.
+  bool have_baseline = false;
+  bool sequence_broken = false;
   for (uint32_t i = 0; i < k; ++i) {
-    score_fn_(activated_, &scores);
+    const std::vector<NodeId>* delta =
+        (have_baseline && !sequence_broken) ? &newly_activated_ : nullptr;
+    score_fn_(activated_, delta, &scores);
+    newly_activated_.clear();
+    have_baseline = true;
+    sequence_broken = false;
     NodeId best = kInvalidNode;
     double best_score = -std::numeric_limits<double>::infinity();
     for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
@@ -128,7 +158,8 @@ Result<SeedSelection> ScoreGreedy::Select(uint32_t k) {
       // removed so a full seed set is still returned (the extra seeds have
       // ~zero marginal activation but keep |S| = k, matching Algorithm 1's
       // contract).
-      score_fn_(seed_set, &scores);
+      score_fn_(seed_set, nullptr, &scores);
+      sequence_broken = true;  // assigner state is now keyed to seed_set
       for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
         if (seed_set.Contains(u)) continue;
         if (scores[u] > best_score) {
@@ -140,7 +171,7 @@ Result<SeedSelection> ScoreGreedy::Select(uint32_t k) {
       selection.seeds.push_back(best);
       selection.seed_scores.push_back(best_score);
       seed_set.Insert(best);
-      activated_.Insert(best);
+      InsertActivated(best);
       continue;
     }
     selection.seeds.push_back(best);
@@ -178,6 +209,25 @@ ScoreGreedy::SimulateFn MakeLtSimulateFn(const Graph& graph,
   };
 }
 
+/// The shared per-round dispatch of EaSyIM/OSIM onto their scorer:
+/// incremental rescore when enabled, else the parallel or serial full
+/// sweep. One definition so the two selectors cannot diverge.
+template <typename Scorer>
+ScoreGreedy::IncrementalScoreFn MakeSweepScoreFn(
+    Scorer& scorer, const ScoreGreedyOptions& options) {
+  return [&scorer, options](const EpochSet& excluded,
+                            const std::vector<NodeId>* newly,
+                            std::vector<double>* scores) {
+    if (options.incremental_rescore) {
+      scorer.AssignScoresIncremental(excluded, newly, scores, options.pool);
+    } else if (options.pool != nullptr) {
+      scorer.AssignScoresParallel(excluded, scores, options.pool);
+    } else {
+      scorer.AssignScores(excluded, scores);
+    }
+  };
+}
+
 }  // namespace
 
 EasyImSelector::EasyImSelector(const Graph& graph,
@@ -191,12 +241,7 @@ std::string EasyImSelector::name() const {
 }
 
 Result<SeedSelection> EasyImSelector::Select(uint32_t k) {
-  ScoreGreedy driver(
-      graph_,
-      [this](const EpochSet& excluded, std::vector<double>* scores) {
-        scorer_.AssignScores(excluded, scores);
-      },
-      options_);
+  ScoreGreedy driver(graph_, MakeSweepScoreFn(scorer_, options_), options_);
   if (params_.model == DiffusionModel::kLinearThreshold) {
     driver.set_simulate_fn(MakeLtSimulateFn(graph_, params_));
   } else {
@@ -204,7 +249,9 @@ Result<SeedSelection> EasyImSelector::Select(uint32_t k) {
   }
   driver.set_edge_probability(&params_.probability);
   driver.set_max_hops(scorer_.path_length());
-  return driver.Select(k);
+  auto result = driver.Select(k);
+  if (result.ok()) result->scratch_bytes = scorer_.ScratchBytes();
+  return result;
 }
 
 OsimSelector::OsimSelector(const Graph& graph,
@@ -223,12 +270,7 @@ std::string OsimSelector::name() const {
 }
 
 Result<SeedSelection> OsimSelector::Select(uint32_t k) {
-  ScoreGreedy driver(
-      graph_,
-      [this](const EpochSet& excluded, std::vector<double>* scores) {
-        scorer_.AssignScores(excluded, scores);
-      },
-      options_);
+  ScoreGreedy driver(graph_, MakeSweepScoreFn(scorer_, options_), options_);
   if (base_ == OiBase::kLinearThreshold) {
     driver.set_simulate_fn(MakeLtSimulateFn(graph_, influence_));
   } else {
@@ -236,7 +278,9 @@ Result<SeedSelection> OsimSelector::Select(uint32_t k) {
   }
   driver.set_edge_probability(&influence_.probability);
   driver.set_max_hops(scorer_.path_length());
-  return driver.Select(k);
+  auto result = driver.Select(k);
+  if (result.ok()) result->scratch_bytes = scorer_.ScratchBytes();
+  return result;
 }
 
 }  // namespace holim

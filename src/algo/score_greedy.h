@@ -40,6 +40,17 @@ struct ScoreGreedyOptions {
   uint32_t mc_rounds = 20;
   double majority_fraction = 0.5;
   uint64_t seed = 7;
+  /// Use the scorer's dirty-frontier incremental rescore between rounds
+  /// instead of a full O(l(m+n)) recompute. Bitwise-identical seed sets
+  /// either way (the full recompute stays available as the oracle path).
+  /// Off by default so the paper's O(n)-space contract — and the memory
+  /// figures that reproduce it — hold unless explicitly traded away;
+  /// holim_cli defaults its --rescore flag to incremental, the
+  /// time-figure benches to full (paper methodology).
+  bool incremental_rescore = false;
+  /// Pool for the sweep kernel's fixed-block sharding; nullptr runs the
+  /// sweeps serially. Scores are bitwise-identical for any pool size.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief ScoreGREEDY (paper Algorithm 1): repeatedly assign scores to all
@@ -53,6 +64,18 @@ class ScoreGreedy {
   using ScoreFn =
       std::function<void(const EpochSet& excluded, std::vector<double>*)>;
 
+  /// Incremental-aware score assigner: `newly_excluded` lists exactly the
+  /// nodes added to `excluded` since the assigner's previous invocation;
+  /// nullptr means the delta is unknown (first round, or the driver scored
+  /// an unrelated set in between) and a full recompute is required.
+  using IncrementalScoreFn =
+      std::function<void(const EpochSet& excluded,
+                         const std::vector<NodeId>* newly_excluded,
+                         std::vector<double>*)>;
+
+  ScoreGreedy(const Graph& graph, IncrementalScoreFn score_fn,
+              const ScoreGreedyOptions& options);
+  /// Legacy assigners ignore the delta and always recompute in full.
   ScoreGreedy(const Graph& graph, ScoreFn score_fn,
               const ScoreGreedyOptions& options);
 
@@ -71,14 +94,19 @@ class ScoreGreedy {
  private:
   void GrowActivatedSet(NodeId new_seed);
   void ExpectedReach(NodeId seed, std::vector<NodeId>* out);
+  /// All V(a) growth funnels through here so the newly-excluded delta
+  /// handed to the incremental assigner stays exact.
+  void InsertActivated(NodeId u);
 
   const Graph& graph_;
-  ScoreFn score_fn_;
+  IncrementalScoreFn score_fn_;
   ScoreGreedyOptions options_;
   SimulateFn simulate_fn_;
   const std::vector<double>* edge_prob_ = nullptr;
   uint32_t max_hops_ = 3;
   EpochSet activated_;
+  /// Nodes inserted into activated_ since the last main scoring call.
+  std::vector<NodeId> newly_activated_;
   Rng rng_;
 };
 
@@ -92,6 +120,10 @@ class EasyImSelector : public SeedSelector {
 
   std::string name() const override;
   Result<SeedSelection> Select(uint32_t k) override;
+
+  /// The underlying scorer (persistent across Select calls), exposing the
+  /// sweep kernel's work/memory stats.
+  EasyImScorer& scorer() { return scorer_; }
 
  private:
   const Graph& graph_;
@@ -109,6 +141,9 @@ class OsimSelector : public SeedSelector {
 
   std::string name() const override;
   Result<SeedSelection> Select(uint32_t k) override;
+
+  /// The underlying scorer (persistent across Select calls).
+  OsimScorer& scorer() { return scorer_; }
 
  private:
   const Graph& graph_;

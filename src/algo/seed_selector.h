@@ -18,6 +18,11 @@ struct SeedSelection {
   /// Additional RSS the algorithm allocated beyond the loaded graph
   /// ("execution memory" in Figs. 5h/6j), best-effort.
   std::size_t overhead_bytes = 0;
+  /// Deterministic working-set accounting (capacity-based, same convention
+  /// as MemoryFootprintBytes across graph/ and model/): the scorer-internal
+  /// scratch buffers, where the algorithm reports them. 0 if N/A. Unlike
+  /// overhead_bytes this is exact and reproducible below RSS granularity.
+  std::size_t scratch_bytes = 0;
   /// Algorithm-internal score of each chosen seed (empty if N/A).
   std::vector<double> seed_scores;
 };

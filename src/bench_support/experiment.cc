@@ -141,6 +141,22 @@ void DeclareCommonFlags(BenchArgs* args) {
   args->Declare("seed", "global RNG seed (default 42)");
 }
 
+void DeclareRescoreFlag(BenchArgs* args, const char* default_value) {
+  args->Declare("rescore",
+                std::string("EaSyIM/OSIM score path between greedy rounds: "
+                            "incremental | full (default ") +
+                    default_value + ")");
+}
+
+Result<bool> ParseRescoreFlag(const BenchArgs& args,
+                              const char* default_value) {
+  const std::string rescore = args.GetString("rescore", default_value);
+  if (rescore == "incremental") return true;
+  if (rescore == "full") return false;
+  return Status::InvalidArgument(
+      "unknown --rescore (incremental|full): " + rescore);
+}
+
 CommonBenchConfig ReadCommonConfig(const BenchArgs& args) {
   CommonBenchConfig config;
   config.scale = args.GetDouble("scale", config.scale);

@@ -70,6 +70,18 @@ struct CommonBenchConfig {
 CommonBenchConfig ReadCommonConfig(const BenchArgs& args);
 void DeclareCommonFlags(BenchArgs* args);
 
+/// The shared --rescore flag of the EaSyIM/OSIM binaries: chooses the
+/// score path between greedy rounds. Seeds are bitwise identical either
+/// way. The default differs by binary on purpose: the figure-reproduction
+/// benches default to "full" (the paper's O(l(m+n)) recompute is the
+/// methodology being reproduced), holim_cli defaults to "incremental"
+/// (fastest path for production use).
+void DeclareRescoreFlag(BenchArgs* args, const char* default_value);
+/// Parses --rescore: true = "incremental", false = "full"; anything else
+/// is InvalidArgument. `default_value` must match the Declare call.
+Result<bool> ParseRescoreFlag(const BenchArgs& args,
+                              const char* default_value);
+
 }  // namespace holim
 
 #endif  // HOLIM_BENCH_SUPPORT_EXPERIMENT_H_

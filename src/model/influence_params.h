@@ -27,6 +27,9 @@ struct InfluenceParams {
 
   double p(EdgeId e) const { return probability[e]; }
 
+  /// Allocated bytes, not used bytes: capacity()-based like every
+  /// MemoryFootprintBytes/ScratchBytes in graph/, model/, and algo/, so the
+  /// memory figures account for what the allocator actually holds.
   std::size_t MemoryFootprintBytes() const {
     return probability.capacity() * sizeof(double);
   }

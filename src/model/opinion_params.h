@@ -20,6 +20,8 @@ struct OpinionParams {
   double o(NodeId v) const { return opinion[v]; }
   double phi(EdgeId e) const { return interaction[e]; }
 
+  /// Allocated bytes (capacity(), not size()) — the repo-wide accounting
+  /// convention; see InfluenceParams::MemoryFootprintBytes.
   std::size_t MemoryFootprintBytes() const {
     return opinion.capacity() * sizeof(double) +
            interaction.capacity() * sizeof(double);

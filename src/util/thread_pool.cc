@@ -49,24 +49,35 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  const std::size_t workers = num_threads();
-  if (workers == 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+  const std::size_t chunks = std::min(count, num_threads() * 4);
+  ParallelForBlocks(count, (count + chunks - 1) / chunks,
+                    [&fn](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+void ThreadPool::ParallelForBlocks(
+    std::size_t count, std::size_t block_size,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (block_size == 0) block_size = 1;
+  // Fixed before any task is submitted: workers compare `done` against it,
+  // so it must not mutate while tasks are already running.
+  const std::size_t launched = (count + block_size - 1) / block_size;
+  if (num_threads() == 1 || launched == 1) {
+    for (std::size_t lo = 0; lo < count; lo += block_size) {
+      fn(lo, std::min(count, lo + block_size));
+    }
     return;
   }
-  const std::size_t chunks = std::min(count, workers * 4);
   std::size_t done = 0;  // guarded by done_mu
   std::mutex done_mu;
   std::condition_variable done_cv;
-  const std::size_t per = (count + chunks - 1) / chunks;
-  // Fixed before any task is submitted: workers compare `done` against it,
-  // so it must not mutate while tasks are already running.
-  const std::size_t launched = (count + per - 1) / per;
   for (std::size_t c = 0; c < launched; ++c) {
-    const std::size_t lo = c * per;
-    const std::size_t hi = std::min(count, lo + per);
+    const std::size_t lo = c * block_size;
+    const std::size_t hi = std::min(count, lo + block_size);
     Submit([&, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      fn(lo, hi);
       // Update and notify under the lock: the caller cannot observe
       // done == launched and destroy these stack objects until the worker
       // has released the mutex and is done touching them.

@@ -32,6 +32,16 @@ class ThreadPool {
   /// Blocks until all iterations finish.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Runs fn(lo, hi) over [0, count) split into fixed `block_size` ranges:
+  /// [0, b), [b, 2b), ... The partition depends only on `block_size` — never
+  /// on the thread count — so per-block work (and any per-block accumulation
+  /// order) is identical for every pool size. This is the barrier-per-level
+  /// primitive of the score-sweep kernel (see algo/score_sweep.h).
+  /// Blocks until all ranges finish.
+  void ParallelForBlocks(
+      std::size_t count, std::size_t block_size,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void Submit(std::function<void()> task);
   void WorkerLoop();

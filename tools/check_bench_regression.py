@@ -1,27 +1,36 @@
 #!/usr/bin/env python3
-"""CI bench-regression gate for BENCH_rr_engine.json.
+"""CI bench-regression gate for the committed BENCH_*.json baselines.
 
-Compares one or more fresh runs of bench_micro_rr_engine against the
-committed baseline and fails (exit 1) when a tracked metric regresses more
-than the allowed threshold:
+Dispatches on the baseline's "bench" field:
 
-  * bytes_per_set, per engine row — deterministic given the build (same
-    seeds, same growth policy), so every run must stay within threshold of
-    the baseline, and runs must agree with each other almost exactly.
-  * incremental_select.select_speedup — a timing *ratio* (rebuild path vs
-    incremental index on the same machine), so it transfers across runner
-    hardware where raw seconds would not. The gate takes the best value
-    across the supplied runs: CI runs the bench twice and a regression is
-    only real if neither run reaches the bar.
+  * "rr_engine" (BENCH_rr_engine.json, from bench_micro_rr_engine):
+      - bytes_per_set, per engine row — deterministic given the build (same
+        seeds, same growth policy), so every run must stay within threshold
+        of the baseline, and runs must agree with each other almost exactly.
+      - incremental_select.select_speedup — a timing *ratio* (rebuild path
+        vs incremental index on the same machine), so it transfers across
+        runner hardware where raw seconds would not.
 
-Run-to-run jitter of the speedup is reported; if it exceeds --jitter-limit
-the environment is too noisy for the timing gate to mean anything, and the
-gate fails with a distinct message (rerun the job) rather than letting a
-lucky pair of runs mask a real regression.
+  * "scoring" (BENCH_scoring.json, from bench_micro_scoring):
+      - incremental_rescore.<scorer>.work_ratio — node-level Delta
+        evaluations full-path / incremental-path. Deterministic given the
+        graph seed and config: every run must stay within threshold and
+        runs must agree exactly.
+      - incremental_rescore.<scorer>.rescore_speedup — a timing ratio,
+        gated like select_speedup.
+
+Timing ratios take the best value across the supplied runs: CI runs each
+bench twice and a regression is only real if neither run reaches the bar.
+Run-to-run jitter of a timing ratio is reported; if it exceeds
+--jitter-limit the environment is too noisy for the timing gate to mean
+anything, and the gate fails with a distinct message (rerun the job) rather
+than letting a lucky pair of runs mask a real regression.
 
 Usage:
   tools/check_bench_regression.py --baseline BENCH_rr_engine.json \
       --run run1.json --run run2.json [--threshold 0.15] [--jitter-limit 0.5]
+  tools/check_bench_regression.py --baseline BENCH_scoring.json \
+      --run run1.json --run run2.json
 """
 
 import argparse
@@ -37,63 +46,86 @@ def load(path):
         sys.exit(f"error: cannot load {path}: {e}")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_rr_engine.json")
-    parser.add_argument("--run", action="append", required=True,
-                        dest="runs", help="fresh bench JSON (repeatable)")
-    parser.add_argument("--threshold", type=float, default=0.15,
-                        help="allowed fractional regression (default 0.15)")
-    parser.add_argument("--jitter-limit", type=float, default=0.5,
-                        help="max run-to-run speedup spread before the "
-                             "timing gate is declared unusable (default 0.5)")
-    args = parser.parse_args()
-
-    baseline = load(args.baseline)
-    runs = [(path, load(path)) for path in args.runs]
-    failures = []
-
-    # The comparison only makes sense on identical workload geometry.
-    for key in ("nodes", "sets"):
+def check_geometry(baseline, runs, keys):
+    """The comparison only makes sense on identical workload geometry."""
+    for key in keys:
         for path, run in runs:
             if run.get(key) != baseline.get(key):
                 sys.exit(f"error: {path} ran with {key}={run.get(key)} but "
                          f"baseline has {key}={baseline.get(key)}; "
                          "regenerate the baseline or fix the CI invocation")
 
+
+def gate_deterministic(name, base_value, values, threshold, failures,
+                       larger_is_better):
+    """Every run must be within threshold of the baseline AND runs must
+    agree with each other (the metric is deterministic by construction)."""
+    if larger_is_better:
+        limit = base_value * (1.0 - threshold)
+        bad = [v for v in values if v < limit]
+        direction = "<"
+    else:
+        limit = base_value * (1.0 + threshold)
+        bad = [v for v in values if v > limit]
+        direction = ">"
+    for v in bad:
+        failures.append(f"{name}: {v:.2f} {direction} {limit:.2f} "
+                        f"(baseline {base_value:.2f} ±{threshold:.0%})")
+    if values and max(values) - min(values) > 0.001 * max(abs(v) for v in values):
+        failures.append(
+            f"{name}: differs across runs {values} — it is deterministic; "
+            "the binary or config changed between runs")
+    status = "ok" if not any(name in f for f in failures) else "FAIL"
+    print(f"{name:<40} baseline {base_value:9.2f}  runs {values}  [{status}]")
+
+
+def gate_timing_ratio(name, base_value, values, threshold, jitter_limit,
+                      failures):
+    """Best-of-runs must reach baseline * (1 - threshold); excessive
+    run-to-run jitter fails distinctly (environment too noisy to gate)."""
+    if not values:
+        return
+    best = max(values)
+    floor = base_value * (1.0 - threshold)
+    jitter = (max(values) - min(values)) / max(values)
+    print(f"{name:<40} baseline {base_value:9.2f}  runs {values}  "
+          f"jitter {jitter:.0%}  floor {floor:.2f}")
+    if jitter > jitter_limit:
+        failures.append(f"{name} jitter {jitter:.0%} exceeds "
+                        f"{jitter_limit:.0%}: runs too noisy to gate on; "
+                        "rerun")
+    elif best < floor:
+        failures.append(f"{name} best-of-{len(values)} {best:.2f} < "
+                        f"{floor:.2f} (baseline {base_value:.2f} "
+                        f"-{threshold:.0%})")
+
+
+def gate_rr_engine(baseline, runs, args, failures):
+    check_geometry(baseline, runs, ("nodes", "sets"))
+
     # --- deterministic gate: bytes_per_set per engine row -----------------
     base_rows = {row["engine"]: row for row in baseline.get("results", [])}
     for engine, base_row in sorted(base_rows.items()):
-        base_bytes = base_row["bytes_per_set"]
-        limit = base_bytes * (1.0 + args.threshold)
         values = []
         for path, run in runs:
             row = next((r for r in run.get("results", [])
                         if r["engine"] == engine), None)
             if row is None:
-                failures.append(f"{path}: engine row '{engine}' missing")
+                # Metric name included so the per-metric [ok]/FAIL status
+                # line (which greps failures for it) reflects the miss.
+                failures.append(
+                    f"{path}: bytes_per_set {engine}: engine row missing")
                 continue
             values.append(row["bytes_per_set"])
-            if row["bytes_per_set"] > limit:
-                failures.append(
-                    f"{path}: {engine} bytes_per_set {row['bytes_per_set']:.1f} "
-                    f"> {limit:.1f} (baseline {base_bytes:.1f} +{args.threshold:.0%})")
-        if values and max(values) - min(values) > 0.001 * max(values):
-            failures.append(
-                f"{engine}: bytes_per_set differs across runs {values} — "
-                "it is deterministic; the binary or growth policy changed "
-                "between runs")
-        status = "ok" if not any(engine in f for f in failures) else "FAIL"
-        print(f"bytes_per_set  {engine:<22} baseline {base_bytes:7.1f}  "
-              f"runs {values}  [{status}]")
+        gate_deterministic(f"bytes_per_set {engine}", base_row["bytes_per_set"],
+                           values, args.threshold, failures,
+                           larger_is_better=False)
 
     # --- timing gate: incremental_select.select_speedup -------------------
     base_inc = baseline.get("incremental_select")
     if base_inc is None:
         sys.exit("error: baseline has no incremental_select section; "
                  "regenerate it with the current bench binary")
-    base_speedup = base_inc["select_speedup"]
     speedups = []
     for path, run in runs:
         inc = run.get("incremental_select")
@@ -101,22 +133,72 @@ def main():
             failures.append(f"{path}: incremental_select section missing")
             continue
         speedups.append(inc["select_speedup"])
-    if speedups:
-        best = max(speedups)
-        floor = base_speedup * (1.0 - args.threshold)
-        jitter = (max(speedups) - min(speedups)) / max(speedups)
-        print(f"select_speedup {'incremental_select':<22} baseline "
-              f"{base_speedup:7.2f}  runs {speedups}  "
-              f"jitter {jitter:.0%}  floor {floor:.2f}")
-        if jitter > args.jitter_limit:
-            failures.append(
-                f"select_speedup jitter {jitter:.0%} exceeds "
-                f"{args.jitter_limit:.0%}: runs too noisy to gate on; rerun")
-        elif best < floor:
-            failures.append(
-                f"incremental_select.select_speedup best-of-{len(speedups)} "
-                f"{best:.2f} < {floor:.2f} "
-                f"(baseline {base_speedup:.2f} -{args.threshold:.0%})")
+    gate_timing_ratio("incremental_select.select_speedup",
+                      base_inc["select_speedup"], speedups, args.threshold,
+                      args.jitter_limit, failures)
+
+
+def gate_scoring(baseline, runs, args, failures):
+    # seed included: work_ratio is only deterministic for identical seeds.
+    check_geometry(baseline, runs, ("graph", "nodes", "l", "k", "seed"))
+
+    base_section = baseline.get("incremental_rescore")
+    if base_section is None:
+        sys.exit("error: baseline has no incremental_rescore section; "
+                 "regenerate it with the current bench binary")
+    scorers = sorted(key for key, value in base_section.items()
+                     if isinstance(value, dict))
+    if not scorers:
+        sys.exit("error: baseline incremental_rescore has no scorer rows")
+    for scorer in scorers:
+        base_row = base_section[scorer]
+        work_ratios, speedups = [], []
+        for path, run in runs:
+            row = (run.get("incremental_rescore") or {}).get(scorer)
+            if row is None:
+                failures.append(f"{path}: {scorer}.work_ratio / "
+                                f"{scorer}.rescore_speedup: "
+                                "incremental_rescore row missing")
+                continue
+            work_ratios.append(row["work_ratio"])
+            speedups.append(row["rescore_speedup"])
+        # work_ratio is deterministic (node-eval counts, not seconds).
+        gate_deterministic(f"{scorer}.work_ratio", base_row["work_ratio"],
+                           work_ratios, args.threshold, failures,
+                           larger_is_better=True)
+        gate_timing_ratio(f"{scorer}.rescore_speedup",
+                          base_row["rescore_speedup"], speedups,
+                          args.threshold, args.jitter_limit, failures)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json baseline")
+    parser.add_argument("--run", action="append", required=True,
+                        dest="runs", help="fresh bench JSON (repeatable)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--jitter-limit", type=float, default=0.5,
+                        help="max run-to-run timing-ratio spread before the "
+                             "timing gate is declared unusable (default 0.5)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    runs = [(path, load(path)) for path in args.runs]
+    failures = []
+
+    kind = baseline.get("bench")
+    for path, run in runs:
+        if run.get("bench") != kind:
+            sys.exit(f"error: {path} is a '{run.get('bench')}' bench but the "
+                     f"baseline is '{kind}'")
+    if kind == "rr_engine":
+        gate_rr_engine(baseline, runs, args, failures)
+    elif kind == "scoring":
+        gate_scoring(baseline, runs, args, failures)
+    else:
+        sys.exit(f"error: unknown bench kind '{kind}' in {args.baseline}")
 
     if failures:
         print("\nbench-gate FAILED:", file=sys.stderr)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI docs gate: broken intra-repo links and a stale figure-binary table.
+
+Checks, relative to the repo root (the script's parent directory):
+
+  1. Every relative markdown link in README.md and docs/*.md points at a
+     file or directory that exists. External links (http/https/mailto) and
+     pure fragments (#...) are skipped; a fragment on a relative link is
+     stripped before the existence check.
+
+  2. README.md's bench table stays in sync with bench/: every bench/*.cc
+     translation unit must be mentioned as its binary name (bench_<stem>),
+     and every `bench_...` name mentioned in README.md must still have a
+     source file. This keeps the figure-to-binary map trustworthy as bench
+     binaries are added or renamed.
+
+Exit 1 with a per-finding message on any violation.
+
+Usage: python3 tools/check_docs.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' inner parens handled well enough for
+# repo docs; fenced code blocks are stripped first so example links and
+# shell snippets don't count.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+BENCH_NAME_RE = re.compile(r"\bbench_[A-Za-z0-9_]+\b")
+# `src/bench_support/` is the harness directory, not a binary.
+NOT_BINARIES = {"bench_support"}
+
+
+def doc_files():
+    files = []
+    readme = REPO / "README.md"
+    if readme.exists():
+        files.append(readme)
+    docs = REPO / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def check_links(path, text, failures):
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            try:
+                shown = resolved.relative_to(REPO)
+            except ValueError:  # link escapes the repo root
+                shown = resolved
+            failures.append(f"{path.relative_to(REPO)}: broken link "
+                            f"'{target}' (no {shown})")
+
+
+def check_bench_table(readme_text, failures):
+    bench_dir = REPO / "bench"
+    sources = {f"bench_{src.stem}" for src in bench_dir.glob("*.cc")
+               if src.stem != "common"}
+    mentioned = set(BENCH_NAME_RE.findall(readme_text)) - NOT_BINARIES
+    for missing in sorted(sources - mentioned):
+        failures.append(f"README.md: bench binary '{missing}' "
+                        "(from bench/) is not documented in the bench table")
+    for stale in sorted(mentioned - sources):
+        failures.append(f"README.md: mentions '{stale}' but bench/ has no "
+                        "such source — remove or rename the table row")
+
+
+def main():
+    failures = []
+    files = doc_files()
+    if not files:
+        failures.append("README.md missing at repo root")
+    readme_text = None
+    for path in files:
+        raw = path.read_text(encoding="utf-8")
+        check_links(path, FENCE_RE.sub("", raw), failures)
+        if path.name == "README.md":
+            readme_text = raw  # bench names inside code fences count
+    if readme_text is not None:
+        check_bench_table(readme_text, failures)
+
+    if failures:
+        print("docs-gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"docs-gate passed ({len(files)} files checked).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@
 #include "model/influence_params.h"
 #include "model/opinion_params.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace holim {
 namespace {
@@ -91,16 +92,28 @@ Status Run(const BenchArgs& args) {
   mc.num_simulations = config.mc;
   mc.seed = config.seed;
 
+  // EaSyIM/OSIM knobs: incremental vs full per-round rescoring and the
+  // sweep-sharding pool. Scores are bitwise identical either way.
+  ScoreGreedyOptions sg_options;
+  HOLIM_ASSIGN_OR_RETURN(sg_options.incremental_rescore,
+                         ParseRescoreFlag(args, "incremental"));
+  const int64_t threads = args.GetInt("threads", 0);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
+    sg_options.pool = pool.get();
+  }
+
   // Build the selector.
   std::unique_ptr<SeedSelector> selector;
   if (algo == "easyim") {
-    selector = std::make_unique<EasyImSelector>(graph, params, l);
+    selector = std::make_unique<EasyImSelector>(graph, params, l, sg_options);
   } else if (algo == "osim") {
     if (!opinion_aware) {
       return Status::InvalidArgument("--algo=osim needs --opinions=...");
     }
-    selector =
-        std::make_unique<OsimSelector>(graph, params, opinions, base, l);
+    selector = std::make_unique<OsimSelector>(graph, params, opinions, base, l,
+                                              sg_options);
   } else if (algo == "greedy" || algo == "celf") {
     std::shared_ptr<McObjective> objective;
     if (opinion_aware) {
@@ -146,10 +159,12 @@ Status Run(const BenchArgs& args) {
   }
 
   HOLIM_ASSIGN_OR_RETURN(SeedSelection selection, selector->Select(k));
-  std::printf("\n%s selected %zu seeds in %s (exec memory %s)\n",
+  std::printf("\n%s selected %zu seeds in %s (exec memory %s, scorer "
+              "scratch %s)\n",
               selector->name().c_str(), selection.seeds.size(),
               HumanSeconds(selection.elapsed_seconds).c_str(),
-              HumanBytes(selection.overhead_bytes).c_str());
+              HumanBytes(selection.overhead_bytes).c_str(),
+              HumanBytes(selection.scratch_bytes).c_str());
   std::printf("seeds:");
   for (std::size_t i = 0; i < selection.seeds.size() && i < 20; ++i) {
     std::printf(" %u", selection.seeds[i]);
@@ -178,17 +193,30 @@ int main(int argc, char** argv) {
   return holim::BenchMain(
       argc, argv, "holim_cli — influence maximization toolbox", holim::Run,
       [](holim::BenchArgs* args) {
-        args->Declare("algo", "selection algorithm (see error text for list)");
-        args->Declare("dataset", "synthetic stand-in name (Table 2)");
-        args->Declare("edge_list", "path to a SNAP edge-list file");
+        args->Declare("algo",
+                      "selection algorithm: easyim | osim | greedy | celf | "
+                      "tim | imm | irie | simpath | degree | degreediscount | "
+                      "pagerank | random (default easyim)");
+        args->Declare("dataset",
+                      "synthetic stand-in name (Table 2; default NetHEPT)");
+        args->Declare("edge_list",
+                      "path to a SNAP edge-list file (overrides --dataset)");
         args->Declare("undirected", "treat edge list rows as undirected");
-        args->Declare("model", "diffusion model: IC | WC | LT");
-        args->Declare("p", "uniform IC probability (default 0.1)");
+        args->Declare("model", "diffusion model: IC | WC | LT (default IC)");
+        args->Declare("p",
+                      "uniform IC probability, also DegreeDiscount's p "
+                      "(default 0.1)");
         args->Declare("k", "number of seeds (default 50)");
         args->Declare("l", "EaSyIM/OSIM path-length horizon (default 3)");
-        args->Declare("opinions", "opinion layer: uniform | normal");
+        args->Declare("opinions",
+                      "opinion layer: uniform | normal (required for osim; "
+                      "switches greedy/celf to the opinion objective)");
         args->Declare("lambda", "negative-opinion penalty (default 1)");
-        args->Declare("epsilon", "TIM+/IMM approximation slack");
-        args->Declare("max_theta", "TIM+/IMM RR-set cap");
+        args->Declare("epsilon",
+                      "TIM+/IMM approximation slack (default 0.1)");
+        args->Declare("max_theta", "TIM+/IMM RR-set cap (default 2000000)");
+        holim::DeclareRescoreFlag(args, "incremental");
+        args->Declare("threads",
+                      "EaSyIM/OSIM sweep pool size (0 = serial sweeps)");
       });
 }
