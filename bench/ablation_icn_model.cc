@@ -23,6 +23,7 @@ namespace {
 
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
+  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
   const double quality = args.GetDouble("quality", 0.8);
   // CELF on the IC-N objective evaluates every node once: keep it modest.
   const double scale = std::min(config.scale, 0.05);
@@ -45,8 +46,16 @@ Status Run(const BenchArgs& args) {
   McOptions icn_mc;
   icn_mc.num_simulations = std::min<uint32_t>(config.mc, 100);
   icn_mc.seed = config.seed;
+  // --oracle=sketch: CELF's IC-N objective evaluates over presampled
+  // worlds (exact in the quality flips given the worlds) instead of fresh
+  // MC runs per candidate.
+  std::shared_ptr<const SketchOracle> sketch;
+  if (oracle == SpreadOracle::kSketch) {
+    sketch = MakeSketchOracle(w.graph, w.params, icn_mc.num_simulations,
+                              config.seed);
+  }
   auto icn_objective = std::make_shared<IcnPositiveSpreadObjective>(
-      w.graph, w.params, quality, icn_mc);
+      w.graph, w.params, quality, icn_mc, sketch);
   CelfSelector icn_celf(w.graph, icn_objective, true, "IC-N CELF");
   HOLIM_ASSIGN_OR_RETURN(SeedSelection icn_seeds, icn_celf.Select(k));
 
@@ -87,5 +96,6 @@ int main(int argc, char** argv) {
                    "Ablation — cross-model robustness (OI vs IC-N)", Run,
                    [](BenchArgs* args) {
                      args->Declare("quality", "IC-N quality factor q");
+                     DeclareOracleFlag(args);
                    });
 }

@@ -5,12 +5,14 @@
 // binary prints a fixed-width table (the paper's rows/series) and writes a
 // CSV copy under results/.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_support/bench_main.h"
 #include "bench_support/experiment.h"
 #include "data/datasets.h"
+#include "diffusion/sketch_oracle.h"
 #include "diffusion/spread_estimator.h"
 #include "graph/stats.h"
 #include "model/influence_params.h"
@@ -74,6 +76,60 @@ inline std::vector<double> SpreadAtPrefixes(
     const std::size_t take = std::min<std::size_t>(k, seeds.size());
     std::vector<NodeId> prefix(seeds.begin(), seeds.begin() + take);
     out.push_back(EstimateSpread(graph, params, prefix, options));
+  }
+  return out;
+}
+
+/// One-stop sketch-oracle construction for the bench binaries: R
+/// snapshots seeded from the common config (serial sampling — the figure
+/// binaries are single-thread by methodology). `record_edge_offsets` is
+/// needed only by the opinion-replay benches.
+inline std::shared_ptr<const SketchOracle> MakeSketchOracle(
+    const Graph& graph, const InfluenceParams& params, uint32_t snapshots,
+    uint64_t seed, bool record_edge_offsets = false) {
+  SketchOptions options;
+  options.num_snapshots = snapshots;
+  options.seed = seed;
+  options.record_edge_offsets = record_edge_offsets;
+  return std::make_shared<const SketchOracle>(graph, params, options);
+}
+
+/// Sketch-oracle twin of SpreadAtPrefixes: evaluates sigma at each seed
+/// prefix over the oracle's frozen snapshots through ONE incremental
+/// session — each grid point extends the previous prefix, so the whole
+/// sweep activates every (snapshot, node) pair at most once instead of
+/// re-walking reach(S) per prefix.
+inline std::vector<double> SpreadAtPrefixesSketch(
+    const SketchOracle& oracle, const std::vector<NodeId>& seeds,
+    const std::vector<uint32_t>& grid) {
+  SketchOracle::Session session(oracle);
+  std::vector<double> out;
+  std::size_t committed = 0;
+  for (uint32_t k : grid) {
+    const std::size_t take = std::min<std::size_t>(k, seeds.size());
+    for (; committed < take; ++committed) session.Commit(seeds[committed]);
+    out.push_back(session.Spread());
+  }
+  return out;
+}
+
+/// Sketch-oracle twin of OpinionSpreadAtPrefixes (IC base): expected-alpha
+/// opinion replay over the oracle's frozen snapshots (exact estimand at
+/// lambda == 1; the oracle must be built with record_edge_offsets). The
+/// replay is path-dependent, so prefixes are evaluated one-shot — the
+/// reuse win is sampling the worlds once across all prefixes/selectors.
+inline std::vector<double> OpinionSpreadAtPrefixesSketch(
+    const SketchOracle& oracle, const OpinionParams& opinions,
+    const std::vector<NodeId>& seeds, const std::vector<uint32_t>& grid,
+    double lambda) {
+  std::vector<double> out;
+  for (uint32_t k : grid) {
+    const std::size_t take = std::min<std::size_t>(k, seeds.size());
+    std::vector<NodeId> prefix(seeds.begin(), seeds.begin() + take);
+    out.push_back(oracle
+                      .EstimateOpinion(opinions, OiBase::kIndependentCascade,
+                                       prefix, lambda)
+                      .effective_opinion_spread);
   }
   return out;
 }

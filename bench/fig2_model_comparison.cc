@@ -2,6 +2,8 @@
 // and IC (EaSyIM) on HepPh and NetHEPT stand-ins. The paper's claim: the
 // OI-selected seeds dominate, IC-selected seeds trail badly.
 
+#include <memory>
+
 #include "algo/score_greedy.h"
 #include "common.h"
 
@@ -12,6 +14,7 @@ namespace {
 
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
+  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
   ResultTable table("Figure 2 — opinion spread vs seeds",
                     {"dataset", "selector", "k", "opinion_spread"},
                     CsvPath("fig2_model_comparison"));
@@ -27,6 +30,14 @@ Status Run(const BenchArgs& args) {
     w.graph.BuildEdgeSourceIndex();  // O(1) EdgeSource in opinion replay
     InfluenceParams lt = MakeLinearThreshold(w.graph);
     auto grid = SeedGrid(config.max_k);
+    // --oracle=sketch: sample the first-layer worlds once per dataset and
+    // reuse them across all 3 instances x 3 selectors x prefix sweeps
+    // (opinion replay reads per-edge phi, hence record_edge_offsets).
+    std::shared_ptr<const SketchOracle> sketch;
+    if (oracle == SpreadOracle::kSketch) {
+      sketch = MakeSketchOracle(w.graph, w.params, config.mc, config.seed,
+                                /*record_edge_offsets=*/true);
+    }
     std::vector<double> oi_acc(grid.size(), 0), oc_acc(grid.size(), 0),
         ic_acc(grid.size(), 0);
     for (int instance = 0; instance < kInstances; ++instance) {
@@ -54,9 +65,13 @@ Status Run(const BenchArgs& args) {
       // All strategies are judged under the OI ground-truth dynamics.
       auto accumulate = [&](const std::vector<NodeId>& seeds,
                             std::vector<double>* acc) {
-        auto values = OpinionSpreadAtPrefixes(
-            w.graph, w.params, opinions, OiBase::kIndependentCascade, seeds,
-            grid, /*lambda=*/1.0, config.mc, config.seed);
+        auto values =
+            sketch ? OpinionSpreadAtPrefixesSketch(*sketch, opinions, seeds,
+                                                   grid, /*lambda=*/1.0)
+                   : OpinionSpreadAtPrefixes(
+                         w.graph, w.params, opinions,
+                         OiBase::kIndependentCascade, seeds, grid,
+                         /*lambda=*/1.0, config.mc, config.seed);
         for (std::size_t i = 0; i < grid.size(); ++i) {
           (*acc)[i] += values[i] / kInstances;
         }
@@ -88,5 +103,5 @@ Status Run(const BenchArgs& args) {
 int main(int argc, char** argv) {
   return BenchMain(argc, argv,
                    "Figure 2 — opinion spread under OI/OC/IC seed selection",
-                   Run);
+                   Run, [](BenchArgs* args) { DeclareOracleFlag(args); });
 }

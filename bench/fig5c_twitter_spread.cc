@@ -1,6 +1,8 @@
 // Figure 5c: opinion spread vs seeds on the Twitter background graph for
 // seeds selected under OI (OSIM), OC, and IC (EaSyIM).
 
+#include <memory>
+
 #include "algo/score_greedy.h"
 #include "common.h"
 #include "data/twitter.h"
@@ -12,6 +14,7 @@ namespace {
 
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
+  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
   TwitterCorpusOptions options;
   options.num_users =
       static_cast<NodeId>(std::max(3000.0, 1'600'000 * config.scale * 0.1));
@@ -37,18 +40,24 @@ Status Run(const BenchArgs& args) {
   ResultTable table("Figure 5c — opinion spread vs seeds (Twitter)",
                     {"k", "OI", "OC", "IC"}, CsvPath("fig5c_twitter_spread"));
   auto grid = SeedGrid(max_k);
-  auto oi_values = OpinionSpreadAtPrefixes(bg, influence, corpus.estimated,
-                                           OiBase::kIndependentCascade,
-                                           oi_seeds.seeds, grid, 1.0,
-                                           config.mc, config.seed);
-  auto oc_values = OpinionSpreadAtPrefixes(bg, influence, corpus.estimated,
-                                           OiBase::kIndependentCascade,
-                                           oc_seeds.seeds, grid, 1.0,
-                                           config.mc, config.seed);
-  auto ic_values = OpinionSpreadAtPrefixes(bg, influence, corpus.estimated,
-                                           OiBase::kIndependentCascade,
-                                           ic_seeds.seeds, grid, 1.0,
-                                           config.mc, config.seed);
+  // --oracle=sketch: one snapshot set over the background graph, reused by
+  // all three selectors' prefix sweeps (opinion replay needs per-edge phi).
+  std::shared_ptr<const SketchOracle> sketch;
+  if (oracle == SpreadOracle::kSketch) {
+    sketch = MakeSketchOracle(bg, influence, config.mc, config.seed,
+                              /*record_edge_offsets=*/true);
+  }
+  auto evaluate = [&](const std::vector<NodeId>& seeds) {
+    return sketch ? OpinionSpreadAtPrefixesSketch(*sketch, corpus.estimated,
+                                                  seeds, grid, 1.0)
+                  : OpinionSpreadAtPrefixes(bg, influence, corpus.estimated,
+                                            OiBase::kIndependentCascade,
+                                            seeds, grid, 1.0, config.mc,
+                                            config.seed);
+  };
+  auto oi_values = evaluate(oi_seeds.seeds);
+  auto oc_values = evaluate(oc_seeds.seeds);
+  auto ic_values = evaluate(ic_seeds.seeds);
   for (std::size_t i = 0; i < grid.size(); ++i) {
     table.AddRow({std::to_string(grid[i]), CsvWriter::Num(oi_values[i]),
                   CsvWriter::Num(oc_values[i]), CsvWriter::Num(ic_values[i])});
@@ -64,5 +73,5 @@ int main(int argc, char** argv) {
   return BenchMain(argc, argv,
                    "Figure 5c — opinion spread of OI/OC/IC-selected seeds on "
                    "the Twitter background graph",
-                   Run);
+                   Run, [](BenchArgs* args) { DeclareOracleFlag(args); });
 }

@@ -1,6 +1,8 @@
 // Figures 7d-7e (appendix): spread of EaSyIM(l=3) vs SIMPATH (NetHEPT, LT)
 // and vs IRIE (YouTube, WC).
 
+#include <memory>
+
 #include "algo/irie.h"
 #include "algo/score_greedy.h"
 #include "algo/simpath.h"
@@ -13,10 +15,26 @@ namespace {
 
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
+  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
   const double scale = args.GetDouble("scale", 0.01);
   ResultTable table("Figures 7d-7e — EaSyIM vs SIMPATH/IRIE spread",
                     {"figure", "dataset", "algorithm", "k", "spread"},
                     CsvPath("fig7de_heuristic_spread"));
+
+  // With --oracle=sketch the per-workload snapshot set is sampled once
+  // and reused for both algorithms' prefix sweeps (incremental sessions).
+  auto evaluate = [&](const Workload& w, const std::vector<NodeId>& seeds,
+                      const std::vector<uint32_t>& grid,
+                      const SketchOracle* sketch) {
+    return sketch ? SpreadAtPrefixesSketch(*sketch, seeds, grid)
+                  : SpreadAtPrefixes(w.graph, w.params, seeds, grid,
+                                     config.mc, config.seed);
+  };
+  auto make_sketch = [&](const Workload& w) {
+    return oracle == SpreadOracle::kSketch
+               ? MakeSketchOracle(w.graph, w.params, config.mc, config.seed)
+               : nullptr;
+  };
 
   // 7d: NetHEPT under LT — EaSyIM vs SIMPATH.
   {
@@ -30,10 +48,9 @@ Status Run(const BenchArgs& args) {
     SimpathSelector simpath(w.graph, w.params);
     HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(max_k));
     HOLIM_ASSIGN_OR_RETURN(SeedSelection sp_sel, simpath.Select(max_k));
-    auto easy_values = SpreadAtPrefixes(w.graph, w.params, easy_sel.seeds,
-                                        grid, config.mc, config.seed);
-    auto sp_values = SpreadAtPrefixes(w.graph, w.params, sp_sel.seeds, grid,
-                                      config.mc, config.seed);
+    auto sketch = make_sketch(w);
+    auto easy_values = evaluate(w, easy_sel.seeds, grid, sketch.get());
+    auto sp_values = evaluate(w, sp_sel.seeds, grid, sketch.get());
     for (std::size_t i = 0; i < grid.size(); ++i) {
       table.AddRow({"7d", "NetHEPT", "EaSyIM,l=3", std::to_string(grid[i]),
                     CsvWriter::Num(easy_values[i])});
@@ -54,10 +71,9 @@ Status Run(const BenchArgs& args) {
     IrieSelector irie(w.graph, w.params);
     HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(max_k));
     HOLIM_ASSIGN_OR_RETURN(SeedSelection irie_sel, irie.Select(max_k));
-    auto easy_values = SpreadAtPrefixes(w.graph, w.params, easy_sel.seeds,
-                                        grid, config.mc, config.seed);
-    auto irie_values = SpreadAtPrefixes(w.graph, w.params, irie_sel.seeds,
-                                        grid, config.mc, config.seed);
+    auto sketch = make_sketch(w);
+    auto easy_values = evaluate(w, easy_sel.seeds, grid, sketch.get());
+    auto irie_values = evaluate(w, irie_sel.seeds, grid, sketch.get());
     for (std::size_t i = 0; i < grid.size(); ++i) {
       table.AddRow({"7e", "YouTube", "EaSyIM,l=3", std::to_string(grid[i]),
                     CsvWriter::Num(easy_values[i])});
@@ -75,5 +91,6 @@ Status Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   return BenchMain(argc, argv,
-                   "Figures 7d-7e — spread vs SIMPATH/IRIE (appendix)", Run);
+                   "Figures 7d-7e — spread vs SIMPATH/IRIE (appendix)", Run,
+                   [](BenchArgs* args) { DeclareOracleFlag(args); });
 }

@@ -24,6 +24,23 @@ struct HeapEntry {
   }
 };
 
+// Heap entry of the incremental-session path. Unlike the MC path (whose
+// unspecified tie order is part of its frozen byte-identical behavior),
+// ties break toward the smaller node id so that session CELF provably
+// picks the same seeds as eager greedy over the same frozen snapshots
+// (gains there are exactly submodular, so equal-gain candidates are
+// interchangeable except for this ordering).
+struct SessionHeapEntry {
+  NodeId node;
+  double gain;
+  uint32_t round;
+
+  bool operator<(const SessionHeapEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return node > other.node;  // smaller id pops first on ties
+  }
+};
+
 }  // namespace
 
 CelfSelector::CelfSelector(const Graph& graph,
@@ -43,6 +60,37 @@ Result<SeedSelection> CelfSelector::Select(uint32_t k) {
   MemoryMeter meter;
   Timer timer;
   evaluations_ = 0;
+
+  if (objective_->StartSession()) {
+    // Incremental path (sketch-backed objectives): the same lazy-forward
+    // loop, but every marginal gain is an incremental session probe and
+    // selecting a seed commits its frontier once. The CELF++ double-gain
+    // cache is pointless here — a session re-evaluation costs no more
+    // than the cache lookup's bookkeeping — so `plus_plus_` is ignored.
+    std::priority_queue<SessionHeapEntry> heap;
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      ++evaluations_;
+      heap.push({u, objective_->SessionMarginalGain(u), 0});
+    }
+    while (selection.seeds.size() < k && !heap.empty()) {
+      SessionHeapEntry top = heap.top();
+      heap.pop();
+      const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+      if (top.round == round) {
+        objective_->SessionCommit(top.node);
+        selection.seeds.push_back(top.node);
+        selection.seed_scores.push_back(top.gain);
+        continue;
+      }
+      ++evaluations_;
+      top.gain = objective_->SessionMarginalGain(top.node);
+      top.round = round;
+      heap.push(top);
+    }
+    selection.elapsed_seconds = timer.ElapsedSeconds();
+    selection.overhead_bytes = meter.OverheadBytes();
+    return selection;
+  }
 
   std::vector<NodeId> trial;
   auto evaluate = [&](const std::vector<NodeId>& seeds) {

@@ -23,6 +23,14 @@ namespace holim {
 /// With a non-submodular objective (the MEO objective) the lazy bound is a
 /// heuristic rather than exact — matching how the paper deploys greedy
 /// baselines in the opinion-aware setting.
+///
+/// When the objective supports an incremental session (McObjective's
+/// session API; SketchSpreadObjective), Select runs the same lazy loop
+/// through SessionMarginalGain/SessionCommit: gains on the frozen
+/// snapshot sample are exactly submodular, ties break toward the smaller
+/// node id, and the CELF++ double-gain cache is skipped (a session
+/// re-evaluation is already near-O(touched)). The Monte-Carlo path is
+/// byte-identical to its pre-session behavior.
 class CelfSelector : public SeedSelector {
  public:
   /// `plus_plus` toggles the CELF++ double-gain optimization.

@@ -33,6 +33,30 @@ double EffectiveOpinionObjective::Evaluate(const std::vector<NodeId>& seeds) {
       .effective_opinion_spread;
 }
 
+SketchSpreadObjective::SketchSpreadObjective(
+    std::shared_ptr<const SketchOracle> oracle, bool use_session)
+    : oracle_(std::move(oracle)),
+      session_(*oracle_),
+      use_session_(use_session) {}
+
+double SketchSpreadObjective::Evaluate(const std::vector<NodeId>& seeds) {
+  return oracle_->Estimate(seeds);
+}
+
+bool SketchSpreadObjective::StartSession() {
+  if (!use_session_) return false;
+  session_.Reset();
+  return true;
+}
+
+double SketchSpreadObjective::SessionMarginalGain(NodeId u) {
+  return session_.MarginalGain(u);
+}
+
+double SketchSpreadObjective::SessionCommit(NodeId u) {
+  return session_.Commit(u);
+}
+
 GreedySelector::GreedySelector(const Graph& graph,
                                std::shared_ptr<McObjective> objective,
                                std::string name)
@@ -47,6 +71,32 @@ Result<SeedSelection> GreedySelector::Select(uint32_t k) {
   MemoryMeter meter;
   Timer timer;
   std::vector<char> chosen(graph_.num_nodes(), 0);
+  if (objective_->StartSession()) {
+    // Incremental path (sketch-backed objectives): identical hill-climb —
+    // scan candidates in ascending id, strict improvement — but each
+    // marginal gain is an incremental session probe instead of a whole-set
+    // re-evaluation, and the winner's frontier is committed once.
+    for (uint32_t i = 0; i < k; ++i) {
+      NodeId best = kInvalidNode;
+      double best_gain = -std::numeric_limits<double>::infinity();
+      for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+        if (chosen[u]) continue;
+        const double gain = objective_->SessionMarginalGain(u);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = u;
+        }
+      }
+      if (best == kInvalidNode) break;
+      objective_->SessionCommit(best);
+      chosen[best] = 1;
+      selection.seeds.push_back(best);
+      selection.seed_scores.push_back(best_gain);
+    }
+    selection.elapsed_seconds = timer.ElapsedSeconds();
+    selection.overhead_bytes = meter.OverheadBytes();
+    return selection;
+  }
   double current_value = 0.0;
   std::vector<NodeId> trial;
   for (uint32_t i = 0; i < k; ++i) {

@@ -9,6 +9,7 @@
 
 #include "algo/seed_selector.h"
 #include "diffusion/oi_model.h"
+#include "diffusion/sketch_oracle.h"
 #include "diffusion/spread_estimator.h"
 #include "graph/graph.h"
 #include "model/influence_params.h"
@@ -24,6 +25,22 @@ class McObjective {
   virtual std::string name() const = 0;
   /// Expected objective value of the seed set (sigma or sigma_o_lambda).
   virtual double Evaluate(const std::vector<NodeId>& seeds) = 0;
+
+  /// Optional incremental marginal-gain session, implemented by
+  /// snapshot-backed objectives (SketchSpreadObjective). StartSession()
+  /// (re)opens a session with an empty committed seed set and returns true
+  /// when supported; the greedy/CELF selectors then drive
+  /// SessionMarginalGain/SessionCommit instead of whole-set Evaluate
+  /// calls, which turns each marginal-gain query into a near-O(touched)
+  /// incremental probe. Contract, on the objective's own (frozen)
+  /// randomness:
+  ///   SessionMarginalGain(u) == Evaluate(S + u) - Evaluate(S)
+  /// for the committed set S; SessionCommit(u) adds u to S and returns the
+  /// same gain. The default implementation reports no session support and
+  /// the selectors fall back to the Monte-Carlo Evaluate path.
+  virtual bool StartSession() { return false; }
+  virtual double SessionMarginalGain(NodeId /*u*/) { return 0.0; }
+  virtual double SessionCommit(NodeId /*u*/) { return 0.0; }
 };
 
 /// Opinion-oblivious expected spread sigma(S) (IM objective).
@@ -58,6 +75,38 @@ class EffectiveOpinionObjective : public McObjective {
   OiBase base_;
   double lambda_;
   McOptions options_;
+};
+
+/// \brief sigma(S) on a frozen set of presampled live-edge snapshots (the
+/// StaticGreedy/sketch estimator family) — the `--oracle=sketch` backend
+/// for GreedySelector/CelfSelector and the spread benches.
+///
+/// Evaluate() is a one-shot batch reachability count over the oracle's
+/// packed arena; the session API exposes the oracle's activate-once
+/// incremental evaluator, so a full greedy run explores each (snapshot,
+/// node) pair at most once. On the static sample marginal gains are
+/// exactly submodular (integer newly-reachable counts), so CELF's lazy
+/// bound never misranks and CELF picks the same seeds as eager greedy
+/// over the same frozen snapshots.
+class SketchSpreadObjective : public McObjective {
+ public:
+  /// `use_session = false` disables the incremental session (every call
+  /// goes through one-shot Estimate) — the baseline the incremental path
+  /// is benchmarked against.
+  explicit SketchSpreadObjective(std::shared_ptr<const SketchOracle> oracle,
+                                 bool use_session = true);
+  std::string name() const override { return "sigma_sketch"; }
+  double Evaluate(const std::vector<NodeId>& seeds) override;
+  bool StartSession() override;
+  double SessionMarginalGain(NodeId u) override;
+  double SessionCommit(NodeId u) override;
+
+  const SketchOracle& oracle() const { return *oracle_; }
+
+ private:
+  std::shared_ptr<const SketchOracle> oracle_;
+  SketchOracle::Session session_;
+  bool use_session_;
 };
 
 /// \brief Kempe et al.'s GREEDY: k rounds, each evaluating the marginal gain

@@ -1,11 +1,13 @@
 #ifndef HOLIM_ALGO_ICN_OBJECTIVE_H_
 #define HOLIM_ALGO_ICN_OBJECTIVE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "algo/greedy.h"
 #include "diffusion/icn_model.h"
+#include "diffusion/sketch_oracle.h"
 #include "diffusion/spread_estimator.h"
 #include "graph/graph.h"
 #include "model/influence_params.h"
@@ -22,9 +24,16 @@ namespace holim {
 /// it as the IC-N selection strategy when comparing opinion-aware models.
 class IcnPositiveSpreadObjective : public McObjective {
  public:
+  /// With a non-null `sketch` the objective evaluates over the oracle's
+  /// presampled worlds (SketchOracle::EstimateIcnPositive — exact in the
+  /// quality flips given the worlds) instead of fresh Monte-Carlo runs;
+  /// `options` is then only kept for reporting. The oracle must be built
+  /// on the same graph/params.
   IcnPositiveSpreadObjective(const Graph& graph,
                              const InfluenceParams& params,
-                             double quality_factor, const McOptions& options);
+                             double quality_factor, const McOptions& options,
+                             std::shared_ptr<const SketchOracle> sketch =
+                                 nullptr);
 
   std::string name() const override { return "icn_positive"; }
   double Evaluate(const std::vector<NodeId>& seeds) override;
@@ -34,6 +43,7 @@ class IcnPositiveSpreadObjective : public McObjective {
   const InfluenceParams& params_;
   double quality_factor_;
   McOptions options_;
+  std::shared_ptr<const SketchOracle> sketch_;
 };
 
 /// Monte-Carlo estimate of the expected positive spread under IC-N.

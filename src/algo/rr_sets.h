@@ -92,9 +92,11 @@ namespace holim {
 /// fixed-size blocks of `kGenerateBlockSize`. Block b (0-based within the
 /// call) is sampled sequentially by an independent RNG stream seeded with
 /// SplitMix64(seed + kGenerateSeedSalt * (b + 1)) — the same derivation
-/// shape as `RunSharded` in diffusion/spread_estimator.cc, with a
-/// different salt constant (the two streams are unrelated and must stay
-/// so; do not "unify" the constants). Because block
+/// shape as the MC estimator's per-simulation streams
+/// (diffusion/spread_estimator.cc) and the sketch oracle's per-block
+/// streams (diffusion/sketch_oracle.*), each with its own salt constant
+/// (the streams are unrelated and must stay so; do not "unify" the
+/// constants). Because block
 /// decomposition and block seeds depend only on (count, seed) — never on
 /// the pool size — the resulting arena is bitwise identical for any thread
 /// count, including the inline single-thread pool. Blocks are processed in

@@ -157,6 +157,21 @@ Result<bool> ParseRescoreFlag(const BenchArgs& args,
       "unknown --rescore (incremental|full): " + rescore);
 }
 
+void DeclareOracleFlag(BenchArgs* args) {
+  args->Declare("oracle",
+                "spread oracle for MC-objective selectors and spread "
+                "evaluation: mc | sketch (default mc, the paper's "
+                "methodology; sketch reuses presampled live-edge "
+                "snapshots)");
+}
+
+Result<SpreadOracle> ParseOracleFlag(const BenchArgs& args) {
+  const std::string oracle = args.GetString("oracle", "mc");
+  if (oracle == "mc") return SpreadOracle::kMonteCarlo;
+  if (oracle == "sketch") return SpreadOracle::kSketch;
+  return Status::InvalidArgument("unknown --oracle (mc|sketch): " + oracle);
+}
+
 CommonBenchConfig ReadCommonConfig(const BenchArgs& args) {
   CommonBenchConfig config;
   config.scale = args.GetDouble("scale", config.scale);

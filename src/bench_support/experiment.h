@@ -82,6 +82,19 @@ void DeclareRescoreFlag(BenchArgs* args, const char* default_value);
 Result<bool> ParseRescoreFlag(const BenchArgs& args,
                               const char* default_value);
 
+/// The shared --oracle flag of the spread benches and holim_cli: which
+/// spread-estimation backend the MC-objective selectors (GREEDY, CELF,
+/// IC-N CELF) and the spread-evaluation helpers use. "mc" — the paper's
+/// Monte-Carlo methodology — is the default everywhere, and with it every
+/// binary's output is unchanged; "sketch" presamples live-edge snapshots
+/// once (diffusion/sketch_oracle.*) and reuses them across all
+/// evaluations.
+enum class SpreadOracle { kMonteCarlo, kSketch };
+void DeclareOracleFlag(BenchArgs* args);
+/// Parses --oracle: "mc" (default) or "sketch"; anything else is
+/// InvalidArgument.
+Result<SpreadOracle> ParseOracleFlag(const BenchArgs& args);
+
 }  // namespace holim
 
 #endif  // HOLIM_BENCH_SUPPORT_EXPERIMENT_H_

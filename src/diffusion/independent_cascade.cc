@@ -23,6 +23,10 @@ const Cascade& IcSimulator::RunImpl(std::span<const NodeId> seeds, Rng& rng,
                                     const EpochSet* blocked) {
   active_.Reset(graph_.num_nodes());
   cascade_.order.clear();
+  // clear() already retains capacity; this reserve makes the
+  // keep-the-previous-run's-allocation invariant explicit and keeps it
+  // if the buffer is ever shrunk or moved out between runs.
+  cascade_.order.reserve(last_activation_count_);
   for (NodeId s : seeds) {
     if (active_.Contains(s)) continue;
     if (blocked && blocked->Contains(s)) continue;
@@ -47,6 +51,7 @@ const Cascade& IcSimulator::RunImpl(std::span<const NodeId> seeds, Rng& rng,
       }
     }
   }
+  last_activation_count_ = cascade_.order.size();
   return cascade_;
 }
 

@@ -41,6 +41,8 @@ class IcSimulator {
   const InfluenceParams& params_;
   Cascade cascade_;
   EpochSet active_;
+  // Activation count of the previous run; seeds Run's reserve.
+  std::size_t last_activation_count_ = 0;
 };
 
 }  // namespace holim

@@ -39,6 +39,8 @@ class LtSimulator {
   std::vector<double> weight_in_;
   std::vector<double> threshold_;
   EpochSet touched_;
+  // Activation count of the previous run; seeds Run's reserve.
+  std::size_t last_activation_count_ = 0;
 };
 
 }  // namespace holim

@@ -1,0 +1,398 @@
+#include "diffusion/sketch_oracle.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace holim {
+
+/// Per-shard sampling buffer: one block's snapshots back to back. The
+/// snapshot boundaries inside `entries` are recovered from each snapshot's
+/// final local offset (node_offsets holds n+1 values per snapshot).
+struct SketchOracle::SnapshotBuffer {
+  std::vector<NodeId> entries;
+  std::vector<uint32_t> edge_offsets;
+  std::vector<uint32_t> node_offsets;
+  uint32_t num_snapshots = 0;
+  // LT scratch: live picks arrive target-major, the arena is source-major.
+  std::vector<NodeId> lt_source;
+  std::vector<NodeId> lt_target;
+  std::vector<uint32_t> lt_edge_offset;
+  std::vector<uint32_t> counts;  // counting-sort offsets, n + 1
+};
+
+SketchOracle::SketchOracle(const Graph& graph, const InfluenceParams& params,
+                           const SketchOptions& options)
+    : graph_(graph),
+      params_(params),
+      num_snapshots_(options.num_snapshots),
+      seed_(options.seed),
+      record_edge_offsets_(options.record_edge_offsets),
+      visited_(graph.num_nodes()) {
+  HOLIM_CHECK(params.probability.size() == graph.num_edges())
+      << "params/graph edge count mismatch";
+  HOLIM_CHECK(num_snapshots_ > 0) << "need at least one snapshot";
+  if (params_.model == DiffusionModel::kLinearThreshold) {
+    live_edge_ = std::make_unique<LiveEdgeSimulator>(graph, params);
+  }
+  SampleAll(options.pool);
+}
+
+void SketchOracle::SampleOne(Rng& rng, SnapshotBuffer& buffer) const {
+  const NodeId n = graph_.num_nodes();
+  const std::size_t entry_base = buffer.entries.size();
+  if (params_.model == DiffusionModel::kLinearThreshold) {
+    // Live-edge LT: each node keeps at most one live in-edge, chosen with
+    // the residual-probability scan shared with the RIS samplers.
+    buffer.lt_source.clear();
+    buffer.lt_target.clear();
+    buffer.lt_edge_offset.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      const int64_t pos = live_edge_->SampleLiveInEdge(v, rng);
+      if (pos < 0) continue;
+      const std::size_t i = static_cast<std::size_t>(pos);
+      const NodeId u = graph_.InNeighbors(v)[i];
+      const EdgeId e = graph_.InEdgeIds(v)[i];
+      buffer.lt_source.push_back(u);
+      buffer.lt_target.push_back(v);
+      buffer.lt_edge_offset.push_back(
+          static_cast<uint32_t>(e - graph_.OutEdgeBegin(u)));
+    }
+    // Counting sort by source into the snapshot-local CSR. Scatter order
+    // is target-ascending within each source (the discovery order above).
+    buffer.counts.assign(n + 1, 0);
+    for (NodeId u : buffer.lt_source) ++buffer.counts[u + 1];
+    for (NodeId u = 0; u < n; ++u) buffer.counts[u + 1] += buffer.counts[u];
+    buffer.node_offsets.insert(buffer.node_offsets.end(),
+                               buffer.counts.begin(), buffer.counts.end());
+    buffer.entries.resize(entry_base + buffer.lt_source.size());
+    if (record_edge_offsets_) {
+      buffer.edge_offsets.resize(buffer.entries.size());
+    }
+    for (std::size_t i = 0; i < buffer.lt_source.size(); ++i) {
+      const NodeId u = buffer.lt_source[i];
+      const std::size_t slot = entry_base + buffer.counts[u]++;
+      buffer.entries[slot] = buffer.lt_target[i];
+      if (record_edge_offsets_) {
+        buffer.edge_offsets[slot] = buffer.lt_edge_offset[i];
+      }
+    }
+    return;
+  }
+  // IC/WC: every edge flips independently, in EdgeId order.
+  for (NodeId u = 0; u < n; ++u) {
+    buffer.node_offsets.push_back(
+        static_cast<uint32_t>(buffer.entries.size() - entry_base));
+    const EdgeId base = graph_.OutEdgeBegin(u);
+    auto neighbors = graph_.OutNeighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (rng.NextBernoulli(params_.p(base + i))) {
+        buffer.entries.push_back(neighbors[i]);
+        if (record_edge_offsets_) {
+          buffer.edge_offsets.push_back(static_cast<uint32_t>(i));
+        }
+      }
+    }
+  }
+  buffer.node_offsets.push_back(
+      static_cast<uint32_t>(buffer.entries.size() - entry_base));
+}
+
+void SketchOracle::SampleAll(ThreadPool* pool) {
+  const NodeId n = graph_.num_nodes();
+  const std::size_t num_blocks =
+      (num_snapshots_ + kSnapshotBlockSize - 1) / kSnapshotBlockSize;
+  node_offsets_.reserve(static_cast<std::size_t>(num_snapshots_) * (n + 1));
+  entry_base_.reserve(num_snapshots_ + 1);
+  entry_base_.push_back(0);
+
+  // Waves of one block per shard, merged in block order (same shape as
+  // RrCollection::GenerateParallel): block seeds depend only on the global
+  // block index, so the merged arena is independent of the pool size, and
+  // peak transient memory is one wave of shard buffers.
+  const std::size_t shards =
+      pool ? std::max<std::size_t>(
+                 1, std::min<std::size_t>(pool->num_threads() * 2, num_blocks))
+           : 1;
+  std::vector<SnapshotBuffer> buffers(shards);
+  for (std::size_t wave_start = 0; wave_start < num_blocks;
+       wave_start += shards) {
+    const std::size_t wave_blocks = std::min(shards, num_blocks - wave_start);
+    auto sample_block = [&](std::size_t w) {
+      SnapshotBuffer& buffer = buffers[w];
+      buffer.entries.clear();
+      buffer.edge_offsets.clear();
+      buffer.node_offsets.clear();
+      buffer.num_snapshots = 0;
+      const std::size_t b = wave_start + w;
+      uint64_t state = seed_ + kSnapshotSeedSalt * (b + 1);
+      Rng rng(Rng::SplitMix64(state));
+      const std::size_t lo = b * kSnapshotBlockSize;
+      const std::size_t count =
+          std::min(kSnapshotBlockSize,
+                   static_cast<std::size_t>(num_snapshots_) - lo);
+      for (std::size_t i = 0; i < count; ++i) {
+        SampleOne(rng, buffer);
+        ++buffer.num_snapshots;
+      }
+    };
+    if (pool) {
+      pool->ParallelFor(wave_blocks, sample_block);
+    } else {
+      for (std::size_t w = 0; w < wave_blocks; ++w) sample_block(w);
+    }
+    for (std::size_t w = 0; w < wave_blocks; ++w) {
+      const SnapshotBuffer& buffer = buffers[w];
+      std::size_t entry_cursor = 0;
+      for (uint32_t j = 0; j < buffer.num_snapshots; ++j) {
+        const std::size_t size =
+            buffer.node_offsets[static_cast<std::size_t>(j) * (n + 1) + n];
+        entries_.insert(entries_.end(),
+                        buffer.entries.begin() + entry_cursor,
+                        buffer.entries.begin() + entry_cursor + size);
+        if (record_edge_offsets_) {
+          edge_offsets_.insert(edge_offsets_.end(),
+                               buffer.edge_offsets.begin() + entry_cursor,
+                               buffer.edge_offsets.begin() + entry_cursor +
+                                   size);
+        }
+        entry_cursor += size;
+        entry_base_.push_back(entries_.size());
+      }
+      node_offsets_.insert(node_offsets_.end(), buffer.node_offsets.begin(),
+                           buffer.node_offsets.end());
+    }
+  }
+  // The arena is immutable from here on: trim growth slack so ArenaBytes()
+  // is exact and deterministic.
+  entries_.shrink_to_fit();
+  edge_offsets_.shrink_to_fit();
+  node_offsets_.shrink_to_fit();
+  entry_base_.shrink_to_fit();
+}
+
+double SketchOracle::Estimate(std::span<const NodeId> seeds) const {
+  if (seeds.empty()) return 0.0;
+  const NodeId n = graph_.num_nodes();
+  int64_t total_reached = 0;
+  for (uint32_t s = 0; s < num_snapshots_; ++s) {
+    visited_.Reset(n);
+    queue_.clear();
+    int64_t reached = 0;
+    for (NodeId seed : seeds) {
+      if (visited_.Contains(seed)) continue;
+      visited_.Insert(seed);
+      queue_.push_back(seed);
+      ++reached;
+    }
+    while (!queue_.empty()) {
+      const NodeId v = queue_.back();
+      queue_.pop_back();
+      for (NodeId t : LiveTargets(s, v)) {
+        if (visited_.Contains(t)) continue;
+        visited_.Insert(t);
+        queue_.push_back(t);
+        ++reached;
+      }
+    }
+    total_reached += reached;
+  }
+  const int64_t spread =
+      total_reached - static_cast<int64_t>(num_snapshots_) *
+                          static_cast<int64_t>(seeds.size());
+  return static_cast<double>(spread) / num_snapshots_;
+}
+
+double SketchOracle::EstimateIcnPositive(std::span<const NodeId> seeds,
+                                         double quality_factor) const {
+  if (seeds.empty()) return 0.0;
+  HOLIM_CHECK(quality_factor >= 0.0 && quality_factor <= 1.0)
+      << "quality factor out of [0,1]";
+  const NodeId n = graph_.num_nodes();
+  double total = 0.0;
+  for (uint32_t s = 0; s < num_snapshots_; ++s) {
+    visited_.Reset(n);
+    queue_.clear();
+    for (NodeId seed : seeds) {
+      if (visited_.Contains(seed)) continue;
+      visited_.Insert(seed);
+      queue_.push_back(seed);
+    }
+    double acc = 0.0;
+    // Nodes discovered at live-edge distance d are positive w.p. q^(d+1).
+    double factor = quality_factor * quality_factor;  // d == 1
+    std::size_t lo = 0;
+    std::size_t hi = queue_.size();
+    while (lo < hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (NodeId t : LiveTargets(s, queue_[i])) {
+          if (visited_.Contains(t)) continue;
+          visited_.Insert(t);
+          queue_.push_back(t);
+          acc += factor;
+        }
+      }
+      lo = hi;
+      hi = queue_.size();
+      factor *= quality_factor;
+    }
+    total += acc;
+  }
+  return total / num_snapshots_;
+}
+
+OpinionSpreadEstimate SketchOracle::EstimateOpinion(
+    const OpinionParams& opinions, OiBase base, std::span<const NodeId> seeds,
+    double lambda) const {
+  OpinionSpreadEstimate estimate;
+  if (seeds.empty()) return estimate;
+  HOLIM_CHECK(base == OiBase::kIndependentCascade)
+      << "sketch opinion replay supports the IC base only";
+  HOLIM_CHECK(record_edge_offsets_)
+      << "EstimateOpinion needs SketchOptions::record_edge_offsets";
+  HOLIM_CHECK(opinions.opinion.size() == graph_.num_nodes())
+      << "opinion/node count mismatch";
+  HOLIM_CHECK(opinions.interaction.size() == graph_.num_edges())
+      << "interaction/edge count mismatch";
+  const NodeId n = graph_.num_nodes();
+  if (node_value_.size() != n) node_value_.assign(n, 0.0);
+  double opinion_sum = 0.0, positive_sum = 0.0, negative_sum = 0.0;
+  int64_t plain = 0;
+  for (uint32_t s = 0; s < num_snapshots_; ++s) {
+    visited_.Reset(n);
+    queue_.clear();
+    for (NodeId seed : seeds) {
+      if (visited_.Contains(seed)) continue;
+      visited_.Insert(seed);
+      node_value_[seed] = opinions.o(seed);  // o'_s = o_s, excluded below
+      queue_.push_back(seed);
+    }
+    const uint32_t* offsets =
+        node_offsets_.data() + static_cast<std::size_t>(s) * (n + 1);
+    const NodeId* targets = entries_.data() + entry_base_[s];
+    const uint32_t* edge_offs = edge_offsets_.data() + entry_base_[s];
+    // BFS in activation order: the activator's expected opinion is settled
+    // before any node it activates (first live arrival wins, matching the
+    // IC simulator's queue semantics).
+    std::size_t head = 0;
+    while (head < queue_.size()) {
+      const NodeId u = queue_[head++];
+      const double value_u = node_value_[u];
+      const EdgeId out_begin = graph_.OutEdgeBegin(u);
+      for (uint32_t j = offsets[u]; j < offsets[u + 1]; ++j) {
+        const NodeId v = targets[j];
+        if (visited_.Contains(v)) continue;
+        visited_.Insert(v);
+        const EdgeId e = out_begin + edge_offs[j];
+        // E[(-1)^alpha o'_u] with alpha = 0 w.p. phi(e).
+        const double value =
+            (opinions.o(v) + (2.0 * opinions.phi(e) - 1.0) * value_u) / 2.0;
+        node_value_[v] = value;
+        opinion_sum += value;
+        if (value > 0) {
+          positive_sum += value;
+        } else {
+          negative_sum += -value;
+        }
+        ++plain;
+        queue_.push_back(v);
+      }
+    }
+  }
+  estimate.opinion_spread = opinion_sum / num_snapshots_;
+  estimate.effective_opinion_spread =
+      (positive_sum - lambda * negative_sum) / num_snapshots_;
+  estimate.plain_spread = static_cast<double>(plain) / num_snapshots_;
+  return estimate;
+}
+
+std::size_t SketchOracle::ArenaBytes() const {
+  return entries_.capacity() * sizeof(NodeId) +
+         edge_offsets_.capacity() * sizeof(uint32_t) +
+         node_offsets_.capacity() * sizeof(uint32_t) +
+         entry_base_.capacity() * sizeof(std::size_t);
+}
+
+SketchOracle::Session::Session(const SketchOracle& oracle)
+    : oracle_(oracle),
+      words_per_snapshot_((oracle.graph().num_nodes() + 63) / 64),
+      activated_(static_cast<std::size_t>(oracle.num_snapshots()) *
+                     words_per_snapshot_,
+                 0),
+      trial_(oracle.graph().num_nodes()) {}
+
+void SketchOracle::Session::Reset() {
+  std::fill(activated_.begin(), activated_.end(), 0);
+  total_active_ = 0;
+  num_seeds_ = 0;
+}
+
+template <bool kCommit>
+int64_t SketchOracle::Session::Explore(NodeId u) {
+  const NodeId n = oracle_.graph().num_nodes();
+  const uint32_t snapshots = oracle_.num_snapshots();
+  int64_t newly_total = 0;
+  for (uint32_t s = 0; s < snapshots; ++s) {
+    uint64_t* words = activated_.data() + s * words_per_snapshot_;
+    auto active = [&](NodeId x) -> bool {
+      return (words[x >> 6] >> (x & 63)) & 1;
+    };
+    if (active(u)) continue;
+    // The activated set is reachability-closed, so the walk prunes at
+    // every activated node: only reach(u) \ activated is ever visited.
+    if constexpr (kCommit) {
+      words[u >> 6] |= uint64_t{1} << (u & 63);
+    } else {
+      trial_.Reset(n);
+      trial_.Insert(u);
+    }
+    stack_.assign(1, u);
+    int64_t newly = 1;
+    while (!stack_.empty()) {
+      const NodeId v = stack_.back();
+      stack_.pop_back();
+      for (NodeId t : oracle_.LiveTargets(s, v)) {
+        if (active(t)) continue;
+        if constexpr (kCommit) {
+          words[t >> 6] |= uint64_t{1} << (t & 63);
+        } else {
+          if (trial_.Contains(t)) continue;
+          trial_.Insert(t);
+        }
+        ++newly;
+        stack_.push_back(t);
+      }
+    }
+    newly_total += newly;
+  }
+  return newly_total;
+}
+
+double SketchOracle::Session::MarginalGain(NodeId u) {
+  const int64_t gain =
+      Explore</*kCommit=*/false>(u) - oracle_.num_snapshots();
+  return static_cast<double>(gain) / oracle_.num_snapshots();
+}
+
+double SketchOracle::Session::Commit(NodeId u) {
+  const int64_t newly = Explore</*kCommit=*/true>(u);
+  total_active_ += newly;
+  ++num_seeds_;
+  return static_cast<double>(newly - oracle_.num_snapshots()) /
+         oracle_.num_snapshots();
+}
+
+double SketchOracle::Session::Spread() const {
+  const int64_t spread =
+      total_active_ - static_cast<int64_t>(oracle_.num_snapshots()) *
+                          static_cast<int64_t>(num_seeds_);
+  return static_cast<double>(spread) / oracle_.num_snapshots();
+}
+
+std::size_t SketchOracle::Session::ScratchBytes() const {
+  return activated_.capacity() * sizeof(uint64_t) + trial_.size_bytes() +
+         stack_.capacity() * sizeof(NodeId);
+}
+
+}  // namespace holim

@@ -1,0 +1,234 @@
+#ifndef HOLIM_DIFFUSION_SKETCH_ORACLE_H_
+#define HOLIM_DIFFUSION_SKETCH_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "diffusion/live_edge.h"
+#include "diffusion/spread_estimator.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+#include "util/thread_pool.h"
+
+namespace holim {
+
+/// Tuning parameters for SketchOracle sampling.
+struct SketchOptions {
+  /// Number of presampled live-edge worlds R. Like the MC estimator's
+  /// `num_simulations`, a few hundred suffice for greedy because the same
+  /// worlds are reused across every candidate and round (StaticGreedy's
+  /// observation: estimate-vs-estimate noise vanishes on a frozen sample).
+  uint32_t num_snapshots = 200;
+  uint64_t seed = 42;
+  /// Pool for snapshot sampling (nullptr = serial). The arena is bitwise
+  /// identical for any pool size — see the RNG-sharding contract below.
+  ThreadPool* pool = nullptr;
+  /// Additionally record, per live edge, its offset within the source's
+  /// out-edge list (4 bytes/entry). Required only by the replay estimators
+  /// that read per-edge attributes (EstimateOpinion's phi lookups).
+  bool record_edge_offsets = false;
+};
+
+/// \brief Snapshot-reuse spread oracle: presampled live-edge worlds with
+/// one-shot batch evaluation and an incremental marginal-gain session.
+///
+/// The Monte-Carlo estimator (diffusion/spread_estimator.*) re-simulates a
+/// fresh cascade per simulation per candidate seed set, so CELF-style
+/// greedy pays O(k * n * mc * BFS) with zero reuse across candidates or
+/// rounds. This oracle instead materializes R live-edge instantiations of
+/// the graph ONCE (Kempe's equivalence: IC/WC keep each edge independently
+/// w.p. p(e); LT gives each node at most one live in-edge) and answers
+/// every sigma(S) query by reachability over the frozen worlds — the
+/// StaticGreedy/sketch estimator family, the forward-direction sibling of
+/// the RR engine's world reuse (algo/rr_sets.*).
+///
+/// ## Arena layout
+///
+/// All R snapshots live in one CSR-packed forward-adjacency arena:
+///
+///   entries_      : NodeId[total live edges]   — live out-targets, grouped
+///                                                by (snapshot, source)
+///   node_offsets_ : uint32[R * (n + 1)]        — per-snapshot CSR offsets,
+///                                                local to the snapshot
+///   entry_base_   : size_t[R + 1]              — snapshot s's entries are
+///                                                entries_[entry_base_[s] ..
+///                                                entry_base_[s + 1])
+///   edge_offsets_ : uint32[total live edges]   — optional (see
+///                                                SketchOptions): live edge
+///                                                j of source u is global
+///                                                edge OutEdgeBegin(u) +
+///                                                edge_offsets_[j]
+///
+/// Evaluation walks one snapshot at a time front to back — no hash sets,
+/// no pointer chasing, no per-query allocation (epoch-stamped visited set).
+///
+/// ## RNG-sharding contract (same shape as RrCollection::GenerateParallel)
+///
+/// Snapshots are sampled in fixed blocks of kSnapshotBlockSize; block b is
+/// sampled sequentially by an independent stream seeded with
+/// SplitMix64(seed + kSnapshotSeedSalt * (b + 1)). Block decomposition and
+/// block seeds depend only on (num_snapshots, seed) — never on the pool —
+/// so the arena is bitwise identical for any thread count, including
+/// serial. Blocks are processed in waves of one block per shard and merged
+/// in block order; peak transient memory is one wave of shard buffers.
+///
+/// ## Determinism of estimates
+///
+/// Every estimator accumulates per-snapshot results in snapshot order into
+/// integer (Estimate/Session) or serial double (replay) accumulators and
+/// divides once at the end, so results are independent of thread count and
+/// reproducible across runs. Estimate() and the replay estimators reuse
+/// member scratch and are therefore NOT thread-safe per oracle instance;
+/// concurrent callers should own separate Session objects (sessions carry
+/// their own scratch) or separate oracles.
+class SketchOracle {
+ public:
+  /// Snapshots sampled per RNG block. Part of the reproducibility
+  /// contract: changing it changes the sampled worlds.
+  static constexpr std::size_t kSnapshotBlockSize = 4;
+  /// Salt for deriving block seeds (deliberately distinct from the RR
+  /// engine's and the MC estimator's salts; the streams must stay
+  /// unrelated).
+  static constexpr uint64_t kSnapshotSeedSalt = 0xA24BAED4963EE407ULL;
+
+  /// Samples all R snapshots up front (the only expensive step).
+  SketchOracle(const Graph& graph, const InfluenceParams& params,
+               const SketchOptions& options = {});
+
+  uint32_t num_snapshots() const { return num_snapshots_; }
+  const Graph& graph() const { return graph_; }
+
+  /// One-shot batch estimate of sigma(S) = E[|V_a| - |S|] (paper Def. 3):
+  /// per snapshot, BFS reachability from `seeds` over the packed arena;
+  /// the average over snapshots. Exact over the frozen sample: the total
+  /// reached count is accumulated as an integer and divided once, so
+  /// Session::Spread() after committing the same seeds is bitwise equal.
+  double Estimate(std::span<const NodeId> seeds) const;
+
+  /// Expected IC-N positive spread over the frozen worlds (Chen et al.,
+  /// SDM'11, uniform quality factor q): a node activated at live-edge BFS
+  /// distance d is positive w.p. q^(d+1) (one quality flip per hop plus
+  /// the seed's own flip), so per snapshot the level-BFS accumulates
+  /// q^(d+1) over activated non-seeds. Exact in the quality flips given
+  /// the sampled worlds (a Rao-Blackwellized estimator of the MC path).
+  double EstimateIcnPositive(std::span<const NodeId> seeds,
+                             double quality_factor) const;
+
+  /// Expected OI opinion spread over the frozen worlds, IC base only
+  /// (requires record_edge_offsets). Replays the activation BFS per
+  /// snapshot and propagates EXPECTED opinions analytically:
+  /// E[(-1)^alpha o'_u] = (2 phi(e) - 1) E[o'_u], so
+  /// E[o'_v] = (o_v + (2 phi(e) - 1) E[o'_u]) / 2 — exact in the alpha
+  /// flips given the worlds. opinion_spread and plain_spread are unbiased;
+  /// effective_opinion_spread splits the EXPECTED opinions by sign, which
+  /// coincides with the MC estimand at lambda == 1 (where Gamma_o_lambda
+  /// is linear in the opinions) and is a documented approximation
+  /// otherwise.
+  OpinionSpreadEstimate EstimateOpinion(const OpinionParams& opinions,
+                                        OiBase base,
+                                        std::span<const NodeId> seeds,
+                                        double lambda) const;
+
+  /// Live out-targets of `u` in snapshot `s` (zero-copy arena span).
+  std::span<const NodeId> LiveTargets(uint32_t s, NodeId u) const {
+    const uint32_t* off = node_offsets_.data() +
+                          static_cast<std::size_t>(s) * (graph_.num_nodes() + 1);
+    const NodeId* base = entries_.data() + entry_base_[s];
+    return {base + off[u], base + off[u + 1]};
+  }
+
+  /// Bytes held by the snapshot arena (capacity-based, the repo-wide
+  /// memory accounting convention).
+  std::size_t ArenaBytes() const;
+
+  /// \brief Incremental marginal-gain session: StaticGreedy-style
+  /// activate-once evaluation across a whole greedy run.
+  ///
+  /// The session keeps one persistent activated bitset per snapshot.
+  /// Because each snapshot's activated set is reachability-closed, the
+  /// BFS for a new candidate prunes at every already-activated node, so
+  /// round i+1 only explores the newly added seed's frontier instead of
+  /// re-walking reach(S) per evaluation. Gains are maintained as integer
+  /// newly-activated counts, hence:
+  ///   MarginalGain(u) == Estimate(S + u) - Estimate(S)   (same estimand)
+  ///   Spread() after committing S  == Estimate(S)        (bitwise)
+  /// The session owns its scratch; multiple sessions on one oracle are
+  /// independent (but a single session is not thread-safe).
+  class Session {
+   public:
+    explicit Session(const SketchOracle& oracle);
+
+    /// Drops all committed seeds (keeps capacity).
+    void Reset();
+
+    /// Marginal gain of adding `u` to the committed set, WITHOUT
+    /// committing: avg over snapshots of |reach(u) \ activated| minus 1
+    /// (the candidate joins the excluded seed set, mirroring Def. 3).
+    double MarginalGain(NodeId u);
+
+    /// Commits `u` as a seed, persistently activating its frontier in
+    /// every snapshot. Returns its marginal gain.
+    double Commit(NodeId u);
+
+    /// sigma of the committed seed set; bitwise equal to
+    /// oracle.Estimate(committed seeds).
+    double Spread() const;
+
+    std::size_t num_seeds() const { return num_seeds_; }
+    /// Total nodes activated across all snapshots — the session's
+    /// exploration work counter (each node is activated at most once per
+    /// snapshot over the whole run).
+    int64_t total_activated() const { return total_active_; }
+    /// Session scratch bytes (capacity-based).
+    std::size_t ScratchBytes() const;
+
+   private:
+    template <bool kCommit>
+    int64_t Explore(NodeId u);
+    bool Activated(uint32_t s, NodeId u) const {
+      const uint64_t* w = activated_.data() + s * words_per_snapshot_;
+      return (w[u >> 6] >> (u & 63)) & 1;
+    }
+
+    const SketchOracle& oracle_;
+    std::size_t words_per_snapshot_;
+    std::vector<uint64_t> activated_;  // R * words_per_snapshot_ bits
+    EpochSet trial_;                   // visited set for non-committing BFS
+    std::vector<NodeId> stack_;
+    int64_t total_active_ = 0;
+    std::size_t num_seeds_ = 0;
+  };
+
+ private:
+  struct SnapshotBuffer;
+  void SampleAll(ThreadPool* pool);
+  void SampleOne(Rng& rng, SnapshotBuffer& buffer) const;
+
+  const Graph& graph_;
+  const InfluenceParams& params_;
+  uint32_t num_snapshots_;
+  uint64_t seed_;
+  bool record_edge_offsets_;
+  // LT live-in-edge distribution (shared, stateless sampling helper); null
+  // for IC/WC.
+  std::unique_ptr<LiveEdgeSimulator> live_edge_;
+
+  std::vector<NodeId> entries_;
+  std::vector<uint32_t> edge_offsets_;   // parallel to entries_ when recorded
+  std::vector<uint32_t> node_offsets_;   // R * (n + 1), snapshot-local
+  std::vector<std::size_t> entry_base_;  // R + 1
+
+  // Reusable one-shot evaluation scratch (Estimate and the replay
+  // estimators are single-caller; see class comment).
+  mutable EpochSet visited_;
+  mutable std::vector<NodeId> queue_;
+  mutable std::vector<double> node_value_;  // expected opinion per node
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_DIFFUSION_SKETCH_ORACLE_H_

@@ -13,6 +13,11 @@
 namespace holim {
 
 /// Monte-Carlo estimation options shared by all estimators.
+///
+/// Determinism contract: simulation i draws from its own SplitMix64
+/// stream derived from (seed, i), and simulations are accumulated in
+/// fixed-size blocks reduced in block order — so every estimate is
+/// bitwise identical for any pool thread count (including nullptr).
 struct McOptions {
   uint32_t num_simulations = 1000;  // the paper uses 10K; configurable
   uint64_t seed = 42;

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "diffusion/spread_estimator.h"
+#include "graph/generators.h"
 #include "graph/graph_builder.h"
 #include "model/influence_params.h"
+#include "model/opinion_params.h"
 
 namespace holim {
 namespace {
@@ -61,6 +63,49 @@ TEST(SpreadEstimatorTest, DeterministicInSeed) {
   const double a = EstimateSpread(g, params, {0}, mc);
   const double b2 = EstimateSpread(g, params, {0}, mc);
   EXPECT_DOUBLE_EQ(a, b2);
+}
+
+// Simulation i draws from its own (seed, i)-derived stream and blocks are
+// reduced in fixed order, so estimates are bitwise identical for any pool
+// size — 1 vs 8 threads, for both first-layer models.
+TEST(SpreadEstimatorTest, SpreadBitwiseEqualAcrossThreadCounts) {
+  Graph g = GenerateBarabasiAlbert(300, 2, 19).ValueOrDie();
+  const std::vector<NodeId> seeds = {0, 5, 17};
+  for (auto params : {MakeWeightedCascade(g), MakeLinearThreshold(g)}) {
+    ThreadPool pool1(1), pool8(8);
+    McOptions mc;
+    mc.num_simulations = 1000;  // several kMcBlockSize blocks
+    mc.seed = 4;
+    mc.pool = &pool1;
+    const double one = EstimateSpread(g, params, seeds, mc);
+    mc.pool = &pool8;
+    const double eight = EstimateSpread(g, params, seeds, mc);
+    EXPECT_EQ(one, eight);
+  }
+}
+
+TEST(SpreadEstimatorTest, OpinionSpreadBitwiseEqualAcrossThreadCounts) {
+  Graph g = GenerateBarabasiAlbert(200, 2, 29).ValueOrDie();
+  g.BuildEdgeSourceIndex();
+  auto params = MakeUniformIc(g, 0.2);
+  OpinionParams opinions =
+      MakeRandomOpinions(g, OpinionDistribution::kStandardNormal, 3);
+  const std::vector<NodeId> seeds = {1, 2, 3};
+  ThreadPool pool1(1), pool8(8);
+  McOptions mc;
+  mc.num_simulations = 700;
+  mc.seed = 11;
+  mc.pool = &pool1;
+  const auto one = EstimateOpinionSpread(g, params, opinions,
+                                         OiBase::kIndependentCascade, seeds,
+                                         0.7, mc);
+  mc.pool = &pool8;
+  const auto eight = EstimateOpinionSpread(g, params, opinions,
+                                           OiBase::kIndependentCascade, seeds,
+                                           0.7, mc);
+  EXPECT_EQ(one.opinion_spread, eight.opinion_spread);
+  EXPECT_EQ(one.effective_opinion_spread, eight.effective_opinion_spread);
+  EXPECT_EQ(one.plain_spread, eight.plain_spread);
 }
 
 TEST(SpreadEstimatorTest, MonotoneInSeedSetSize) {

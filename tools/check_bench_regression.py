@@ -19,6 +19,16 @@ Dispatches on the baseline's "bench" field:
       - incremental_rescore.<scorer>.rescore_speedup — a timing ratio,
         gated like select_speedup.
 
+  * "spread_oracle" (BENCH_spread.json, from bench_micro_spread_oracle):
+      - arena.bytes_per_snapshot — deterministic (fixed sampling seeds and
+        exact capacity accounting): gated like bytes_per_set.
+      - session.session_work_ratio — nodes touched evaluating the growing
+        seed prefixes one-shot vs the activate-once incremental session;
+        derived from integer reach counts, so deterministic.
+      - celf.celf_speedup_vs_mc and celf.incremental_vs_oneshot_speedup —
+        timing ratios (single-thread CELF runs on the same machine), gated
+        like select_speedup.
+
 Timing ratios take the best value across the supplied runs: CI runs each
 bench twice and a regression is only real if neither run reaches the bar.
 Run-to-run jitter of a timing ratio is reported; if it exceeds
@@ -171,6 +181,45 @@ def gate_scoring(baseline, runs, args, failures):
                           args.threshold, args.jitter_limit, failures)
 
 
+def gate_spread_oracle(baseline, runs, args, failures):
+    check_geometry(baseline, runs,
+                   ("nodes", "snapshots", "mc", "k", "candidates", "seed"))
+
+    def section_values(section, key):
+        values = []
+        for path, run in runs:
+            row = run.get(section)
+            if row is None or key not in row:
+                failures.append(f"{path}: {section}.{key}: missing")
+                continue
+            values.append(row[key])
+        return values
+
+    base_arena = baseline.get("arena")
+    base_session = baseline.get("session")
+    base_celf = baseline.get("celf")
+    if base_arena is None or base_session is None or base_celf is None:
+        sys.exit("error: baseline lacks arena/session/celf sections; "
+                 "regenerate it with the current bench binary")
+
+    gate_deterministic("arena.bytes_per_snapshot",
+                       base_arena["bytes_per_snapshot"],
+                       section_values("arena", "bytes_per_snapshot"),
+                       args.threshold, failures, larger_is_better=False)
+    gate_deterministic("session.session_work_ratio",
+                       base_session["session_work_ratio"],
+                       section_values("session", "session_work_ratio"),
+                       args.threshold, failures, larger_is_better=True)
+    gate_timing_ratio("celf.celf_speedup_vs_mc",
+                      base_celf["celf_speedup_vs_mc"],
+                      section_values("celf", "celf_speedup_vs_mc"),
+                      args.threshold, args.jitter_limit, failures)
+    gate_timing_ratio("celf.incremental_vs_oneshot_speedup",
+                      base_celf["incremental_vs_oneshot_speedup"],
+                      section_values("celf", "incremental_vs_oneshot_speedup"),
+                      args.threshold, args.jitter_limit, failures)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -197,6 +246,8 @@ def main():
         gate_rr_engine(baseline, runs, args, failures)
     elif kind == "scoring":
         gate_scoring(baseline, runs, args, failures)
+    elif kind == "spread_oracle":
+        gate_spread_oracle(baseline, runs, args, failures)
     else:
         sys.exit(f"error: unknown bench kind '{kind}' in {args.baseline}")
 

@@ -8,6 +8,7 @@
 //   holim_cli --algo=celf --dataset=NetHEPT --scale=0.01 --mc=100 --k=10
 
 #include <cstdio>
+#include <limits>
 #include <memory>
 
 #include "algo/celf.h"
@@ -20,6 +21,7 @@
 #include "algo/tim_plus.h"
 #include "bench_support/bench_main.h"
 #include "data/datasets.h"
+#include "diffusion/sketch_oracle.h"
 #include "diffusion/spread_estimator.h"
 #include "graph/edge_list_io.h"
 #include "graph/stats.h"
@@ -92,6 +94,34 @@ Status Run(const BenchArgs& args) {
   mc.num_simulations = config.mc;
   mc.seed = config.seed;
 
+  // Spread oracle: "mc" (default, the paper's methodology) or "sketch"
+  // (presampled live-edge snapshots, reused across every greedy/CELF
+  // evaluation and the final spread report).
+  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
+  std::shared_ptr<const SketchOracle> sketch;
+  if (oracle == SpreadOracle::kSketch) {
+    if (opinion_aware) {
+      return Status::InvalidArgument(
+          "--oracle=sketch supports the plain spread objective only; drop "
+          "--opinions or use --oracle=mc");
+    }
+    const int64_t snapshots = args.GetInt("sketches", config.mc);
+    if (snapshots <= 0 || snapshots > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("--sketches must be a positive snapshot "
+                                     "count, got: " +
+                                     std::to_string(snapshots));
+    }
+    SketchOptions sketch_options;
+    sketch_options.num_snapshots = static_cast<uint32_t>(snapshots);
+    sketch_options.seed = config.seed;
+    sketch = std::make_shared<const SketchOracle>(graph, params,
+                                                  sketch_options);
+    std::printf("sketch oracle: %u live-edge snapshots, arena %s "
+                "(capacity-based)\n",
+                sketch->num_snapshots(),
+                HumanBytes(sketch->ArenaBytes()).c_str());
+  }
+
   // EaSyIM/OSIM knobs: incremental vs full per-round rescoring and the
   // sweep-sharding pool. Scores are bitwise identical either way.
   ScoreGreedyOptions sg_options;
@@ -116,7 +146,9 @@ Status Run(const BenchArgs& args) {
                                               sg_options);
   } else if (algo == "greedy" || algo == "celf") {
     std::shared_ptr<McObjective> objective;
-    if (opinion_aware) {
+    if (sketch) {
+      objective = std::make_shared<SketchSpreadObjective>(sketch);
+    } else if (opinion_aware) {
       objective = std::make_shared<EffectiveOpinionObjective>(
           graph, params, opinions, base, lambda, mc);
     } else {
@@ -175,6 +207,10 @@ Status Run(const BenchArgs& args) {
   const double spread = EstimateSpread(graph, params, selection.seeds, mc);
   std::printf("expected spread sigma(S): %.2f (%u MC simulations)\n", spread,
               mc.num_simulations);
+  if (sketch) {
+    std::printf("sketch spread estimate:   %.2f (%u snapshots)\n",
+                sketch->Estimate(selection.seeds), sketch->num_snapshots());
+  }
   if (opinion_aware) {
     auto estimate = EstimateOpinionSpread(graph, params, opinions, base,
                                           selection.seeds, lambda, mc);
@@ -218,5 +254,9 @@ int main(int argc, char** argv) {
         holim::DeclareRescoreFlag(args, "incremental");
         args->Declare("threads",
                       "EaSyIM/OSIM sweep pool size (0 = serial sweeps)");
+        holim::DeclareOracleFlag(args);
+        args->Declare("sketches",
+                      "sketch-oracle snapshot count R (default: the --mc "
+                      "value; only used with --oracle=sketch)");
       });
 }
