@@ -2,15 +2,12 @@
 // on one dataset/model — ASIM (the probability-blind precursor EaSyIM
 // refines, paper Sec. 3.2), StaticGreedy, IMM, DegreeDiscount, PageRank,
 // Random. Complements the paper's Figs. 6d-6e with the cheaper heuristics.
+// Every algorithm dispatches through one HolimEngine by registry name — no
+// per-binary selector constructions.
 
 #include <memory>
 
-#include "algo/asim.h"
-#include "algo/heuristics.h"
-#include "algo/imm.h"
-#include "algo/imrank.h"
-#include "algo/score_greedy.h"
-#include "algo/static_greedy.h"
+#include "bench_support/engine_support.h"
 #include "common.h"
 
 using namespace holim;
@@ -30,32 +27,23 @@ Status Run(const BenchArgs& args) {
                     {"algorithm", "k", "spread", "select_seconds"},
                     CsvPath("ablation_baselines"));
 
-  std::vector<std::unique_ptr<SeedSelector>> selectors;
-  selectors.push_back(std::make_unique<EasyImSelector>(w.graph, w.params, 3));
-  selectors.push_back(std::make_unique<AsimSelector>(w.graph, w.params));
-  StaticGreedyOptions sg_options;
-  sg_options.num_snapshots = 100;
-  selectors.push_back(std::make_unique<StaticGreedySelector>(
-      w.graph, w.params, sg_options));
-  ImmOptions imm_options;
-  imm_options.epsilon = 0.2;
-  imm_options.max_theta = 400000;
-  selectors.push_back(
-      std::make_unique<ImmSelector>(w.graph, w.params, imm_options));
-  selectors.push_back(std::make_unique<ImRankSelector>(w.graph, w.params));
-  selectors.push_back(
-      std::make_unique<DegreeDiscountSelector>(w.graph, 0.1));
-  selectors.push_back(std::make_unique<PageRankSelector>(w.graph));
-  selectors.push_back(std::make_unique<RandomSelector>(w.graph, config.seed));
-
-  for (auto& selector : selectors) {
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection sel, selector->Select(max_k));
+  HolimEngine engine(w.graph);
+  const char* algorithms[] = {"easyim",   "asim",           "static-greedy",
+                              "imm",      "imrank",         "degreediscount",
+                              "pagerank", "random"};
+  for (const char* algorithm : algorithms) {
+    SolveRequest request =
+        MakeSolveRequest(algorithm, max_k, w.params, config);
+    request.epsilon = 0.2;       // IMM
+    request.max_theta = 400000;  // IMM
+    request.num_snapshots = 100;  // StaticGreedy
+    HOLIM_ASSIGN_OR_RETURN(SolveResult sel, engine.Solve(request));
     auto values = SpreadAtPrefixes(w.graph, w.params, sel.seeds, grid,
                                    config.mc, config.seed);
     for (std::size_t i = 0; i < grid.size(); ++i) {
-      table.AddRow({selector->name(), std::to_string(grid[i]),
+      table.AddRow({sel.algorithm, std::to_string(grid[i]),
                     CsvWriter::Num(values[i]),
-                    CsvWriter::Num(sel.elapsed_seconds)});
+                    CsvWriter::Num(sel.select_seconds)});
     }
   }
   table.Print();

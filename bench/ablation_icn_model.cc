@@ -21,9 +21,13 @@ using namespace holim::bench;
 
 namespace {
 
+constexpr CommonOptionsSpec kSpec{/*oracle=*/true};
+
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
-  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
+  HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
+                         ParseCommonOptions(args, kSpec));
+  const SpreadOracle oracle = common.oracle;
   const double quality = args.GetDouble("quality", 0.8);
   // CELF on the IC-N objective evaluates every node once: keep it modest.
   const double scale = std::min(config.scale, 0.05);
@@ -96,6 +100,6 @@ int main(int argc, char** argv) {
                    "Ablation — cross-model robustness (OI vs IC-N)", Run,
                    [](BenchArgs* args) {
                      args->Declare("quality", "IC-N quality factor q");
-                     DeclareOracleFlag(args);
+                     DeclareCommonOptions(args, kSpec);
                    });
 }

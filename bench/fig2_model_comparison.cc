@@ -4,7 +4,7 @@
 
 #include <memory>
 
-#include "algo/score_greedy.h"
+#include "bench_support/engine_support.h"
 #include "common.h"
 
 using namespace holim;
@@ -12,9 +12,12 @@ using namespace holim::bench;
 
 namespace {
 
+constexpr CommonOptionsSpec kSpec{/*oracle=*/true};
+
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
-  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
+  HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
+                         ParseCommonOptions(args, kSpec));
   ResultTable table("Figure 2 — opinion spread vs seeds",
                     {"dataset", "selector", "k", "opinion_spread"},
                     CsvPath("fig2_model_comparison"));
@@ -30,37 +33,49 @@ Status Run(const BenchArgs& args) {
     w.graph.BuildEdgeSourceIndex();  // O(1) EdgeSource in opinion replay
     InfluenceParams lt = MakeLinearThreshold(w.graph);
     auto grid = SeedGrid(config.max_k);
-    // --oracle=sketch: sample the first-layer worlds once per dataset and
-    // reuse them across all 3 instances x 3 selectors x prefix sweeps
-    // (opinion replay reads per-edge phi, hence record_edge_offsets).
+    // One engine per dataset: the EaSyIM scorer state (opinion-oblivious,
+    // so identical across instances) and the --oracle=sketch worlds are
+    // Workspace artifacts reused across all 3 instances x 3 selectors x
+    // prefix sweeps (opinion replay reads per-edge phi, hence
+    // record_edge_offsets on the evaluation sketch).
+    // Per-instance opinion layers are generated up front: the engine's
+    // Workspace retains cached OSIM selectors referencing them, so they
+    // must outlive the engine (holim_engine.h lifetime contract).
+    std::vector<OpinionParams> instance_opinions, instance_phi_one;
+    for (int instance = 0; instance < kInstances; ++instance) {
+      instance_opinions.push_back(MakeRandomOpinions(
+          w.graph, OpinionDistribution::kStandardNormal,
+          config.seed + 1000 * instance));
+      OpinionParams phi_one = instance_opinions.back();
+      std::fill(phi_one.interaction.begin(), phi_one.interaction.end(), 1.0);
+      instance_phi_one.push_back(std::move(phi_one));
+    }
+    HolimEngine engine(w.graph);
     std::shared_ptr<const SketchOracle> sketch;
-    if (oracle == SpreadOracle::kSketch) {
-      sketch = MakeSketchOracle(w.graph, w.params, config.mc, config.seed,
-                                /*record_edge_offsets=*/true);
+    if (common.oracle == SpreadOracle::kSketch) {
+      sketch = GetBenchSketchOracle(engine, w.graph, w.params, config,
+                                    /*seed_offset=*/0,
+                                    /*record_edge_offsets=*/true);
     }
     std::vector<double> oi_acc(grid.size(), 0), oc_acc(grid.size(), 0),
         ic_acc(grid.size(), 0);
     for (int instance = 0; instance < kInstances; ++instance) {
-      OpinionParams opinions = MakeRandomOpinions(
-          w.graph, OpinionDistribution::kStandardNormal,
-          config.seed + 1000 * instance);
+      const OpinionParams& opinions = instance_opinions[instance];
 
       // OI: OSIM seeds; OC: OSIM with phi == 1 on LT weights (the OC
       // special case); IC: opinion-oblivious EaSyIM seeds.
-      OsimSelector oi_selector(w.graph, w.params, opinions,
-                               OiBase::kIndependentCascade, 3);
-      OpinionParams phi_one = opinions;
-      std::fill(phi_one.interaction.begin(), phi_one.interaction.end(), 1.0);
-      OsimSelector oc_selector(w.graph, lt, phi_one,
-                               OiBase::kLinearThreshold, 3);
-      EasyImSelector ic_selector(w.graph, w.params, 3);
+      SolveRequest oi = MakeSolveRequest("osim", config.max_k, w.params,
+                                         config);
+      oi.opinions = &opinions;
+      SolveRequest oc = MakeSolveRequest("osim", config.max_k, lt, config);
+      oc.opinions = &instance_phi_one[instance];
+      oc.oi_base = OiBase::kLinearThreshold;
+      SolveRequest ic = MakeSolveRequest("easyim", config.max_k, w.params,
+                                         config);
 
-      HOLIM_ASSIGN_OR_RETURN(SeedSelection oi_seeds,
-                             oi_selector.Select(config.max_k));
-      HOLIM_ASSIGN_OR_RETURN(SeedSelection oc_seeds,
-                             oc_selector.Select(config.max_k));
-      HOLIM_ASSIGN_OR_RETURN(SeedSelection ic_seeds,
-                             ic_selector.Select(config.max_k));
+      HOLIM_ASSIGN_OR_RETURN(SolveResult oi_seeds, engine.Solve(oi));
+      HOLIM_ASSIGN_OR_RETURN(SolveResult oc_seeds, engine.Solve(oc));
+      HOLIM_ASSIGN_OR_RETURN(SolveResult ic_seeds, engine.Solve(ic));
 
       // All strategies are judged under the OI ground-truth dynamics.
       auto accumulate = [&](const std::vector<NodeId>& seeds,
@@ -103,5 +118,7 @@ Status Run(const BenchArgs& args) {
 int main(int argc, char** argv) {
   return BenchMain(argc, argv,
                    "Figure 2 — opinion spread under OI/OC/IC seed selection",
-                   Run, [](BenchArgs* args) { DeclareOracleFlag(args); });
+                   Run, [](BenchArgs* args) {
+                     DeclareCommonOptions(args, kSpec);
+                   });
 }

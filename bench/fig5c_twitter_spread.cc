@@ -3,7 +3,7 @@
 
 #include <memory>
 
-#include "algo/score_greedy.h"
+#include "bench_support/engine_support.h"
 #include "common.h"
 #include "data/twitter.h"
 
@@ -12,9 +12,12 @@ using namespace holim::bench;
 
 namespace {
 
+constexpr CommonOptionsSpec kSpec{/*oracle=*/true};
+
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
-  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
+  HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
+                         ParseCommonOptions(args, kSpec));
   TwitterCorpusOptions options;
   options.num_users =
       static_cast<NodeId>(std::max(3000.0, 1'600'000 * config.scale * 0.1));
@@ -25,17 +28,24 @@ Status Run(const BenchArgs& args) {
   InfluenceParams influence = MakeUniformIc(bg, 0.12);
   InfluenceParams lt = MakeLinearThreshold(bg);
 
-  OsimSelector oi_selector(bg, influence, corpus.estimated,
-                           OiBase::kIndependentCascade, 3);
+  // All three selections run through one engine on the background graph.
+  // phi_one precedes the engine: cached selectors reference it, so it
+  // must outlive the Workspace.
   OpinionParams phi_one = corpus.estimated;
   std::fill(phi_one.interaction.begin(), phi_one.interaction.end(), 1.0);
-  OsimSelector oc_selector(bg, lt, phi_one, OiBase::kLinearThreshold, 3);
-  EasyImSelector ic_selector(bg, influence, 3);
-
+  HolimEngine engine(bg);
   const uint32_t max_k = std::min<uint32_t>(config.max_k, bg.num_nodes() / 2);
-  HOLIM_ASSIGN_OR_RETURN(SeedSelection oi_seeds, oi_selector.Select(max_k));
-  HOLIM_ASSIGN_OR_RETURN(SeedSelection oc_seeds, oc_selector.Select(max_k));
-  HOLIM_ASSIGN_OR_RETURN(SeedSelection ic_seeds, ic_selector.Select(max_k));
+
+  SolveRequest oi = MakeSolveRequest("osim", max_k, influence, config);
+  oi.opinions = &corpus.estimated;
+  SolveRequest oc = MakeSolveRequest("osim", max_k, lt, config);
+  oc.opinions = &phi_one;
+  oc.oi_base = OiBase::kLinearThreshold;
+  SolveRequest ic = MakeSolveRequest("easyim", max_k, influence, config);
+
+  HOLIM_ASSIGN_OR_RETURN(SolveResult oi_seeds, engine.Solve(oi));
+  HOLIM_ASSIGN_OR_RETURN(SolveResult oc_seeds, engine.Solve(oc));
+  HOLIM_ASSIGN_OR_RETURN(SolveResult ic_seeds, engine.Solve(ic));
 
   ResultTable table("Figure 5c — opinion spread vs seeds (Twitter)",
                     {"k", "OI", "OC", "IC"}, CsvPath("fig5c_twitter_spread"));
@@ -43,9 +53,10 @@ Status Run(const BenchArgs& args) {
   // --oracle=sketch: one snapshot set over the background graph, reused by
   // all three selectors' prefix sweeps (opinion replay needs per-edge phi).
   std::shared_ptr<const SketchOracle> sketch;
-  if (oracle == SpreadOracle::kSketch) {
-    sketch = MakeSketchOracle(bg, influence, config.mc, config.seed,
-                              /*record_edge_offsets=*/true);
+  if (common.oracle == SpreadOracle::kSketch) {
+    sketch = GetBenchSketchOracle(engine, bg, influence, config,
+                                  /*seed_offset=*/0,
+                                  /*record_edge_offsets=*/true);
   }
   auto evaluate = [&](const std::vector<NodeId>& seeds) {
     return sketch ? OpinionSpreadAtPrefixesSketch(*sketch, corpus.estimated,
@@ -73,5 +84,7 @@ int main(int argc, char** argv) {
   return BenchMain(argc, argv,
                    "Figure 5c — opinion spread of OI/OC/IC-selected seeds on "
                    "the Twitter background graph",
-                   Run, [](BenchArgs* args) { DeclareOracleFlag(args); });
+                   Run, [](BenchArgs* args) {
+                     DeclareCommonOptions(args, kSpec);
+                   });
 }

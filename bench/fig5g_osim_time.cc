@@ -12,12 +12,16 @@ using namespace holim::bench;
 
 namespace {
 
+constexpr CommonOptionsSpec kSpec{/*oracle=*/false,
+                                  /*rescore_default=*/"full"};
+
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
   const double scale = args.GetDouble("scale", 0.05);
   ScoreGreedyOptions sg_options;
-  HOLIM_ASSIGN_OR_RETURN(sg_options.incremental_rescore,
-                         ParseRescoreFlag(args, "full"));
+  HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
+                         ParseCommonOptions(args, kSpec));
+  sg_options.incremental_rescore = common.incremental_rescore;
   HOLIM_ASSIGN_OR_RETURN(
       Workload w,
       LoadWorkload("NetHEPT", scale, DiffusionModel::kIndependentCascade));
@@ -62,6 +66,6 @@ int main(int argc, char** argv) {
   return BenchMain(argc, argv,
                    "Figure 5g — OSIM vs Modified-GREEDY running time", Run,
                    [](BenchArgs* args) {
-                     holim::DeclareRescoreFlag(args, "full");
+                     DeclareCommonOptions(args, kSpec);
                    });
 }

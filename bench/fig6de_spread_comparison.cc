@@ -3,10 +3,7 @@
 
 #include <memory>
 
-#include "algo/celf.h"
-#include "algo/greedy.h"
-#include "algo/score_greedy.h"
-#include "algo/tim_plus.h"
+#include "bench_support/engine_support.h"
 #include "common.h"
 
 using namespace holim;
@@ -14,9 +11,12 @@ using namespace holim::bench;
 
 namespace {
 
+constexpr CommonOptionsSpec kSpec{/*oracle=*/true};
+
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
-  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
+  HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
+                         ParseCommonOptions(args, kSpec));
   // CELF++ evaluates every node once: keep instances small by default.
   const double scale = args.GetDouble("scale", 0.05);
   ResultTable table("Figures 6d-6e — spread comparison (IC)",
@@ -32,17 +32,18 @@ Status Run(const BenchArgs& args) {
         std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
     auto grid = SeedGrid(max_k);
 
-    // Two frozen snapshot sets per dataset: CELF++ selects on one, and ALL
-    // algorithms are judged on an independently seeded one (config.seed + 1,
-    // the same convention as the ablation benches) — otherwise CELF++ would
-    // be trained and evaluated on the same sample and gain an in-sample
-    // advantage over EaSyIM/TIM+, whose selection never saw the worlds.
-    std::shared_ptr<const SketchOracle> sketch;
+    // One engine per dataset; with --oracle=sketch the CELF++ selection
+    // worlds (seeded config.seed) become a Workspace artifact, and ALL
+    // algorithms are judged on an independently seeded set (config.seed +
+    // 1, the same convention as the ablation benches) — otherwise CELF++
+    // would be trained and evaluated on the same sample and gain an
+    // in-sample advantage over EaSyIM/TIM+, whose selection never saw the
+    // worlds.
+    HolimEngine engine(w.graph);
     std::shared_ptr<const SketchOracle> eval_sketch;
-    if (oracle == SpreadOracle::kSketch) {
-      sketch = MakeSketchOracle(w.graph, w.params, config.mc, config.seed);
-      eval_sketch =
-          MakeSketchOracle(w.graph, w.params, config.mc, config.seed + 1);
+    if (common.oracle == SpreadOracle::kSketch) {
+      eval_sketch = GetBenchSketchOracle(engine, w.graph, w.params, config,
+                                         /*seed_offset=*/1);
     }
 
     auto report = [&](const std::string& name,
@@ -57,31 +58,25 @@ Status Run(const BenchArgs& args) {
       }
     };
 
-    EasyImSelector easyim(w.graph, w.params, 3);
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(max_k));
-    report(easyim.name(), easy_sel.seeds);
+    SolveRequest easy = MakeSolveRequest("easyim", max_k, w.params, config);
+    HOLIM_ASSIGN_OR_RETURN(SolveResult easy_sel, engine.Solve(easy));
+    report(easy_sel.algorithm, easy_sel.seeds);
 
     for (double eps : {0.1, 0.15, 0.2}) {
-      TimPlusOptions tim_opts;
-      tim_opts.epsilon = eps;
-      tim_opts.max_theta = 400000;  // memory safety valve
-      TimPlusSelector tim(w.graph, w.params, tim_opts);
-      HOLIM_ASSIGN_OR_RETURN(SeedSelection tim_sel, tim.Select(max_k));
-      report(tim.name(), tim_sel.seeds);
+      SolveRequest tim = MakeSolveRequest("tim+", max_k, w.params, config);
+      tim.epsilon = eps;
+      tim.max_theta = 400000;  // memory safety valve
+      HOLIM_ASSIGN_OR_RETURN(SolveResult tim_sel, engine.Solve(tim));
+      report(tim_sel.algorithm, tim_sel.seeds);
     }
 
-    std::shared_ptr<McObjective> objective;
-    if (sketch) {
-      objective = std::make_shared<SketchSpreadObjective>(sketch);
-    } else {
-      McOptions celf_mc;
-      celf_mc.num_simulations = std::min<uint32_t>(config.mc, 100);
-      celf_mc.seed = config.seed;
-      objective =
-          std::make_shared<SpreadObjective>(w.graph, w.params, celf_mc);
-    }
-    CelfSelector celf(w.graph, objective, true, "CELF++");
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection celf_sel, celf.Select(max_k));
+    SolveRequest celf = MakeSolveRequest("celf++", max_k, w.params, config,
+                                         common);
+    // MC path: the historical CELF++ simulation budget; sketch path: the
+    // selection worlds R = config.mc.
+    celf.mc = std::min<uint32_t>(config.mc, 100);
+    celf.num_sketches = config.mc;
+    HOLIM_ASSIGN_OR_RETURN(SolveResult celf_sel, engine.Solve(celf));
     report("CELF++", celf_sel.seeds);
   }
   table.Print();
@@ -95,5 +90,7 @@ Status Run(const BenchArgs& args) {
 int main(int argc, char** argv) {
   return BenchMain(argc, argv,
                    "Figures 6d-6e — EaSyIM vs TIM+ vs CELF++ spread", Run,
-                   [](BenchArgs* args) { DeclareOracleFlag(args); });
+                   [](BenchArgs* args) {
+                     DeclareCommonOptions(args, kSpec);
+                   });
 }

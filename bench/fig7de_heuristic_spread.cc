@@ -3,9 +3,7 @@
 
 #include <memory>
 
-#include "algo/irie.h"
-#include "algo/score_greedy.h"
-#include "algo/simpath.h"
+#include "bench_support/engine_support.h"
 #include "common.h"
 
 using namespace holim;
@@ -13,16 +11,20 @@ using namespace holim::bench;
 
 namespace {
 
+constexpr CommonOptionsSpec kSpec{/*oracle=*/true};
+
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
-  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
+  HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
+                         ParseCommonOptions(args, kSpec));
   const double scale = args.GetDouble("scale", 0.01);
   ResultTable table("Figures 7d-7e — EaSyIM vs SIMPATH/IRIE spread",
                     {"figure", "dataset", "algorithm", "k", "spread"},
                     CsvPath("fig7de_heuristic_spread"));
 
-  // With --oracle=sketch the per-workload snapshot set is sampled once
-  // and reused for both algorithms' prefix sweeps (incremental sessions).
+  // With --oracle=sketch the per-workload snapshot set is a Workspace
+  // artifact, sampled once and reused for both algorithms' prefix sweeps
+  // (incremental sessions).
   auto evaluate = [&](const Workload& w, const std::vector<NodeId>& seeds,
                       const std::vector<uint32_t>& grid,
                       const SketchOracle* sketch) {
@@ -30,10 +32,35 @@ Status Run(const BenchArgs& args) {
                   : SpreadAtPrefixes(w.graph, w.params, seeds, grid,
                                      config.mc, config.seed);
   };
-  auto make_sketch = [&](const Workload& w) {
-    return oracle == SpreadOracle::kSketch
-               ? MakeSketchOracle(w.graph, w.params, config.mc, config.seed)
-               : nullptr;
+  auto make_sketch = [&](HolimEngine& engine, const Workload& w) {
+    if (common.oracle != SpreadOracle::kSketch) {
+      return std::shared_ptr<const SketchOracle>();
+    }
+    return GetBenchSketchOracle(engine, w.graph, w.params, config);
+  };
+  auto run_panel = [&](const char* figure, const Workload& w,
+                       const char* easy_label, const std::string& rival,
+                       const char* rival_label) -> Status {
+    HolimEngine engine(w.graph);
+    const uint32_t max_k =
+        std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
+    auto grid = SeedGrid(max_k);
+    HOLIM_ASSIGN_OR_RETURN(
+        SolveResult easy_sel,
+        engine.Solve(MakeSolveRequest("easyim", max_k, w.params, config)));
+    HOLIM_ASSIGN_OR_RETURN(
+        SolveResult rival_sel,
+        engine.Solve(MakeSolveRequest(rival, max_k, w.params, config)));
+    auto sketch = make_sketch(engine, w);
+    auto easy_values = evaluate(w, easy_sel.seeds, grid, sketch.get());
+    auto rival_values = evaluate(w, rival_sel.seeds, grid, sketch.get());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      table.AddRow({figure, w.dataset, easy_label, std::to_string(grid[i]),
+                    CsvWriter::Num(easy_values[i])});
+      table.AddRow({figure, w.dataset, rival_label, std::to_string(grid[i]),
+                    CsvWriter::Num(rival_values[i])});
+    }
+    return Status::OK();
   };
 
   // 7d: NetHEPT under LT — EaSyIM vs SIMPATH.
@@ -41,22 +68,8 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w,
         LoadWorkload("NetHEPT", scale, DiffusionModel::kLinearThreshold));
-    const uint32_t max_k =
-        std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
-    auto grid = SeedGrid(max_k);
-    EasyImSelector easyim(w.graph, w.params, 3);
-    SimpathSelector simpath(w.graph, w.params);
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(max_k));
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection sp_sel, simpath.Select(max_k));
-    auto sketch = make_sketch(w);
-    auto easy_values = evaluate(w, easy_sel.seeds, grid, sketch.get());
-    auto sp_values = evaluate(w, sp_sel.seeds, grid, sketch.get());
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      table.AddRow({"7d", "NetHEPT", "EaSyIM,l=3", std::to_string(grid[i]),
-                    CsvWriter::Num(easy_values[i])});
-      table.AddRow({"7d", "NetHEPT", "SIMPATH", std::to_string(grid[i]),
-                    CsvWriter::Num(sp_values[i])});
-    }
+    HOLIM_RETURN_NOT_OK(run_panel("7d", w, "EaSyIM,l=3", "simpath",
+                                  "SIMPATH"));
   }
 
   // 7e: YouTube under WC — EaSyIM vs IRIE.
@@ -64,22 +77,7 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload("YouTube", scale * 0.05,
                                  DiffusionModel::kWeightedCascade));
-    const uint32_t max_k =
-        std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
-    auto grid = SeedGrid(max_k);
-    EasyImSelector easyim(w.graph, w.params, 3);
-    IrieSelector irie(w.graph, w.params);
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(max_k));
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection irie_sel, irie.Select(max_k));
-    auto sketch = make_sketch(w);
-    auto easy_values = evaluate(w, easy_sel.seeds, grid, sketch.get());
-    auto irie_values = evaluate(w, irie_sel.seeds, grid, sketch.get());
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      table.AddRow({"7e", "YouTube", "EaSyIM,l=3", std::to_string(grid[i]),
-                    CsvWriter::Num(easy_values[i])});
-      table.AddRow({"7e", "YouTube", "IRIE", std::to_string(grid[i]),
-                    CsvWriter::Num(irie_values[i])});
-    }
+    HOLIM_RETURN_NOT_OK(run_panel("7e", w, "EaSyIM,l=3", "irie", "IRIE"));
   }
   table.Print();
   std::printf("\nExpected shape (paper Figs. 7d-7e): EaSyIM matches the\n"
@@ -92,5 +90,7 @@ Status Run(const BenchArgs& args) {
 int main(int argc, char** argv) {
   return BenchMain(argc, argv,
                    "Figures 7d-7e — spread vs SIMPATH/IRIE (appendix)", Run,
-                   [](BenchArgs* args) { DeclareOracleFlag(args); });
+                   [](BenchArgs* args) {
+                     DeclareCommonOptions(args, kSpec);
+                   });
 }

@@ -1,9 +1,7 @@
 // Figures 7h-7i (appendix): running time of EaSyIM vs IRIE (WC) and vs
 // SIMPATH (LT) on the medium datasets.
 
-#include "algo/irie.h"
-#include "algo/score_greedy.h"
-#include "algo/simpath.h"
+#include "bench_support/engine_support.h"
 #include "common.h"
 
 using namespace holim;
@@ -18,6 +16,30 @@ Status Run(const BenchArgs& args) {
                     {"figure", "dataset", "algorithm", "k", "seconds"},
                     CsvPath("fig7hi_heuristic_time"));
 
+  // Both algorithms of a panel run through one engine per workload; the
+  // EaSyIM scorer state is reused across the k-grid (reported seconds are
+  // pure Select time).
+  auto run_panel = [&](const char* figure, const Workload& w,
+                       const char* easy_label, const std::string& rival,
+                       const char* rival_label) -> Status {
+    HolimEngine engine(w.graph);
+    const uint32_t max_k =
+        std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
+    for (uint32_t k : SeedGrid(max_k)) {
+      HOLIM_ASSIGN_OR_RETURN(
+          SolveResult es,
+          engine.Solve(MakeSolveRequest("easyim", k, w.params, config)));
+      table.AddRow({figure, w.dataset, easy_label, std::to_string(k),
+                    CsvWriter::Num(es.select_seconds)});
+      HOLIM_ASSIGN_OR_RETURN(
+          SolveResult rs,
+          engine.Solve(MakeSolveRequest(rival, k, w.params, config)));
+      table.AddRow({figure, w.dataset, rival_label, std::to_string(k),
+                    CsvWriter::Num(rs.select_seconds)});
+    }
+    return Status::OK();
+  };
+
   // 7h: WC — EaSyIM vs IRIE on all four medium datasets.
   for (const std::string& dataset : MediumDatasetNames()) {
     const double shrink =
@@ -25,18 +47,7 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload(dataset, scale * shrink,
                                  DiffusionModel::kWeightedCascade));
-    const uint32_t max_k =
-        std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
-    for (uint32_t k : SeedGrid(max_k)) {
-      EasyImSelector easyim(w.graph, w.params, 3);
-      HOLIM_ASSIGN_OR_RETURN(SeedSelection es, easyim.Select(k));
-      table.AddRow({"7h", dataset, "EaSyIM", std::to_string(k),
-                    CsvWriter::Num(es.elapsed_seconds)});
-      IrieSelector irie(w.graph, w.params);
-      HOLIM_ASSIGN_OR_RETURN(SeedSelection is, irie.Select(k));
-      table.AddRow({"7h", dataset, "IRIE", std::to_string(k),
-                    CsvWriter::Num(is.elapsed_seconds)});
-    }
+    HOLIM_RETURN_NOT_OK(run_panel("7h", w, "EaSyIM", "irie", "IRIE"));
   }
 
   // 7i: LT — EaSyIM vs SIMPATH on NetHEPT/HepPh/DBLP (paper: SIMPATH DNF
@@ -47,18 +58,7 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload(dataset, scale * shrink,
                                  DiffusionModel::kLinearThreshold));
-    const uint32_t max_k =
-        std::min<uint32_t>(config.max_k / 2, w.graph.num_nodes() / 4);
-    for (uint32_t k : SeedGrid(max_k)) {
-      EasyImSelector easyim(w.graph, w.params, 3);
-      HOLIM_ASSIGN_OR_RETURN(SeedSelection es, easyim.Select(k));
-      table.AddRow({"7i", dataset, "EaSyIM", std::to_string(k),
-                    CsvWriter::Num(es.elapsed_seconds)});
-      SimpathSelector simpath(w.graph, w.params);
-      HOLIM_ASSIGN_OR_RETURN(SeedSelection ss, simpath.Select(k));
-      table.AddRow({"7i", dataset, "SIMPATH", std::to_string(k),
-                    CsvWriter::Num(ss.elapsed_seconds)});
-    }
+    HOLIM_RETURN_NOT_OK(run_panel("7i", w, "EaSyIM", "simpath", "SIMPATH"));
   }
   table.Print();
   std::printf("\nExpected shape (paper Figs. 7h-7i): EaSyIM 2-6x faster than\n"

@@ -3,8 +3,7 @@
 // ~3x faster on DBLP but uses ~758x more memory, and crashes (OOM) on the
 // larger datasets.
 
-#include "algo/score_greedy.h"
-#include "algo/tim_plus.h"
+#include "bench_support/engine_support.h"
 #include "common.h"
 
 using namespace holim;
@@ -34,30 +33,34 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload(dataset, scale * shrink,
                                  DiffusionModel::kIndependentCascade));
+    HolimEngine engine(w.graph);
     const uint32_t k = std::min<uint32_t>(50, w.graph.num_nodes() / 10);
 
-    EasyImSelector easyim(w.graph, w.params, 1);
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(k));
-    EasyImScorer scorer(w.graph, w.params, 1);
-    const double easy_mib = MemoryMeter::ToMiB(scorer.ScratchBytes() +
+    SolveRequest easy = MakeSolveRequest("easyim", k, w.params, config);
+    easy.l = 1;
+    HOLIM_ASSIGN_OR_RETURN(SolveResult easy_sel, engine.Solve(easy));
+    // O(n) rolling buffers (scorer scratch, reported by the solve) plus
+    // the driver's per-node score vector.
+    const double easy_mib = MemoryMeter::ToMiB(easy_sel.scratch_bytes +
                                                w.graph.num_nodes() * 8);
 
-    TimPlusOptions tim_opts;
-    tim_opts.epsilon = 0.1;
-    tim_opts.max_theta = ram_cap;
-    TimPlusSelector tim(w.graph, w.params, tim_opts);
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection tim_sel, tim.Select(k));
-    const bool oom = tim.last_run_stats().theta_capped;
+    SolveRequest tim = MakeSolveRequest("tim+", k, w.params, config);
+    tim.epsilon = 0.1;
+    tim.max_theta = ram_cap;
+    HOLIM_ASSIGN_OR_RETURN(SolveResult tim_sel, engine.Solve(tim));
+    const bool oom = tim_sel.Stat("theta_capped") != 0.0;
     const double tim_mib =
-        MemoryMeter::ToMiB(tim.last_run_stats().rr_memory_bytes);
+        MemoryMeter::ToMiB(
+            static_cast<std::size_t>(tim_sel.Stat("rr_memory_bytes")));
 
     table.AddRow(
         {dataset,
-         oom ? "OOM (cap hit)" : CsvWriter::Num(tim_sel.elapsed_seconds / 60),
-         CsvWriter::Num(easy_sel.elapsed_seconds / 60),
+         oom ? "OOM (cap hit)"
+             : CsvWriter::Num(tim_sel.select_seconds / 60),
+         CsvWriter::Num(easy_sel.select_seconds / 60),
          oom ? "-"
-             : CsvWriter::Num(easy_sel.elapsed_seconds /
-                              std::max(1e-9, tim_sel.elapsed_seconds)) + "x",
+             : CsvWriter::Num(easy_sel.select_seconds /
+                              std::max(1e-9, tim_sel.select_seconds)) + "x",
          CsvWriter::Num(tim_mib), CsvWriter::Num(easy_mib),
          CsvWriter::Num(tim_mib / std::max(1e-9, easy_mib)) + "x"});
   }

@@ -4,9 +4,7 @@
 
 #include <memory>
 
-#include "algo/celf.h"
-#include "algo/greedy.h"
-#include "algo/score_greedy.h"
+#include "bench_support/engine_support.h"
 #include "common.h"
 
 using namespace holim;
@@ -14,9 +12,12 @@ using namespace holim::bench;
 
 namespace {
 
+constexpr CommonOptionsSpec kSpec{/*oracle=*/true};
+
 Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
-  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
+  HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
+                         ParseCommonOptions(args, kSpec));
   const double scale = args.GetDouble("scale", 0.01);
   // CELF++ budget: skip datasets whose initial pass would exceed this many
   // objective evaluations x simulations (emulates the paper's 7-day DNF).
@@ -36,51 +37,44 @@ Status Run(const BenchArgs& args) {
     HOLIM_ASSIGN_OR_RETURN(
         Workload w, LoadWorkload(dataset, scale * shrink,
                                  DiffusionModel::kIndependentCascade));
+    HolimEngine engine(w.graph);
     const uint32_t k = std::min<uint32_t>(100, w.graph.num_nodes() / 10);
 
-    EasyImSelector easyim(w.graph, w.params, 1);
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection easy_sel, easyim.Select(k));
-    EasyImScorer scorer(w.graph, w.params, 1);
-    const double easy_mib = MemoryMeter::ToMiB(scorer.ScratchBytes() +
+    SolveRequest easy = MakeSolveRequest("easyim", k, w.params, config);
+    easy.l = 1;
+    HOLIM_ASSIGN_OR_RETURN(SolveResult easy_sel, engine.Solve(easy));
+    const double easy_mib = MemoryMeter::ToMiB(easy_sel.scratch_bytes +
                                                w.graph.num_nodes() * 8);
 
-    McOptions celf_mc;
-    celf_mc.num_simulations = 50;
-    celf_mc.seed = config.seed;
+    const uint32_t celf_mc = 50;
     const uint64_t estimated_work =
-        static_cast<uint64_t>(w.graph.num_nodes()) * celf_mc.num_simulations;
-    std::shared_ptr<const SketchOracle> sketch;
-    if (oracle == SpreadOracle::kSketch) {
-      sketch = MakeSketchOracle(w.graph, w.params, celf_mc.num_simulations,
-                                config.seed);
-    }
+        static_cast<uint64_t>(w.graph.num_nodes()) * celf_mc;
+    const bool sketch = common.oracle == SpreadOracle::kSketch;
     // MC CELF's memory is a rough per-node model; the sketch oracle's
-    // footprint is its measured arena (capacity-based convention).
-    const double celf_mib =
-        sketch ? MemoryMeter::ToMiB(sketch->ArenaBytes())
-               : MemoryMeter::ToMiB(40ull * w.graph.num_nodes());
+    // footprint is its measured arena (capacity-based convention),
+    // reported by the solve below.
+    double celf_mib = MemoryMeter::ToMiB(40ull * w.graph.num_nodes());
     if (!sketch && estimated_work > celf_budget) {
       table.AddRow({dataset, "DNF (budget)",
-                    CsvWriter::Num(easy_sel.elapsed_seconds / 60), "-",
+                    CsvWriter::Num(easy_sel.select_seconds / 60), "-",
                     CsvWriter::Num(celf_mib), CsvWriter::Num(easy_mib),
                     CsvWriter::Num(celf_mib / std::max(1e-9, easy_mib)) +
                         "x"});
       continue;
     }
-    std::shared_ptr<McObjective> objective;
+    SolveRequest celf =
+        MakeSolveRequest("celf++", k, w.params, config, common);
+    celf.mc = celf_mc;
+    celf.num_sketches = celf_mc;
+    HOLIM_ASSIGN_OR_RETURN(SolveResult celf_sel, engine.Solve(celf));
     if (sketch) {
-      objective = std::make_shared<SketchSpreadObjective>(sketch);
-    } else {
-      objective =
-          std::make_shared<SpreadObjective>(w.graph, w.params, celf_mc);
+      celf_mib = MemoryMeter::ToMiB(celf_sel.sketch_arena_bytes);
     }
-    CelfSelector celf(w.graph, objective, true, "CELF++");
-    HOLIM_ASSIGN_OR_RETURN(SeedSelection celf_sel, celf.Select(k));
     table.AddRow(
-        {dataset, CsvWriter::Num(celf_sel.elapsed_seconds / 60),
-         CsvWriter::Num(easy_sel.elapsed_seconds / 60),
-         CsvWriter::Num(celf_sel.elapsed_seconds /
-                        std::max(1e-9, easy_sel.elapsed_seconds)) + "x",
+        {dataset, CsvWriter::Num(celf_sel.select_seconds / 60),
+         CsvWriter::Num(easy_sel.select_seconds / 60),
+         CsvWriter::Num(celf_sel.select_seconds /
+                        std::max(1e-9, easy_sel.select_seconds)) + "x",
          CsvWriter::Num(celf_mib), CsvWriter::Num(easy_mib),
          CsvWriter::Num(celf_mib / std::max(1e-9, easy_mib)) + "x"});
   }
@@ -98,6 +92,6 @@ int main(int argc, char** argv) {
                      args->Declare("celf_budget",
                                    "evaluation budget emulating the paper's "
                                    "7-day timeout (MC oracle only)");
-                     DeclareOracleFlag(args);
+                     DeclareCommonOptions(args, kSpec);
                    });
 }

@@ -94,10 +94,10 @@ class EasyImScorer {
   /// Extra working memory beyond the graph/params (capacity-based, see
   /// ScoreSweepStats): the two O(n) rolling buffers, plus the incremental
   /// level table once AssignScoresIncremental has been used.
-  std::size_t ScratchBytes() { return engine_.ScratchBytes(); }
+  std::size_t ScratchBytes() const { return engine_.ScratchBytes(); }
 
   /// Work/memory counters of the underlying sweep kernel.
-  const ScoreSweepStats& stats() { return engine_.stats(); }
+  const ScoreSweepStats& stats() const { return engine_.stats(); }
 
  private:
   ScoreSweepEngine<EasyImSweepPolicy> engine_;

@@ -53,6 +53,14 @@ class ImmSelector : public SeedSelector {
   };
   const RunStats& last_run_stats() const { return stats_; }
 
+  /// RunStats flattened for SolveResult::stats.
+  std::vector<std::pair<std::string, double>> LastRunStats() const override {
+    return {{"lower_bound", stats_.lower_bound},
+            {"theta", static_cast<double>(stats_.theta)},
+            {"rr_memory_bytes", static_cast<double>(stats_.rr_memory_bytes)},
+            {"rr_index_bytes", static_cast<double>(stats_.rr_index_bytes)}};
+  }
+
  private:
   const Graph& graph_;
   const InfluenceParams& params_;

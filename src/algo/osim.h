@@ -99,9 +99,9 @@ class OsimScorer {
   uint32_t path_length() const { return engine_.path_length(); }
 
   /// Extra working memory beyond graph/params/opinions (capacity-based).
-  std::size_t ScratchBytes() { return engine_.ScratchBytes(); }
+  std::size_t ScratchBytes() const { return engine_.ScratchBytes(); }
 
-  const ScoreSweepStats& stats() { return engine_.stats(); }
+  const ScoreSweepStats& stats() const { return engine_.stats(); }
 
  private:
   ScoreSweepEngine<OsimSweepPolicy> engine_;

@@ -1,6 +1,11 @@
 #include "algo/path_union.h"
 
+#include <algorithm>
+#include <numeric>
 #include <vector>
+
+#include "util/memory.h"
+#include "util/timer.h"
 
 namespace holim {
 
@@ -91,6 +96,31 @@ Result<std::vector<double>> PathUnionScorer::AssignScores() const {
     }
   }
   return delta;
+}
+
+Result<SeedSelection> PathUnionSelector::Select(uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > graph_.num_nodes()) {
+    return Status::InvalidArgument("k exceeds node count");
+  }
+  SeedSelection selection;
+  MemoryMeter meter;
+  Timer timer;
+  HOLIM_ASSIGN_OR_RETURN(std::vector<double> delta, scorer_.AssignScores());
+  std::vector<NodeId> order(graph_.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (delta[a] != delta[b]) return delta[a] > delta[b];
+                      return a < b;
+                    });
+  for (uint32_t i = 0; i < k; ++i) {
+    selection.seeds.push_back(order[i]);
+    selection.seed_scores.push_back(delta[order[i]]);
+  }
+  selection.elapsed_seconds = timer.ElapsedSeconds();
+  selection.overhead_bytes = meter.OverheadBytes();
+  return selection;
 }
 
 }  // namespace holim

@@ -2,8 +2,10 @@
 #define HOLIM_ALGO_PATH_UNION_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "algo/seed_selector.h"
 #include "graph/graph.h"
 #include "model/influence_params.h"
 #include "util/status.h"
@@ -38,6 +40,29 @@ class PathUnionScorer {
  private:
   const Graph& graph_;
   const InfluenceParams& params_;
+  uint32_t l_;
+};
+
+/// \brief PU as a one-shot selector: score every node by Delta_l once and
+/// take the top-k (score descending, smaller id on ties).
+///
+/// No residual-graph re-scoring — PU is the analytical reference, not a
+/// greedy driver — so Select is a single AssignScores pass. Inherits the
+/// scorer's dense-representation guard (n > 4096 errors out).
+class PathUnionSelector : public SeedSelector {
+ public:
+  PathUnionSelector(const Graph& graph, const InfluenceParams& params,
+                    uint32_t l)
+      : graph_(graph), scorer_(graph, params, l), l_(l) {}
+
+  std::string name() const override {
+    return "PathUnion(l=" + std::to_string(l_) + ")";
+  }
+  Result<SeedSelection> Select(uint32_t k) override;
+
+ private:
+  const Graph& graph_;
+  PathUnionScorer scorer_;
   uint32_t l_;
 };
 

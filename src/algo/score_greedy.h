@@ -120,6 +120,11 @@ class EasyImSelector : public SeedSelector {
 
   std::string name() const override;
   Result<SeedSelection> Select(uint32_t k) override;
+  /// The scorer's retained sweep scratch (rolling buffers + incremental
+  /// level table), capacity-based.
+  std::size_t MemoryFootprintBytes() const override {
+    return scorer_.ScratchBytes();
+  }
 
   /// The underlying scorer (persistent across Select calls), exposing the
   /// sweep kernel's work/memory stats.
@@ -141,6 +146,9 @@ class OsimSelector : public SeedSelector {
 
   std::string name() const override;
   Result<SeedSelection> Select(uint32_t k) override;
+  std::size_t MemoryFootprintBytes() const override {
+    return scorer_.ScratchBytes();
+  }
 
   /// The underlying scorer (persistent across Select calls).
   OsimScorer& scorer() { return scorer_; }

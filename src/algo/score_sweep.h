@@ -139,7 +139,7 @@ class ScoreSweepEngine {
   /// Forgets the per-level state; the next Rescore does a full rebuild.
   void InvalidateLevels() { levels_valid_ = false; }
 
-  const ScoreSweepStats& stats() {
+  const ScoreSweepStats& stats() const {
     stats_.rolling_bytes =
         (prev_.capacity() + cur_.capacity()) * sizeof(Value);
     stats_.level_bytes = levels_.capacity() * sizeof(Value) +
@@ -153,7 +153,7 @@ class ScoreSweepEngine {
     return stats_;
   }
 
-  std::size_t ScratchBytes() { return stats().ScratchBytes(); }
+  std::size_t ScratchBytes() const { return stats().ScratchBytes(); }
 
  private:
   // Level-0 initialisation, sharded like the level passes.
@@ -319,7 +319,8 @@ class ScoreSweepEngine {
   EpochSet stamp_, touched_stamp_;
   std::vector<NodeId> base_dirty_, dirty_, changed_, touched_;
   std::vector<uint8_t> changed_flag_;
-  ScoreSweepStats stats_;
+  // Byte counters are refreshed inside const stats() (capacity snapshots).
+  mutable ScoreSweepStats stats_;
 };
 
 }  // namespace holim

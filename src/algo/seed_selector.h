@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -39,8 +40,25 @@ class SeedSelector {
   virtual std::string name() const = 0;
 
   /// Selects k seeds. Implementations must be deterministic in their
-  /// constructor-provided seed.
+  /// constructor-provided seed — repeated Select calls on one instance
+  /// return bitwise-identical selections (the contract the engine
+  /// Workspace's warm selector reuse rests on).
   virtual Result<SeedSelection> Select(uint32_t k) = 0;
+
+  /// Algorithm-specific counters of the most recent Select call (name ->
+  /// value), e.g. TIM+'s theta / theta_capped / RR arena bytes. Empty when
+  /// the algorithm keeps no extra counters. HolimEngine copies these into
+  /// SolveResult::stats.
+  virtual std::vector<std::pair<std::string, double>> LastRunStats() const {
+    return {};
+  }
+
+  /// Bytes of state this selector retains between Select calls
+  /// (capacity-based, the repo-wide MemoryFootprintBytes convention): the
+  /// scorer scratch of EaSyIM/OSIM, StaticGreedy's snapshot sample. 0 for
+  /// stateless selectors. The engine Workspace charges cached selectors
+  /// against its budget through this.
+  virtual std::size_t MemoryFootprintBytes() const { return 0; }
 };
 
 }  // namespace holim

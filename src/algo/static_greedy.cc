@@ -132,7 +132,11 @@ Result<SeedSelection> StaticGreedySelector::Select(uint32_t k) {
   SeedSelection selection;
   MemoryMeter meter;
   Timer timer;
-  SampleSnapshots();
+  // The sample is a pure function of (graph, params, options), so it is
+  // drawn once and kept: re-Select on a cached selector (engine Workspace
+  // warm reuse) skips phase 1 while staying bitwise-identical to a cold
+  // run.
+  if (snapshots_.empty()) SampleSnapshots();
 
   std::vector<std::vector<char>> covered(
       snapshots_.size(), std::vector<char>(graph_.num_nodes(), 0));

@@ -39,6 +39,10 @@ class StaticGreedySelector : public SeedSelector {
 
   /// Total memory held by the sampled snapshots (scalability accounting).
   std::size_t SnapshotBytes() const;
+  /// The retained snapshot sample (drawn on first Select, reused after).
+  std::size_t MemoryFootprintBytes() const override {
+    return SnapshotBytes();
+  }
 
  private:
   void SampleSnapshots();

@@ -55,6 +55,16 @@ class TimPlusSelector : public SeedSelector {
   };
   const RunStats& last_run_stats() const { return stats_; }
 
+  /// RunStats flattened for SolveResult::stats (theta_capped as 0/1).
+  std::vector<std::pair<std::string, double>> LastRunStats() const override {
+    return {{"kpt_star", stats_.kpt_star},
+            {"kpt_plus", stats_.kpt_plus},
+            {"theta", static_cast<double>(stats_.theta)},
+            {"theta_capped", stats_.theta_capped ? 1.0 : 0.0},
+            {"rr_memory_bytes", static_cast<double>(stats_.rr_memory_bytes)},
+            {"rr_index_bytes", static_cast<double>(stats_.rr_index_bytes)}};
+  }
+
  private:
   double EstimateKpt(uint32_t k, Rng& rng);
   double RefineKpt(uint32_t k, double kpt_star, Rng& rng);

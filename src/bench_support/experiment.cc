@@ -141,35 +141,57 @@ void DeclareCommonFlags(BenchArgs* args) {
   args->Declare("seed", "global RNG seed (default 42)");
 }
 
-void DeclareRescoreFlag(BenchArgs* args, const char* default_value) {
-  args->Declare("rescore",
-                std::string("EaSyIM/OSIM score path between greedy rounds: "
-                            "incremental | full (default ") +
-                    default_value + ")");
+void DeclareCommonOptions(BenchArgs* args, const CommonOptionsSpec& spec) {
+  if (spec.oracle) {
+    args->Declare("oracle",
+                  "spread oracle for MC-objective selectors and spread "
+                  "evaluation: mc | sketch (default mc, the paper's "
+                  "methodology; sketch reuses presampled live-edge "
+                  "snapshots)");
+  }
+  if (spec.rescore_default != nullptr) {
+    args->Declare("rescore",
+                  std::string("EaSyIM/OSIM score path between greedy "
+                              "rounds: incremental | full (default ") +
+                      spec.rescore_default + ")");
+  }
+  if (spec.threads) {
+    args->Declare("threads",
+                  "worker threads for the sharded kernels (0 = serial; "
+                  "results are bitwise thread-count-invariant)");
+  }
 }
 
-Result<bool> ParseRescoreFlag(const BenchArgs& args,
-                              const char* default_value) {
-  const std::string rescore = args.GetString("rescore", default_value);
-  if (rescore == "incremental") return true;
-  if (rescore == "full") return false;
-  return Status::InvalidArgument(
-      "unknown --rescore (incremental|full): " + rescore);
-}
-
-void DeclareOracleFlag(BenchArgs* args) {
-  args->Declare("oracle",
-                "spread oracle for MC-objective selectors and spread "
-                "evaluation: mc | sketch (default mc, the paper's "
-                "methodology; sketch reuses presampled live-edge "
-                "snapshots)");
-}
-
-Result<SpreadOracle> ParseOracleFlag(const BenchArgs& args) {
-  const std::string oracle = args.GetString("oracle", "mc");
-  if (oracle == "mc") return SpreadOracle::kMonteCarlo;
-  if (oracle == "sketch") return SpreadOracle::kSketch;
-  return Status::InvalidArgument("unknown --oracle (mc|sketch): " + oracle);
+Result<CommonOptions> ParseCommonOptions(const BenchArgs& args,
+                                         const CommonOptionsSpec& spec) {
+  CommonOptions options;
+  if (spec.oracle) {
+    const std::string oracle = args.GetString("oracle", "mc");
+    if (oracle == "sketch") {
+      options.oracle = SpreadOracle::kSketch;
+    } else if (oracle != "mc") {
+      return Status::InvalidArgument("unknown --oracle (mc|sketch): " +
+                                     oracle);
+    }
+  }
+  if (spec.rescore_default != nullptr) {
+    const std::string rescore =
+        args.GetString("rescore", spec.rescore_default);
+    if (rescore == "incremental") {
+      options.incremental_rescore = true;
+    } else if (rescore != "full") {
+      return Status::InvalidArgument(
+          "unknown --rescore (incremental|full): " + rescore);
+    }
+  }
+  if (spec.threads) {
+    const int64_t threads = args.GetInt("threads", 0);
+    if (threads < 0) {
+      return Status::InvalidArgument("--threads must be >= 0");
+    }
+    options.threads = static_cast<uint32_t>(threads);
+  }
+  return options;
 }
 
 CommonBenchConfig ReadCommonConfig(const BenchArgs& args) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/solve_request.h"  // SpreadOracle
 #include "util/csv_writer.h"
 #include "util/status.h"
 
@@ -70,30 +71,45 @@ struct CommonBenchConfig {
 CommonBenchConfig ReadCommonConfig(const BenchArgs& args);
 void DeclareCommonFlags(BenchArgs* args);
 
-/// The shared --rescore flag of the EaSyIM/OSIM binaries: chooses the
-/// score path between greedy rounds. Seeds are bitwise identical either
-/// way. The default differs by binary on purpose: the figure-reproduction
-/// benches default to "full" (the paper's O(l(m+n)) recompute is the
-/// methodology being reproduced), holim_cli defaults to "incremental"
-/// (fastest path for production use).
-void DeclareRescoreFlag(BenchArgs* args, const char* default_value);
-/// Parses --rescore: true = "incremental", false = "full"; anything else
-/// is InvalidArgument. `default_value` must match the Declare call.
-Result<bool> ParseRescoreFlag(const BenchArgs& args,
-                              const char* default_value);
+/// \brief The shared `--oracle` / `--rescore` / `--threads` flag family
+/// of the bench binaries and holim_cli, declared and parsed from ONE spec
+/// so a binary's help text can never drift from the default its parser
+/// enforces (each binary used to pass the default separately to the
+/// Declare and Parse calls).
+///
+/// - `--oracle`: spread backend of the MC-objective selectors and the
+///   spread-evaluation helpers — "mc" (the paper's methodology, default
+///   everywhere; output unchanged) or "sketch" (presampled live-edge
+///   snapshots, reused across evaluations and — through the engine
+///   Workspace — across solves).
+/// - `--rescore`: EaSyIM/OSIM score path between greedy rounds,
+///   "incremental" or "full". Seeds are bitwise identical either way. The
+///   default differs by binary on purpose: figure benches default "full"
+///   (the paper's O(l(m+n)) recompute is the methodology reproduced),
+///   holim_cli defaults "incremental" (production path).
+/// - `--threads`: worker threads of the sharded kernels (0 = serial);
+///   results are bitwise thread-count-invariant everywhere.
+struct CommonOptionsSpec {
+  bool oracle = false;
+  /// "incremental"/"full" to declare --rescore with that default; nullptr
+  /// omits the flag.
+  const char* rescore_default = nullptr;
+  bool threads = false;
+};
 
-/// The shared --oracle flag of the spread benches and holim_cli: which
-/// spread-estimation backend the MC-objective selectors (GREEDY, CELF,
-/// IC-N CELF) and the spread-evaluation helpers use. "mc" — the paper's
-/// Monte-Carlo methodology — is the default everywhere, and with it every
-/// binary's output is unchanged; "sketch" presamples live-edge snapshots
-/// once (diffusion/sketch_oracle.*) and reuses them across all
-/// evaluations.
-enum class SpreadOracle { kMonteCarlo, kSketch };
-void DeclareOracleFlag(BenchArgs* args);
-/// Parses --oracle: "mc" (default) or "sketch"; anything else is
-/// InvalidArgument.
-Result<SpreadOracle> ParseOracleFlag(const BenchArgs& args);
+struct CommonOptions {
+  SpreadOracle oracle = SpreadOracle::kMonteCarlo;
+  bool incremental_rescore = false;
+  uint32_t threads = 0;
+};
+
+/// Declares exactly the flags `spec` enables (with help text derived from
+/// the same spec the parser reads).
+void DeclareCommonOptions(BenchArgs* args, const CommonOptionsSpec& spec);
+/// Parses the flags `spec` enables; flags the spec omits keep their
+/// CommonOptions defaults. Unknown values are InvalidArgument.
+Result<CommonOptions> ParseCommonOptions(const BenchArgs& args,
+                                         const CommonOptionsSpec& spec);
 
 }  // namespace holim
 

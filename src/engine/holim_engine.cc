@@ -1,0 +1,156 @@
+#include "engine/holim_engine.h"
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "diffusion/spread_estimator.h"
+#include "util/timer.h"
+
+namespace holim {
+
+namespace {
+
+/// Bit-exact rendering of a double for cache keys: std::to_string
+/// truncates to 6 decimals, which would collide distinct knob values onto
+/// one key and silently warm-reuse the wrong selector.
+std::string KeyBits(double value) {
+  return std::to_string(std::bit_cast<uint64_t>(value));
+}
+
+}  // namespace
+
+HolimEngine::HolimEngine(const Graph& graph, const EngineOptions& options)
+    : graph_(graph), workspace_(options.max_cache_bytes) {
+  // Touch the registry so built-ins are registered before the first Solve
+  // (and before any embedder Register calls race static init order).
+  (void)AlgorithmRegistry::Global();
+}
+
+ThreadPool* HolimEngine::PoolFor(uint32_t threads) {
+  if (threads == 0) return nullptr;
+  auto& pool = pools_[threads];
+  if (!pool) pool = std::make_unique<ThreadPool>(threads);
+  return pool.get();
+}
+
+std::string HolimEngine::SelectorKey(const AlgorithmInfo& info,
+                                     const SolveRequest& r) const {
+  // Every knob that could influence the built selector is in the key; k is
+  // deliberately absent (selectors take k at Select time), which is what
+  // makes a k-sweep reuse one artifact. Over-keying on knobs an algorithm
+  // ignores only costs a cheap rebuild, never correctness.
+  std::string key = "selector|" + info.name;
+  key += "|fp=" + std::to_string(FingerprintParams(*r.params));
+  key += "|op=" + (r.opinions != nullptr
+                       ? std::to_string(FingerprintOpinions(*r.opinions))
+                       : std::string("-"));
+  key += "|base=" + std::to_string(static_cast<int>(r.oi_base));
+  key += "|lambda=" + KeyBits(r.lambda);
+  key += "|l=" + std::to_string(r.l);
+  key += "|eps=" + KeyBits(r.epsilon);
+  key += "|maxtheta=" + std::to_string(r.max_theta);
+  key += "|p=" + KeyBits(r.p);
+  key += "|mc=" + std::to_string(r.mc);
+  key += "|seed=" + std::to_string(r.seed);
+  key += "|oracle=" + std::to_string(static_cast<int>(r.oracle));
+  key += "|R=" + std::to_string(r.EffectiveSketchCount());
+  key += "|snapshots=" + std::to_string(r.num_snapshots);
+  key += "|rescore=" + std::to_string(r.incremental_rescore ? 1 : 0);
+  key += "|threads=" + std::to_string(r.threads);
+  return key;
+}
+
+Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
+  Timer total_timer;
+  if (request.params == nullptr) {
+    return Status::InvalidArgument("SolveRequest.params must be set");
+  }
+  if (request.k == 0) return Status::InvalidArgument("k must be positive");
+  const AlgorithmInfo* info =
+      AlgorithmRegistry::Global().Find(request.algorithm);
+  if (info == nullptr) {
+    return Status::InvalidArgument(
+        "unknown algorithm '" + request.algorithm + "' (registered: " +
+        AlgorithmRegistry::Global().NamesOneLine() + ")");
+  }
+  if (info->needs_opinions && request.opinions == nullptr) {
+    return Status::InvalidArgument("algorithm '" + info->name +
+                                   "' requires SolveRequest.opinions");
+  }
+
+  SolveResult result;
+  SolveContext ctx{graph_, request, workspace_, PoolFor(request.threads)};
+
+  // Artifact acquisition: the cached selector (and, inside the factory,
+  // any shared sketch oracle). artifact_seconds covers exactly the
+  // cold-build work a warm solve skips.
+  Timer artifact_timer;
+  const std::string sketch_key =
+      SketchOracleKey(FingerprintParams(*request.params),
+                      request.EffectiveSketchCount(), request.seed,
+                      /*record_edge_offsets=*/false);
+  if (request.oracle == SpreadOracle::kSketch) {
+    // "Warm" = the arena predates this solve (the factory may build it
+    // below, which is still a cold build).
+    result.warm_sketch = workspace_.PeekSketchOracle(sketch_key) != nullptr;
+  }
+  HOLIM_ASSIGN_OR_RETURN(
+      SeedSelector * selector,
+      workspace_.GetSelector(SelectorKey(*info, request),
+                             [&]() { return info->factory(ctx); },
+                             &result.warm_selector));
+  // The spread-evaluation sketch is acquired up front too, so its build
+  // cost lands in artifact_seconds, not spread_seconds. When the request
+  // doesn't evaluate spread, the arena is only *peeked* (the factory
+  // builds it when the objective needs it) so stateless algorithms under
+  // --oracle=sketch don't pay for worlds nobody reads.
+  std::shared_ptr<const SketchOracle> eval_sketch;
+  if (request.oracle == SpreadOracle::kSketch) {
+    if (request.evaluate_spread) {
+      SketchOptions options;
+      options.num_snapshots = request.EffectiveSketchCount();
+      options.seed = request.seed;
+      options.pool = ctx.pool;
+      eval_sketch =
+          workspace_.GetSketchOracle(graph_, *request.params, options);
+    } else {
+      eval_sketch = workspace_.PeekSketchOracle(sketch_key);
+    }
+    if (eval_sketch != nullptr) {
+      result.sketch_arena_bytes = eval_sketch->ArenaBytes();
+    }
+  }
+  result.artifact_seconds = artifact_timer.ElapsedSeconds();
+
+  HOLIM_ASSIGN_OR_RETURN(SeedSelection selection,
+                         selector->Select(request.k));
+  result.seeds = std::move(selection.seeds);
+  result.seed_scores = std::move(selection.seed_scores);
+  result.algorithm = selector->name();
+  result.select_seconds = selection.elapsed_seconds;
+  result.overhead_bytes = selection.overhead_bytes;
+  result.scratch_bytes = selection.scratch_bytes;
+  result.stats = selector->LastRunStats();
+
+  if (request.evaluate_spread) {
+    Timer spread_timer;
+    if (eval_sketch != nullptr) {
+      result.spread = eval_sketch->Estimate(result.seeds);
+    } else {
+      McOptions mc;
+      mc.num_simulations = request.mc;
+      mc.seed = request.seed;
+      result.spread = EstimateSpread(graph_, *request.params, result.seeds,
+                                     mc);
+    }
+    result.spread_seconds = spread_timer.ElapsedSeconds();
+  }
+
+  workspace_.EnforceBudget();
+  result.workspace_bytes = workspace_.MemoryFootprintBytes();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace holim

@@ -1,0 +1,79 @@
+#ifndef HOLIM_ENGINE_HOLIM_ENGINE_H_
+#define HOLIM_ENGINE_HOLIM_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/registry.h"
+#include "engine/solve_request.h"
+#include "engine/workspace.h"
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace holim {
+
+struct EngineOptions {
+  /// Workspace artifact budget in bytes (0 = unlimited). Enforced by LRU
+  /// eviction between solves.
+  std::size_t max_cache_bytes = 0;
+};
+
+/// \brief Long-lived facade serving influence-maximization queries over
+/// one graph: `SolveRequest{algorithm, model, k, ...} -> SolveResult`.
+///
+/// The engine dispatches through the global AlgorithmRegistry (every
+/// selector in src/algo/ registers a factory) and owns a Workspace that
+/// caches the expensive artifacts — sketch-oracle arenas and stateful
+/// selector instances (score-sweep tables, StaticGreedy samples) — across
+/// successive solves, keyed by the *content* of the model parameters plus
+/// every request knob. A warm solve is bitwise-identical to a cold one
+/// (see Workspace); what it skips is sampling and allocation, which is
+/// what makes a k-sweep or an algorithm-comparison batch pay those once.
+///
+/// Not thread-safe: one engine serves one solve at a time (shard inside a
+/// solve via SolveRequest::threads). The bound graph — and any
+/// InfluenceParams/OpinionParams handed to Solve — must outlive the
+/// engine.
+class HolimEngine {
+ public:
+  explicit HolimEngine(const Graph& graph, const EngineOptions& options = {});
+
+  /// Runs one query. On success the result carries seeds, per-round
+  /// scores, the oracle spread estimate (when requested), timings, and
+  /// artifact bookkeeping. Fails with InvalidArgument on an unknown
+  /// algorithm, a missing opinion layer, or k out of range.
+  Result<SolveResult> Solve(const SolveRequest& request);
+
+  const Graph& graph() const { return graph_; }
+  Workspace& workspace() { return workspace_; }
+  const Workspace& workspace() const { return workspace_; }
+
+  /// The registry behind Solve (built-ins registered).
+  static const AlgorithmRegistry& Registry() {
+    return AlgorithmRegistry::Global();
+  }
+
+ private:
+  /// Engine-owned pool for `threads` workers (created on first use;
+  /// nullptr for 0 = serial). Owning the pools keeps cached selectors'
+  /// pool pointers valid for the engine's lifetime.
+  ThreadPool* PoolFor(uint32_t threads);
+
+  /// Selector cache key: canonical algorithm + params/opinions
+  /// fingerprints + every request knob except k.
+  std::string SelectorKey(const AlgorithmInfo& info,
+                          const SolveRequest& request) const;
+
+  const Graph& graph_;
+  // Declared before workspace_ on purpose: cached selectors hold pool
+  // pointers, so the pools must outlive the workspace during teardown.
+  std::map<uint32_t, std::unique_ptr<ThreadPool>> pools_;
+  Workspace workspace_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ENGINE_HOLIM_ENGINE_H_

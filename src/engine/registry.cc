@@ -1,0 +1,65 @@
+#include "engine/registry.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace holim {
+
+// Defined in engine/algorithms.cc; registers every built-in selector into
+// `registry`. Called exactly once, under Global()'s static init.
+void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry);
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    RegisterBuiltinAlgorithms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AlgorithmRegistry::Register(AlgorithmInfo info) {
+  HOLIM_CHECK(!info.name.empty()) << "algorithm name must be non-empty";
+  HOLIM_CHECK(info.factory != nullptr)
+      << "algorithm '" << info.name << "' has no factory";
+  HOLIM_CHECK(Find(info.name) == nullptr)
+      << "duplicate algorithm name: " << info.name;
+  for (const std::string& alias : info.aliases) {
+    HOLIM_CHECK(Find(alias) == nullptr)
+        << "duplicate algorithm alias: " << alias;
+  }
+  entries_.push_back(std::make_unique<AlgorithmInfo>(std::move(info)));
+}
+
+const AlgorithmInfo* AlgorithmRegistry::Find(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+    for (const std::string& alias : entry->aliases) {
+      if (alias == name) return entry.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const AlgorithmInfo*> AlgorithmRegistry::List() const {
+  std::vector<const AlgorithmInfo*> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.get());
+  std::sort(out.begin(), out.end(),
+            [](const AlgorithmInfo* a, const AlgorithmInfo* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::string AlgorithmRegistry::NamesOneLine() const {
+  std::string out;
+  for (const AlgorithmInfo* info : List()) {
+    if (!out.empty()) out += ", ";
+    out += info->name;
+  }
+  return out;
+}
+
+}  // namespace holim

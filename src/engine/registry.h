@@ -1,0 +1,79 @@
+#ifndef HOLIM_ENGINE_REGISTRY_H_
+#define HOLIM_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/seed_selector.h"
+#include "engine/solve_request.h"
+#include "engine/workspace.h"
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace holim {
+
+/// Everything a registered factory gets to build a selector: the engine's
+/// graph, the validated request, the workspace (for shared artifacts like
+/// the sketch oracle), and the engine-owned pool for `request.threads`
+/// (nullptr when serial).
+struct SolveContext {
+  const Graph& graph;
+  const SolveRequest& request;
+  Workspace& workspace;
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief One registry row: the canonical name every CLI/bench dispatch
+/// uses, plus the metadata `holim_cli --list-algorithms` prints and the
+/// factory HolimEngine::Solve calls on a selector-cache miss.
+struct AlgorithmInfo {
+  /// Canonical registry key, e.g. "easyim", "tim+", "celf++".
+  std::string name;
+  /// Accepted alternative spellings (e.g. "tim" for "tim+").
+  std::vector<std::string> aliases;
+  /// Human-readable supported first-layer models, e.g. "IC, WC, LT".
+  std::string models;
+  /// Artifact kinds this algorithm keeps in the Workspace across solves
+  /// ("none" for stateless heuristics).
+  std::string artifacts;
+  /// Requires SolveRequest::opinions.
+  bool needs_opinions = false;
+  /// Builds a fresh selector for the request. Must be deterministic in the
+  /// request: the parity contract (engine solve == direct selector call,
+  /// warm == cold) holds because this is the only construction path.
+  std::function<Result<std::unique_ptr<SeedSelector>>(const SolveContext&)>
+      factory;
+};
+
+/// \brief Process-global name -> factory table behind HolimEngine.
+///
+/// The built-in algorithms (engine/algorithms.cc) self-register on first
+/// engine/registry use; embedders may Register additional algorithms
+/// before or after (names must be unique, checked).
+class AlgorithmRegistry {
+ public:
+  /// The global registry with the built-ins registered.
+  static AlgorithmRegistry& Global();
+
+  /// Registers `info`; aborts on a duplicate canonical name or alias.
+  void Register(AlgorithmInfo info);
+
+  /// Looks up a canonical name or alias; nullptr when unknown.
+  const AlgorithmInfo* Find(const std::string& name) const;
+
+  /// All entries, sorted by canonical name.
+  std::vector<const AlgorithmInfo*> List() const;
+
+  /// "a, b, c" over canonical names (for error messages / --help).
+  std::string NamesOneLine() const;
+
+ private:
+  std::vector<std::unique_ptr<AlgorithmInfo>> entries_;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ENGINE_REGISTRY_H_

@@ -1,0 +1,147 @@
+#ifndef HOLIM_ENGINE_SOLVE_REQUEST_H_
+#define HOLIM_ENGINE_SOLVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "diffusion/oi_model.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+
+/// Which spread-estimation backend the MC-objective selectors (GREEDY,
+/// CELF/CELF++) and the engine's spread evaluation use. "mc" — the paper's
+/// Monte-Carlo methodology — is the default everywhere; "sketch"
+/// presamples live-edge snapshots once (diffusion/sketch_oracle.*) and
+/// reuses them across all evaluations (and, through the engine Workspace,
+/// across successive solves on the same graph).
+enum class SpreadOracle { kMonteCarlo, kSketch };
+
+/// \brief One influence-maximization query against a HolimEngine.
+///
+/// The engine binds the graph at construction; a request names a
+/// registered algorithm plus the model data and knobs. Fields that a given
+/// algorithm does not consume are ignored (e.g. `epsilon` for EaSyIM) —
+/// defaults mirror the historical per-binary defaults so that an engine
+/// solve is bitwise-identical to the direct selector construction it
+/// replaced.
+struct SolveRequest {
+  /// Registry name or alias (see AlgorithmRegistry / `holim_cli
+  /// --list-algorithms`), e.g. "easyim", "tim+", "celf++".
+  std::string algorithm;
+  uint32_t k = 50;
+
+  /// First-layer model parameters (required; must outlive the solve and,
+  /// for warm reuse, the engine — cached artifacts key on their content).
+  const InfluenceParams* params = nullptr;
+  /// Opinion layer (required by opinion-aware algorithms: osim, and it
+  /// switches greedy/celf/celf++ to the effective-opinion objective).
+  const OpinionParams* opinions = nullptr;
+  OiBase oi_base = OiBase::kIndependentCascade;
+  /// Negative-opinion penalty of the MEO objective.
+  double lambda = 1.0;
+
+  /// EaSyIM/OSIM/path-union/ASIM path-length horizon.
+  uint32_t l = 3;
+  /// TIM+/IMM approximation slack.
+  double epsilon = 0.1;
+  /// TIM+/IMM RR-set safety cap (0 = uncapped).
+  std::size_t max_theta = 2'000'000;
+  /// DegreeDiscountIC's uniform-p assumption.
+  double p = 0.1;
+  /// Monte-Carlo simulations per objective evaluation / spread estimate.
+  uint32_t mc = 200;
+  /// RNG seed for the MC objectives, the sketch oracle, and "random".
+  uint64_t seed = 42;
+
+  SpreadOracle oracle = SpreadOracle::kMonteCarlo;
+  /// Sketch-oracle snapshot count R (0 = use `mc`); only read when
+  /// `oracle == kSketch`.
+  uint32_t num_sketches = 0;
+  /// StaticGreedy's internal snapshot count (its own sample, distinct from
+  /// the shared sketch oracle by design — the algorithm owns its worlds).
+  uint32_t num_snapshots = 100;
+
+  /// EaSyIM/OSIM: dirty-frontier incremental rescore between greedy rounds
+  /// instead of the paper's full O(l(m+n)) recompute. Seeds are bitwise
+  /// identical either way.
+  bool incremental_rescore = false;
+  /// Worker threads for the sharded kernels (0 = serial). Every parallel
+  /// path in the repo is bitwise thread-count-invariant, so this never
+  /// changes results — it is still part of the selector cache key so a
+  /// cached selector keeps the pool it was built with.
+  uint32_t threads = 0;
+
+  /// Evaluate sigma(S) of the result through the requested oracle and
+  /// report it in SolveResult::spread. Off for callers that run their own
+  /// evaluation sweeps (the figure benches).
+  bool evaluate_spread = true;
+
+  /// The sketch-oracle snapshot count this request implies (the 0 =
+  /// mirror-mc rule, defined once: Workspace keys, factories, and CLI
+  /// output must all agree on it).
+  uint32_t EffectiveSketchCount() const {
+    return num_sketches != 0 ? num_sketches : mc;
+  }
+};
+
+/// \brief Outcome of HolimEngine::Solve: the selection plus engine-level
+/// bookkeeping (artifact reuse, cache footprint, timings).
+struct SolveResult {
+  std::vector<NodeId> seeds;
+  /// Algorithm-internal score of each chosen seed, round by round (empty
+  /// if the algorithm reports none) — same as SeedSelection::seed_scores.
+  std::vector<double> seed_scores;
+  /// The selector's display name, e.g. "EaSyIM(l=3)".
+  std::string algorithm;
+
+  /// sigma(S) through the requested oracle; 0 when `evaluate_spread` was
+  /// off.
+  double spread = 0.0;
+
+  /// Select(k) wall time as reported by the selector.
+  double select_seconds = 0.0;
+  /// Time spent building Workspace artifacts for this solve (0 on a fully
+  /// warm solve).
+  double artifact_seconds = 0.0;
+  /// Time spent in the final spread evaluation.
+  double spread_seconds = 0.0;
+  /// End-to-end Solve() wall time.
+  double total_seconds = 0.0;
+
+  /// Best-effort RSS overhead and exact scorer scratch, forwarded from
+  /// SeedSelection.
+  std::size_t overhead_bytes = 0;
+  std::size_t scratch_bytes = 0;
+
+  /// True when the selector / sketch-oracle artifact was served from the
+  /// Workspace instead of built for this solve.
+  bool warm_selector = false;
+  bool warm_sketch = false;
+  /// Snapshot-arena bytes of the sketch oracle used (0 under the MC
+  /// oracle). Capacity-based, the repo-wide accounting convention.
+  std::size_t sketch_arena_bytes = 0;
+  /// Workspace footprint after this solve (peak artifact bytes held;
+  /// capacity-based).
+  std::size_t workspace_bytes = 0;
+
+  /// Algorithm-specific counters from SeedSelector::LastRunStats(), e.g.
+  /// TIM+'s {"theta", "theta_capped", "rr_memory_bytes", ...}.
+  std::vector<std::pair<std::string, double>> stats;
+
+  /// First stat named `name`, or `fallback` when absent.
+  double Stat(const std::string& name, double fallback = 0.0) const {
+    for (const auto& [key, value] : stats) {
+      if (key == name) return value;
+    }
+    return fallback;
+  }
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_ENGINE_SOLVE_REQUEST_H_

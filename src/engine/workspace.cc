@@ -1,0 +1,133 @@
+#include "engine/workspace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace holim {
+
+namespace {
+
+// FNV-1a over raw bytes. Doubles hash by representation, which is exactly
+// the "bitwise equivalence" the cache contract wants: parameters that
+// differ in any bit are different artifacts.
+uint64_t Fnv1a(const void* data, std::size_t len, uint64_t hash) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+
+uint64_t HashDoubles(const std::vector<double>& values, uint64_t hash) {
+  return values.empty()
+             ? hash
+             : Fnv1a(values.data(), values.size() * sizeof(double), hash);
+}
+
+}  // namespace
+
+uint64_t FingerprintParams(const InfluenceParams& params) {
+  uint64_t hash = kFnvOffset;
+  const uint32_t model = static_cast<uint32_t>(params.model);
+  hash = Fnv1a(&model, sizeof(model), hash);
+  return HashDoubles(params.probability, hash);
+}
+
+uint64_t FingerprintOpinions(const OpinionParams& opinions) {
+  uint64_t hash = kFnvOffset;
+  hash = HashDoubles(opinions.opinion, hash);
+  return HashDoubles(opinions.interaction, hash);
+}
+
+std::string SketchOracleKey(uint64_t params_fingerprint, uint32_t snapshots,
+                            uint64_t seed, bool record_edge_offsets) {
+  return "sketch|fp=" + std::to_string(params_fingerprint) +
+         "|R=" + std::to_string(snapshots) + "|seed=" + std::to_string(seed) +
+         "|eo=" + (record_edge_offsets ? "1" : "0");
+}
+
+Workspace::Entry* Workspace::Touch(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  it->second.last_used = ++tick_;
+  return &it->second;
+}
+
+std::shared_ptr<const SketchOracle> Workspace::GetSketchOracle(
+    const Graph& graph, const InfluenceParams& params,
+    const SketchOptions& options, bool* reused) {
+  const std::string key =
+      SketchOracleKey(FingerprintParams(params), options.num_snapshots,
+                      options.seed, options.record_edge_offsets);
+  if (Entry* entry = Touch(key)) {
+    ++hits_;
+    if (reused) *reused = true;
+    return entry->sketch;
+  }
+  ++misses_;
+  if (reused) *reused = false;
+  Entry entry;
+  entry.sketch = std::make_shared<const SketchOracle>(graph, params, options);
+  entry.last_used = ++tick_;
+  auto sketch = entry.sketch;
+  entries_[key] = std::move(entry);
+  return sketch;
+}
+
+std::shared_ptr<const SketchOracle> Workspace::PeekSketchOracle(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second.sketch;
+}
+
+Result<SeedSelector*> Workspace::GetSelector(
+    const std::string& key,
+    const std::function<Result<std::unique_ptr<SeedSelector>>()>& build,
+    bool* reused) {
+  if (Entry* entry = Touch(key)) {
+    ++hits_;
+    if (reused) *reused = true;
+    return entry->selector.get();
+  }
+  ++misses_;
+  if (reused) *reused = false;
+  HOLIM_ASSIGN_OR_RETURN(std::unique_ptr<SeedSelector> selector, build());
+  Entry entry;
+  entry.selector = std::move(selector);
+  entry.last_used = ++tick_;
+  SeedSelector* raw = entry.selector.get();
+  entries_[key] = std::move(entry);
+  return raw;
+}
+
+void Workspace::Clear() { entries_.clear(); }
+
+std::size_t Workspace::MemoryFootprintBytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, entry] : entries_) total += entry.FootprintBytes();
+  return total;
+}
+
+std::size_t Workspace::EnforceBudget() {
+  if (max_bytes_ == 0) return 0;
+  std::size_t evicted = 0;
+  while (entries_.size() > 1 && MemoryFootprintBytes() > max_bytes_) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    entries_.erase(victim);
+    ++evicted;
+    ++evictions_;
+  }
+  // A single over-budget artifact is kept: evicting the only copy of the
+  // thing the next solve needs would just thrash rebuild/evict.
+  return evicted;
+}
+
+}  // namespace holim

@@ -1,0 +1,139 @@
+#ifndef HOLIM_ENGINE_WORKSPACE_H_
+#define HOLIM_ENGINE_WORKSPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/seed_selector.h"
+#include "diffusion/sketch_oracle.h"
+#include "graph/graph.h"
+#include "model/influence_params.h"
+#include "util/status.h"
+
+namespace holim {
+
+/// \brief Parameter-keyed cache of the expensive solve artifacts — sketch
+/// oracle arenas and stateful selector instances (which in turn own RR
+/// arenas, score-sweep tables, and StaticGreedy snapshot samples) — so a
+/// k-sweep or an algorithm-comparison batch on one graph pays sampling
+/// and state construction once.
+///
+/// ## Cache keys & invalidation
+///
+/// Keys are explicit strings built by HolimEngine from the *content*
+/// fingerprint of the model parameters (FNV-1a over the probability /
+/// opinion vectors — see FingerprintParams) plus every request knob that
+/// can influence the artifact (RNG seed, sample budget, algorithm
+/// options). A key either matches exactly — and reuse is bitwise-
+/// equivalent to a cold build, because every artifact is a deterministic
+/// pure function of its key (the RNG-sharding contracts of the RR engine,
+/// the sketch oracle, and the sweep kernel) and every cached selector's
+/// re-Select is deterministic (SeedSelector contract) — or it misses and
+/// a fresh artifact is built. There is no partial/approximate reuse.
+///
+/// ## Budget & eviction
+///
+/// Each artifact is charged its capacity-based footprint (SketchOracle::
+/// ArenaBytes, SeedSelector::MemoryFootprintBytes). When a byte budget is
+/// set, least-recently-used artifacts are evicted until the total fits;
+/// HolimEngine enforces the budget *between* solves, so artifacts pinned
+/// by an in-flight solve are never dropped under it (sketches are
+/// additionally shared_ptr-held by their users, so eviction can never
+/// dangle).
+///
+/// Not thread-safe; an engine (and its workspace) serves one solve at a
+/// time.
+class Workspace {
+ public:
+  /// `max_bytes` 0 = unlimited.
+  explicit Workspace(std::size_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  /// Returns the sketch oracle for `options`, building and caching it on
+  /// a miss. The key is derived HERE from (params content, options) —
+  /// see SketchOracleKey — so a caller cannot hand in options that
+  /// disagree with the key they are cached under. `reused` (optional)
+  /// reports whether the artifact was served warm.
+  std::shared_ptr<const SketchOracle> GetSketchOracle(
+      const Graph& graph, const InfluenceParams& params,
+      const SketchOptions& options, bool* reused = nullptr);
+
+  /// The cached sketch under `key` (from SketchOracleKey), or nullptr —
+  /// never builds and does not count as a hit/miss or LRU touch (used
+  /// for reporting).
+  std::shared_ptr<const SketchOracle> PeekSketchOracle(
+      const std::string& key) const;
+
+  /// Returns the cached selector for `key`, or builds one with `build`
+  /// and caches it. The pointer stays valid until the entry is evicted or
+  /// the workspace is cleared — i.e. for the duration of the current
+  /// solve (eviction only runs between solves).
+  Result<SeedSelector*> GetSelector(
+      const std::string& key,
+      const std::function<Result<std::unique_ptr<SeedSelector>>()>& build,
+      bool* reused = nullptr);
+
+  /// Drops every artifact.
+  void Clear();
+
+  /// Evicts least-recently-used artifacts until the footprint fits the
+  /// budget (no-op when unlimited). Returns the number evicted.
+  std::size_t EnforceBudget();
+
+  void set_max_bytes(std::size_t max_bytes) { max_bytes_ = max_bytes; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Exact cache footprint: sum of per-artifact capacity-based bytes
+  /// (refreshed on every use — selector scratch can grow during Select).
+  std::size_t MemoryFootprintBytes() const;
+
+  std::size_t num_artifacts() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    // Exactly one of the two is set, matching the key's kind.
+    std::shared_ptr<const SketchOracle> sketch;
+    std::unique_ptr<SeedSelector> selector;
+    uint64_t last_used = 0;
+
+    std::size_t FootprintBytes() const {
+      if (sketch) return sketch->ArenaBytes();
+      return selector->MemoryFootprintBytes();
+    }
+  };
+
+  Entry* Touch(const std::string& key);
+
+  std::map<std::string, Entry> entries_;
+  std::size_t max_bytes_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// Content fingerprint of the first-layer model (FNV-1a over the model
+/// kind and the probability vector) — the params component of every
+/// Workspace key. Exact: any parameter change changes the key and misses
+/// the cache.
+uint64_t FingerprintParams(const InfluenceParams& params);
+
+/// Content fingerprint of the opinion layer (initial opinions +
+/// interaction probabilities).
+uint64_t FingerprintOpinions(const OpinionParams& opinions);
+
+/// Canonical workspace key of a sketch-oracle artifact — shared by the
+/// engine's spread evaluation and the greedy/CELF factories so one arena
+/// serves both.
+std::string SketchOracleKey(uint64_t params_fingerprint, uint32_t snapshots,
+                            uint64_t seed, bool record_edge_offsets);
+
+}  // namespace holim
+
+#endif  // HOLIM_ENGINE_WORKSPACE_H_

@@ -19,6 +19,16 @@ Dispatches on the baseline's "bench" field:
       - incremental_rescore.<scorer>.rescore_speedup — a timing ratio,
         gated like select_speedup.
 
+  * "engine" (BENCH_engine.json, from bench_micro_engine):
+      - warm.workspace_bytes — capacity-based footprint of the warm
+        Workspace after the batch (arena + selector state); deterministic
+        given the fixed sampling seeds, gated like bytes_per_set.
+      - batch.batch_speedup — warm-vs-cold wall time of the 8-query
+        algorithm-comparison batch (the N-query amortization the engine
+        exists for); a timing ratio, gated like select_speedup.
+      - batch.cold_sketch_builds / warm_sketch_builds — exact artifact
+        build counts (8 vs 1); any drift means the Workspace keying broke.
+
   * "spread_oracle" (BENCH_spread.json, from bench_micro_spread_oracle):
       - arena.bytes_per_snapshot — deterministic (fixed sampling seeds and
         exact capacity accounting): gated like bytes_per_set.
@@ -220,6 +230,43 @@ def gate_spread_oracle(baseline, runs, args, failures):
                       args.threshold, args.jitter_limit, failures)
 
 
+def gate_engine(baseline, runs, args, failures):
+    check_geometry(baseline, runs, ("nodes", "queries", "k", "snapshots",
+                                    "seed", "algorithms"))
+
+    base_batch = baseline.get("batch")
+    base_warm = baseline.get("warm")
+    if base_batch is None or base_warm is None:
+        sys.exit("error: baseline lacks batch/warm sections; regenerate it "
+                 "with the current bench binary")
+
+    def section_values(section, key):
+        values = []
+        for path, run in runs:
+            row = run.get(section)
+            if row is None or key not in row:
+                failures.append(f"{path}: {section}.{key}: missing")
+                continue
+            values.append(row[key])
+        return values
+
+    # Artifact build counts are exact integers: 8 cold builds vs 1 warm
+    # build. Any other value means Workspace keying or the cold/warm
+    # protocol changed — fail regardless of threshold.
+    for key in ("cold_sketch_builds", "warm_sketch_builds"):
+        expected = base_batch[key]
+        for value in section_values("batch", key):
+            if value != expected:
+                failures.append(f"batch.{key}: {value} != {expected} "
+                                "(exact artifact-count contract)")
+    gate_deterministic("warm.workspace_bytes", base_warm["workspace_bytes"],
+                       section_values("warm", "workspace_bytes"),
+                       args.threshold, failures, larger_is_better=False)
+    gate_timing_ratio("batch.batch_speedup", base_batch["batch_speedup"],
+                      section_values("batch", "batch_speedup"),
+                      args.threshold, args.jitter_limit, failures)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -248,6 +295,8 @@ def main():
         gate_scoring(baseline, runs, args, failures)
     elif kind == "spread_oracle":
         gate_spread_oracle(baseline, runs, args, failures)
+    elif kind == "engine":
+        gate_engine(baseline, runs, args, failures)
     else:
         sys.exit(f"error: unknown bench kind '{kind}' in {args.baseline}")
 

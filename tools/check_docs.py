@@ -14,6 +14,14 @@ Checks, relative to the repo root (the script's parent directory):
      source file. This keeps the figure-to-binary map trustworthy as bench
      binaries are added or renamed.
 
+  3. README.md's "Algorithm registry" table stays in sync with the engine
+     registry: every canonical name registered in
+     src/engine/algorithms.cc (the `info.name = "..."` lines — the
+     registrations follow that fixed shape for exactly this check) must
+     appear as a `name` row in the table, and every row must still be
+     registered. Aliases are checked the same way against the row's alias
+     column.
+
 Exit 1 with a per-finding message on any violation.
 
 Usage: python3 tools/check_docs.py
@@ -76,6 +84,77 @@ def check_bench_table(readme_text, failures):
                         "such source — remove or rename the table row")
 
 
+REGISTRY_SOURCE = REPO / "src" / "engine" / "algorithms.cc"
+REG_NAME_RE = re.compile(r'info\.name = "([^"]+)"')
+REG_ALIASES_RE = re.compile(r'info\.aliases = \{([^}]*)\}')
+REGISTRY_HEADING = "## Algorithm registry"
+
+
+def registered_algorithms():
+    """{canonical name: frozenset(aliases)} registered in
+    engine/algorithms.cc. Aliases are attributed to the name whose
+    `info.name` line precedes them (each registration block sets name
+    first, aliases second)."""
+    text = "\n".join(
+        line for line in
+        REGISTRY_SOURCE.read_text(encoding="utf-8").splitlines()
+        if not line.lstrip().startswith("//"))
+    registered = {}
+    current = None
+    combined = re.compile(
+        f"{REG_NAME_RE.pattern}|{REG_ALIASES_RE.pattern}")
+    for m in combined.finditer(text):
+        if m.group(1) is not None:
+            current = m.group(1)
+            registered[current] = set()
+        elif current is not None:
+            registered[current].update(re.findall(r'"([^"]+)"', m.group(2)))
+    return registered
+
+
+def check_registry_table(readme_text, failures):
+    if not REGISTRY_SOURCE.exists():
+        failures.append(f"{REGISTRY_SOURCE.relative_to(REPO)} missing — the "
+                        "registry/README sync check has nothing to parse")
+        return
+    registered = registered_algorithms()
+    if not registered:
+        failures.append("src/engine/algorithms.cc: no `info.name = \"...\"` "
+                        "registrations found — registration shape changed?")
+        return
+    # The table rows under the "## Algorithm registry" heading: first cell
+    # is `name`, second is the alias list (backticked, or "—"). Aliases
+    # are checked per row, so an alias filed under the wrong algorithm
+    # fails too.
+    section = readme_text.split(REGISTRY_HEADING, 1)
+    if len(section) < 2:
+        failures.append(f"README.md: no '{REGISTRY_HEADING}' section — the "
+                        "registry table must document every registered "
+                        "algorithm")
+        return
+    body = section[1].split("\n## ", 1)[0]
+    documented = {}
+    for line in body.splitlines():
+        m = re.match(r"\|\s*`([^`]+)`\s*\|([^|]*)\|", line)
+        if not m:
+            continue
+        documented[m.group(1)] = set(re.findall(r"`([^`]+)`", m.group(2)))
+    for missing in sorted(registered.keys() - documented.keys()):
+        failures.append(f"README.md: registered algorithm '{missing}' is "
+                        "not documented in the Algorithm registry table")
+    for stale in sorted(documented.keys() - registered.keys()):
+        failures.append(f"README.md: Algorithm registry table row "
+                        f"'{stale}' is not registered in "
+                        "src/engine/algorithms.cc")
+    for name in sorted(registered.keys() & documented.keys()):
+        if registered[name] != documented[name]:
+            failures.append(
+                f"README.md: Algorithm registry row '{name}' documents "
+                f"aliases {sorted(documented[name])} but "
+                f"src/engine/algorithms.cc registers "
+                f"{sorted(registered[name])}")
+
+
 def main():
     failures = []
     files = doc_files()
@@ -89,6 +168,7 @@ def main():
             readme_text = raw  # bench names inside code fences count
     if readme_text is not None:
         check_bench_table(readme_text, failures)
+        check_registry_table(readme_text, failures)
 
     if failures:
         print("docs-gate FAILED:", file=sys.stderr)

@@ -1,34 +1,28 @@
-// holim_cli — run any seed-selection algorithm on any dataset (synthetic
-// stand-in or a real SNAP edge list) and report seeds, spread, time, memory.
+// holim_cli — run any registered seed-selection algorithm on any dataset
+// (synthetic stand-in or a real SNAP edge list) and report seeds, spread,
+// time, memory. All dispatch goes through HolimEngine: `--algo` accepts
+// any registry name or alias, and `--list-algorithms` prints the registry.
 //
 // Examples:
+//   holim_cli --list-algorithms
 //   holim_cli --algo=easyim --dataset=NetHEPT --scale=0.2 --model=IC --k=50
 //   holim_cli --algo=osim --dataset=HepPh --opinions=normal --lambda=1 --k=25
-//   holim_cli --algo=tim --edge_list=/data/soc-LiveJournal1.txt --k=100
-//   holim_cli --algo=celf --dataset=NetHEPT --scale=0.01 --mc=100 --k=10
+//   holim_cli --algo=tim+ --edge_list=/data/soc-LiveJournal1.txt --k=100
+//   holim_cli --algo=celf++ --dataset=NetHEPT --scale=0.01 --mc=100 --k=10
 
 #include <cstdio>
 #include <limits>
-#include <memory>
 
-#include "algo/celf.h"
-#include "algo/greedy.h"
-#include "algo/heuristics.h"
-#include "algo/imm.h"
-#include "algo/irie.h"
-#include "algo/score_greedy.h"
-#include "algo/simpath.h"
-#include "algo/tim_plus.h"
 #include "bench_support/bench_main.h"
+#include "bench_support/engine_support.h"
 #include "data/datasets.h"
-#include "diffusion/sketch_oracle.h"
 #include "diffusion/spread_estimator.h"
+#include "engine/holim_engine.h"
 #include "graph/edge_list_io.h"
 #include "graph/stats.h"
 #include "model/influence_params.h"
 #include "model/opinion_params.h"
 #include "util/string_util.h"
-#include "util/thread_pool.h"
 
 namespace holim {
 namespace {
@@ -41,12 +35,36 @@ Result<InfluenceParams> MakeParams(const Graph& graph,
   return Status::InvalidArgument("unknown --model (IC|WC|LT): " + model);
 }
 
+void PrintRegistry() {
+  std::printf("%-16s %-13s %-36s %s\n", "name", "aliases", "models",
+              "cached artifacts");
+  for (const AlgorithmInfo* info : HolimEngine::Registry().List()) {
+    std::string aliases;
+    for (const std::string& alias : info->aliases) {
+      if (!aliases.empty()) aliases += ",";
+      aliases += alias;
+    }
+    if (aliases.empty()) aliases = "-";
+    std::printf("%-16s %-13s %-36s %s\n", info->name.c_str(),
+                aliases.c_str(), info->models.c_str(),
+                info->artifacts.c_str());
+  }
+}
+
 Status Run(const BenchArgs& args) {
+  if (args.GetBool("list-algorithms", false)) {
+    PrintRegistry();
+    return Status::OK();
+  }
   auto config = ReadCommonConfig(args);
+  const CommonOptionsSpec spec{/*oracle=*/true,
+                               /*rescore_default=*/"incremental",
+                               /*threads=*/true};
+  HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
+                         ParseCommonOptions(args, spec));
   const std::string algo = args.GetString("algo", "easyim");
   const std::string model_name = args.GetString("model", "IC");
   const uint32_t k = static_cast<uint32_t>(args.GetInt("k", 50));
-  const uint32_t l = static_cast<uint32_t>(args.GetInt("l", 3));
   const double lambda = args.GetDouble("lambda", 1.0);
 
   // Load the graph: real edge list beats synthetic stand-in when given.
@@ -87,138 +105,79 @@ Status Run(const BenchArgs& args) {
           "unknown --opinions (uniform|normal): " + opinions_kind);
     }
   }
-  const OiBase base = model_name == "LT" ? OiBase::kLinearThreshold
-                                         : OiBase::kIndependentCascade;
+
+  const int64_t sketches = args.GetInt("sketches", 0);
+  if (sketches < 0 || sketches > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "--sketches must be a positive snapshot count, got: " +
+        std::to_string(sketches));
+  }
+  const double cache_mib = args.GetDouble("max-cache-mib", 0.0);
+  if (cache_mib < 0) {
+    return Status::InvalidArgument("--max-cache-mib must be >= 0");
+  }
+
+  EngineOptions engine_options;
+  engine_options.max_cache_bytes =
+      static_cast<std::size_t>(cache_mib * 1024.0 * 1024.0);
+  HolimEngine engine(graph, engine_options);
+
+  SolveRequest request = MakeSolveRequest(algo, k, params, config, common);
+  request.opinions = opinion_aware ? &opinions : nullptr;
+  request.oi_base = model_name == "LT" ? OiBase::kLinearThreshold
+                                       : OiBase::kIndependentCascade;
+  request.lambda = lambda;
+  request.l = static_cast<uint32_t>(args.GetInt("l", 3));
+  request.epsilon = args.GetDouble("epsilon", 0.1);
+  request.max_theta =
+      static_cast<std::size_t>(args.GetInt("max_theta", 2'000'000));
+  request.p = args.GetDouble("p", 0.1);
+  request.num_sketches = static_cast<uint32_t>(sketches);
+  request.evaluate_spread = request.oracle == SpreadOracle::kSketch;
+
+  HOLIM_ASSIGN_OR_RETURN(SolveResult result, engine.Solve(request));
+  if (result.sketch_arena_bytes != 0) {
+    std::printf("sketch oracle: %u live-edge snapshots, arena %s "
+                "(capacity-based)\n",
+                request.EffectiveSketchCount(),
+                HumanBytes(result.sketch_arena_bytes).c_str());
+  }
+
+  std::printf("\n%s selected %zu seeds in %s (exec memory %s, scorer "
+              "scratch %s)\n",
+              result.algorithm.c_str(), result.seeds.size(),
+              HumanSeconds(result.select_seconds).c_str(),
+              HumanBytes(result.overhead_bytes).c_str(),
+              HumanBytes(result.scratch_bytes).c_str());
+  std::printf("seeds:");
+  for (std::size_t i = 0; i < result.seeds.size() && i < 20; ++i) {
+    std::printf(" %u", result.seeds[i]);
+  }
+  if (result.seeds.size() > 20) std::printf(" ...");
+  std::printf("\n\n");
 
   McOptions mc;
   mc.num_simulations = config.mc;
   mc.seed = config.seed;
-
-  // Spread oracle: "mc" (default, the paper's methodology) or "sketch"
-  // (presampled live-edge snapshots, reused across every greedy/CELF
-  // evaluation and the final spread report).
-  HOLIM_ASSIGN_OR_RETURN(SpreadOracle oracle, ParseOracleFlag(args));
-  std::shared_ptr<const SketchOracle> sketch;
-  if (oracle == SpreadOracle::kSketch) {
-    if (opinion_aware) {
-      return Status::InvalidArgument(
-          "--oracle=sketch supports the plain spread objective only; drop "
-          "--opinions or use --oracle=mc");
-    }
-    const int64_t snapshots = args.GetInt("sketches", config.mc);
-    if (snapshots <= 0 || snapshots > std::numeric_limits<uint32_t>::max()) {
-      return Status::InvalidArgument("--sketches must be a positive snapshot "
-                                     "count, got: " +
-                                     std::to_string(snapshots));
-    }
-    SketchOptions sketch_options;
-    sketch_options.num_snapshots = static_cast<uint32_t>(snapshots);
-    sketch_options.seed = config.seed;
-    sketch = std::make_shared<const SketchOracle>(graph, params,
-                                                  sketch_options);
-    std::printf("sketch oracle: %u live-edge snapshots, arena %s "
-                "(capacity-based)\n",
-                sketch->num_snapshots(),
-                HumanBytes(sketch->ArenaBytes()).c_str());
-  }
-
-  // EaSyIM/OSIM knobs: incremental vs full per-round rescoring and the
-  // sweep-sharding pool. Scores are bitwise identical either way.
-  ScoreGreedyOptions sg_options;
-  HOLIM_ASSIGN_OR_RETURN(sg_options.incremental_rescore,
-                         ParseRescoreFlag(args, "incremental"));
-  const int64_t threads = args.GetInt("threads", 0);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 0) {
-    pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
-    sg_options.pool = pool.get();
-  }
-
-  // Build the selector.
-  std::unique_ptr<SeedSelector> selector;
-  if (algo == "easyim") {
-    selector = std::make_unique<EasyImSelector>(graph, params, l, sg_options);
-  } else if (algo == "osim") {
-    if (!opinion_aware) {
-      return Status::InvalidArgument("--algo=osim needs --opinions=...");
-    }
-    selector = std::make_unique<OsimSelector>(graph, params, opinions, base, l,
-                                              sg_options);
-  } else if (algo == "greedy" || algo == "celf") {
-    std::shared_ptr<McObjective> objective;
-    if (sketch) {
-      objective = std::make_shared<SketchSpreadObjective>(sketch);
-    } else if (opinion_aware) {
-      objective = std::make_shared<EffectiveOpinionObjective>(
-          graph, params, opinions, base, lambda, mc);
-    } else {
-      objective = std::make_shared<SpreadObjective>(graph, params, mc);
-    }
-    if (algo == "greedy") {
-      selector = std::make_unique<GreedySelector>(graph, objective);
-    } else {
-      selector = std::make_unique<CelfSelector>(graph, objective);
-    }
-  } else if (algo == "tim") {
-    TimPlusOptions options;
-    options.epsilon = args.GetDouble("epsilon", 0.1);
-    options.max_theta =
-        static_cast<std::size_t>(args.GetInt("max_theta", 2'000'000));
-    selector = std::make_unique<TimPlusSelector>(graph, params, options);
-  } else if (algo == "imm") {
-    ImmOptions options;
-    options.epsilon = args.GetDouble("epsilon", 0.1);
-    options.max_theta =
-        static_cast<std::size_t>(args.GetInt("max_theta", 2'000'000));
-    selector = std::make_unique<ImmSelector>(graph, params, options);
-  } else if (algo == "irie") {
-    selector = std::make_unique<IrieSelector>(graph, params);
-  } else if (algo == "simpath") {
-    selector = std::make_unique<SimpathSelector>(graph, params);
-  } else if (algo == "degree") {
-    selector = std::make_unique<DegreeSelector>(graph);
-  } else if (algo == "degreediscount") {
-    selector = std::make_unique<DegreeDiscountSelector>(
-        graph, args.GetDouble("p", 0.1));
-  } else if (algo == "pagerank") {
-    selector = std::make_unique<PageRankSelector>(graph);
-  } else if (algo == "random") {
-    selector = std::make_unique<RandomSelector>(graph, config.seed);
-  } else {
-    return Status::InvalidArgument(
-        "unknown --algo (easyim|osim|greedy|celf|tim|imm|irie|simpath|"
-        "degree|degreediscount|pagerank|random): " + algo);
-  }
-
-  HOLIM_ASSIGN_OR_RETURN(SeedSelection selection, selector->Select(k));
-  std::printf("\n%s selected %zu seeds in %s (exec memory %s, scorer "
-              "scratch %s)\n",
-              selector->name().c_str(), selection.seeds.size(),
-              HumanSeconds(selection.elapsed_seconds).c_str(),
-              HumanBytes(selection.overhead_bytes).c_str(),
-              HumanBytes(selection.scratch_bytes).c_str());
-  std::printf("seeds:");
-  for (std::size_t i = 0; i < selection.seeds.size() && i < 20; ++i) {
-    std::printf(" %u", selection.seeds[i]);
-  }
-  if (selection.seeds.size() > 20) std::printf(" ...");
-  std::printf("\n\n");
-
-  const double spread = EstimateSpread(graph, params, selection.seeds, mc);
+  const double spread = EstimateSpread(graph, params, result.seeds, mc);
   std::printf("expected spread sigma(S): %.2f (%u MC simulations)\n", spread,
               mc.num_simulations);
-  if (sketch) {
+  if (result.sketch_arena_bytes != 0) {
     std::printf("sketch spread estimate:   %.2f (%u snapshots)\n",
-                sketch->Estimate(selection.seeds), sketch->num_snapshots());
+                result.spread, request.EffectiveSketchCount());
   }
   if (opinion_aware) {
+    const OiBase base = request.oi_base;
     auto estimate = EstimateOpinionSpread(graph, params, opinions, base,
-                                          selection.seeds, lambda, mc);
+                                          result.seeds, lambda, mc);
     std::printf("opinion spread:            %.2f\n",
                 estimate.opinion_spread);
     std::printf("effective opinion spread:  %.2f (lambda=%.2f)\n",
                 estimate.effective_opinion_spread, lambda);
   }
+  std::printf("\nworkspace: %zu artifact(s), %s held (capacity-based)\n",
+              engine.workspace().num_artifacts(),
+              HumanBytes(engine.workspace().MemoryFootprintBytes()).c_str());
   return Status::OK();
 }
 
@@ -230,9 +189,11 @@ int main(int argc, char** argv) {
       argc, argv, "holim_cli — influence maximization toolbox", holim::Run,
       [](holim::BenchArgs* args) {
         args->Declare("algo",
-                      "selection algorithm: easyim | osim | greedy | celf | "
-                      "tim | imm | irie | simpath | degree | degreediscount | "
-                      "pagerank | random (default easyim)");
+                      "registered algorithm name or alias (default easyim; "
+                      "see --list-algorithms)");
+        args->Declare("list-algorithms",
+                      "print the algorithm registry (name, aliases, models, "
+                      "cached artifacts) and exit");
         args->Declare("dataset",
                       "synthetic stand-in name (Table 2; default NetHEPT)");
         args->Declare("edge_list",
@@ -243,7 +204,9 @@ int main(int argc, char** argv) {
                       "uniform IC probability, also DegreeDiscount's p "
                       "(default 0.1)");
         args->Declare("k", "number of seeds (default 50)");
-        args->Declare("l", "EaSyIM/OSIM path-length horizon (default 3)");
+        args->Declare("l",
+                      "EaSyIM/OSIM/ASIM/path-union path-length horizon "
+                      "(default 3)");
         args->Declare("opinions",
                       "opinion layer: uniform | normal (required for osim; "
                       "switches greedy/celf to the opinion objective)");
@@ -251,12 +214,14 @@ int main(int argc, char** argv) {
         args->Declare("epsilon",
                       "TIM+/IMM approximation slack (default 0.1)");
         args->Declare("max_theta", "TIM+/IMM RR-set cap (default 2000000)");
-        holim::DeclareRescoreFlag(args, "incremental");
-        args->Declare("threads",
-                      "EaSyIM/OSIM sweep pool size (0 = serial sweeps)");
-        holim::DeclareOracleFlag(args);
         args->Declare("sketches",
                       "sketch-oracle snapshot count R (default: the --mc "
                       "value; only used with --oracle=sketch)");
+        args->Declare("max-cache-mib",
+                      "engine Workspace artifact budget in MiB; LRU "
+                      "eviction above it (default 0 = unlimited)");
+        holim::DeclareCommonOptions(
+            args, {/*oracle=*/true, /*rescore_default=*/"incremental",
+                   /*threads=*/true});
       });
 }
