@@ -82,7 +82,8 @@ Status Run(const BenchArgs& args) {
                             std::vector<double>* acc) {
         auto values =
             sketch ? OpinionSpreadAtPrefixesSketch(*sketch, opinions, seeds,
-                                                   grid, /*lambda=*/1.0)
+                                                   grid, /*lambda=*/1.0,
+                                                   common.sketch_eval)
                    : OpinionSpreadAtPrefixes(
                          w.graph, w.params, opinions,
                          OiBase::kIndependentCascade, seeds, grid,

@@ -60,7 +60,8 @@ Status Run(const BenchArgs& args) {
   }
   auto evaluate = [&](const std::vector<NodeId>& seeds) {
     return sketch ? OpinionSpreadAtPrefixesSketch(*sketch, corpus.estimated,
-                                                  seeds, grid, 1.0)
+                                                  seeds, grid, 1.0,
+                                                  common.sketch_eval)
                   : OpinionSpreadAtPrefixes(bg, influence, corpus.estimated,
                                             OiBase::kIndependentCascade,
                                             seeds, grid, 1.0, config.mc,

@@ -49,7 +49,8 @@ Status Run(const BenchArgs& args) {
     auto report = [&](const std::string& name,
                       const std::vector<NodeId>& seeds) {
       auto values = eval_sketch
-                        ? SpreadAtPrefixesSketch(*eval_sketch, seeds, grid)
+                        ? SpreadAtPrefixesSketch(*eval_sketch, seeds, grid,
+                                                 common.sketch_eval)
                         : SpreadAtPrefixes(w.graph, w.params, seeds, grid,
                                            config.mc, config.seed);
       for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -91,6 +91,13 @@ class EasyImScorer {
 
   uint32_t path_length() const { return engine_.path_length(); }
 
+  /// Forwards to ScoreSweepEngine::set_incremental_fallback_fraction: the
+  /// dirty-frontier fraction of n above which an incremental rescore falls
+  /// back to one full leveled rebuild (bitwise-identical scores).
+  void set_incremental_fallback_fraction(double fraction) {
+    engine_.set_incremental_fallback_fraction(fraction);
+  }
+
   /// Extra working memory beyond the graph/params (capacity-based, see
   /// ScoreSweepStats): the two O(n) rolling buffers, plus the incremental
   /// level table once AssignScoresIncremental has been used.

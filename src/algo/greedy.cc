@@ -34,13 +34,15 @@ double EffectiveOpinionObjective::Evaluate(const std::vector<NodeId>& seeds) {
 }
 
 SketchSpreadObjective::SketchSpreadObjective(
-    std::shared_ptr<const SketchOracle> oracle, bool use_session)
+    std::shared_ptr<const SketchOracle> oracle, bool use_session,
+    SketchEval eval)
     : oracle_(std::move(oracle)),
-      session_(*oracle_),
+      eval_(eval),
+      session_(*oracle_, eval),
       use_session_(use_session) {}
 
 double SketchSpreadObjective::Evaluate(const std::vector<NodeId>& seeds) {
-  return oracle_->Estimate(seeds);
+  return oracle_->Estimate(seeds, eval_);
 }
 
 bool SketchSpreadObjective::StartSession() {

@@ -92,9 +92,12 @@ class SketchSpreadObjective : public McObjective {
  public:
   /// `use_session = false` disables the incremental session (every call
   /// goes through one-shot Estimate) — the baseline the incremental path
-  /// is benchmarked against.
+  /// is benchmarked against. `eval` picks the oracle traversal (bitwise-
+  /// identical results either way; scalar is the differential-testing
+  /// reference).
   explicit SketchSpreadObjective(std::shared_ptr<const SketchOracle> oracle,
-                                 bool use_session = true);
+                                 bool use_session = true,
+                                 SketchEval eval = SketchEval::kBitParallel);
   std::string name() const override { return "sigma_sketch"; }
   double Evaluate(const std::vector<NodeId>& seeds) override;
   bool StartSession() override;
@@ -105,6 +108,7 @@ class SketchSpreadObjective : public McObjective {
 
  private:
   std::shared_ptr<const SketchOracle> oracle_;
+  SketchEval eval_;
   SketchOracle::Session session_;
   bool use_session_;
 };

@@ -98,6 +98,11 @@ class OsimScorer {
 
   uint32_t path_length() const { return engine_.path_length(); }
 
+  /// See EasyImScorer::set_incremental_fallback_fraction.
+  void set_incremental_fallback_fraction(double fraction) {
+    engine_.set_incremental_fallback_fraction(fraction);
+  }
+
   /// Extra working memory beyond graph/params/opinions (capacity-based).
   std::size_t ScratchBytes() const { return engine_.ScratchBytes(); }
 

@@ -234,7 +234,10 @@ EasyImSelector::EasyImSelector(const Graph& graph,
                                const InfluenceParams& params, uint32_t l,
                                const ScoreGreedyOptions& options)
     : graph_(graph), params_(params), scorer_(graph, params, l),
-      options_(options) {}
+      options_(options) {
+  scorer_.set_incremental_fallback_fraction(
+      options_.rescore_fallback_fraction);
+}
 
 std::string EasyImSelector::name() const {
   return "EaSyIM(l=" + std::to_string(scorer_.path_length()) + ")";
@@ -263,7 +266,10 @@ OsimSelector::OsimSelector(const Graph& graph,
       opinions_(opinions),
       base_(base),
       scorer_(graph, influence, opinions, l),
-      options_(options) {}
+      options_(options) {
+  scorer_.set_incremental_fallback_fraction(
+      options_.rescore_fallback_fraction);
+}
 
 std::string OsimSelector::name() const {
   return "OSIM(l=" + std::to_string(scorer_.path_length()) + ")";

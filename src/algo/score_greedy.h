@@ -48,6 +48,14 @@ struct ScoreGreedyOptions {
   /// holim_cli defaults its --rescore flag to incremental, the
   /// time-figure benches to full (paper methodology).
   bool incremental_rescore = false;
+  /// Hub-aware fallback for the incremental rescore: when a dirty frontier
+  /// exceeds this fraction of n, the scorer abandons frontier bookkeeping
+  /// for one full leveled rebuild (scores stay bitwise identical; see
+  /// ScoreSweepEngine::set_incremental_fallback_fraction). Excluding a hub
+  /// on a scale-free graph dirties most of the graph, where the
+  /// incremental pass used to run ~1-1.9x SLOWER than a plain full sweep.
+  /// >= 1 disables the fallback. Ignored without incremental_rescore.
+  double rescore_fallback_fraction = 0.25;
   /// Pool for the sweep kernel's fixed-block sharding; nullptr runs the
   /// sweeps serially. Scores are bitwise-identical for any pool size.
   ThreadPool* pool = nullptr;

@@ -27,6 +27,12 @@ struct ScoreSweepStats {
   uint64_t full_sweeps = 0;
   /// Dirty-frontier passes that reused the per-level state.
   uint64_t incremental_sweeps = 0;
+  /// Incremental passes abandoned for a full leveled rebuild because the
+  /// dirty frontier blew past the fallback fraction (hub exclusions on
+  /// scale-free graphs dirty most of the graph, where recompute-everything
+  /// is cheaper than frontier bookkeeping). Each such pass also counts one
+  /// full_sweep (the rebuild that replaced it), not an incremental_sweep.
+  uint64_t fallback_sweeps = 0;
   /// Node-level Delta evaluations done by full passes (l * n each).
   uint64_t nodes_full = 0;
   /// Node-level Delta evaluations done by incremental passes.
@@ -138,6 +144,19 @@ class ScoreSweepEngine {
 
   /// Forgets the per-level state; the next Rescore does a full rebuild.
   void InvalidateLevels() { levels_valid_ = false; }
+
+  /// Dirty-frontier size (as a fraction of n) above which an incremental
+  /// pass abandons frontier bookkeeping and rebuilds the level table with
+  /// one full sweep. Scores are bitwise identical either way — this is
+  /// purely a work heuristic for hub-heavy (scale-free) graphs, where
+  /// excluding a hub dirties most of the graph and the incremental pass
+  /// degrades to a slower full sweep. >= 1 disables the fallback.
+  void set_incremental_fallback_fraction(double fraction) {
+    incremental_fallback_fraction_ = fraction;
+  }
+  double incremental_fallback_fraction() const {
+    return incremental_fallback_fraction_;
+  }
 
   const ScoreSweepStats& stats() const {
     stats_.rolling_bytes =
@@ -262,6 +281,16 @@ class ScoreSweepEngine {
       for (NodeId u : changed_) {
         for (NodeId w : graph_.InNeighbors(u)) AddDirty(w, &dirty_);
       }
+      // Hub-aware fallback: once the frontier covers most of the graph,
+      // per-node bookkeeping costs more than recomputing everything.
+      // RebuildLevels rewrites every level and score from scratch, so the
+      // output stays bitwise identical to the incremental path.
+      if (static_cast<double>(dirty_.size()) >
+          incremental_fallback_fraction_ * n) {
+        ++stats_.fallback_sweeps;
+        RebuildLevels(excluded, pool);
+        return;
+      }
       // Ascending node order: the recompute then streams the level arrays
       // and the CSR instead of hopping in discovery order.
       std::sort(dirty_.begin(), dirty_.end());
@@ -315,6 +344,7 @@ class ScoreSweepEngine {
   std::vector<Value> levels_;
   std::vector<double> score_;
   bool levels_valid_ = false;
+  double incremental_fallback_fraction_ = 0.25;
   // Frontier scratch.
   EpochSet stamp_, touched_stamp_;
   std::vector<NodeId> base_dirty_, dirty_, changed_, touched_;

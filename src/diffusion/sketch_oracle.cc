@@ -1,6 +1,8 @@
 #include "diffusion/sketch_oracle.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -27,6 +29,8 @@ SketchOracle::SketchOracle(const Graph& graph, const InfluenceParams& params,
     : graph_(graph),
       params_(params),
       num_snapshots_(options.num_snapshots),
+      num_lane_groups_((options.num_snapshots + kLanesPerGroup - 1) /
+                       kLanesPerGroup),
       seed_(options.seed),
       record_edge_offsets_(options.record_edge_offsets),
       visited_(graph.num_nodes()) {
@@ -37,6 +41,14 @@ SketchOracle::SketchOracle(const Graph& graph, const InfluenceParams& params,
     live_edge_ = std::make_unique<LiveEdgeSimulator>(graph, params);
   }
   SampleAll(options.pool);
+  BuildLaneArena();
+  if (!record_edge_offsets_) {
+    // Edge offsets were recorded transiently to key the lane transpose
+    // (they disambiguate parallel edges and fix the per-source emit
+    // order); nobody reads them past this point unless requested.
+    edge_offsets_.clear();
+    edge_offsets_.shrink_to_fit();
+  }
 }
 
 void SketchOracle::SampleOne(Rng& rng, SnapshotBuffer& buffer) const {
@@ -67,16 +79,12 @@ void SketchOracle::SampleOne(Rng& rng, SnapshotBuffer& buffer) const {
     buffer.node_offsets.insert(buffer.node_offsets.end(),
                                buffer.counts.begin(), buffer.counts.end());
     buffer.entries.resize(entry_base + buffer.lt_source.size());
-    if (record_edge_offsets_) {
-      buffer.edge_offsets.resize(buffer.entries.size());
-    }
+    buffer.edge_offsets.resize(buffer.entries.size());
     for (std::size_t i = 0; i < buffer.lt_source.size(); ++i) {
       const NodeId u = buffer.lt_source[i];
       const std::size_t slot = entry_base + buffer.counts[u]++;
       buffer.entries[slot] = buffer.lt_target[i];
-      if (record_edge_offsets_) {
-        buffer.edge_offsets[slot] = buffer.lt_edge_offset[i];
-      }
+      buffer.edge_offsets[slot] = buffer.lt_edge_offset[i];
     }
     return;
   }
@@ -89,9 +97,7 @@ void SketchOracle::SampleOne(Rng& rng, SnapshotBuffer& buffer) const {
     for (std::size_t i = 0; i < neighbors.size(); ++i) {
       if (rng.NextBernoulli(params_.p(base + i))) {
         buffer.entries.push_back(neighbors[i]);
-        if (record_edge_offsets_) {
-          buffer.edge_offsets.push_back(static_cast<uint32_t>(i));
-        }
+        buffer.edge_offsets.push_back(static_cast<uint32_t>(i));
       }
     }
   }
@@ -151,12 +157,10 @@ void SketchOracle::SampleAll(ThreadPool* pool) {
         entries_.insert(entries_.end(),
                         buffer.entries.begin() + entry_cursor,
                         buffer.entries.begin() + entry_cursor + size);
-        if (record_edge_offsets_) {
-          edge_offsets_.insert(edge_offsets_.end(),
-                               buffer.edge_offsets.begin() + entry_cursor,
-                               buffer.edge_offsets.begin() + entry_cursor +
-                                   size);
-        }
+        edge_offsets_.insert(edge_offsets_.end(),
+                             buffer.edge_offsets.begin() + entry_cursor,
+                             buffer.edge_offsets.begin() + entry_cursor +
+                                 size);
         entry_cursor += size;
         entry_base_.push_back(entries_.size());
       }
@@ -172,8 +176,80 @@ void SketchOracle::SampleAll(ThreadPool* pool) {
   entry_base_.shrink_to_fit();
 }
 
-double SketchOracle::Estimate(std::span<const NodeId> seeds) const {
+void SketchOracle::BuildLaneArena() {
+  const NodeId n = graph_.num_nodes();
+  lane_node_offsets_.assign(
+      static_cast<std::size_t>(num_lane_groups_) * (n + 1), 0);
+  lane_entry_base_.assign(num_lane_groups_ + 1, 0);
+  // One lane word per global edge: bit b marks "live in snapshot
+  // group_lo + b". m words of transient scratch, reused across groups —
+  // the scatter stays within an L2/L3-sized array while the scalar arena
+  // is streamed front to back.
+  std::vector<uint64_t> edge_mask(graph_.num_edges(), 0);
+  for (uint32_t g = 0; g < num_lane_groups_; ++g) {
+    const uint32_t s_lo = g * kLanesPerGroup;
+    const uint32_t s_hi =
+        std::min<uint32_t>(num_snapshots_, s_lo + kLanesPerGroup);
+    for (uint32_t s = s_lo; s < s_hi; ++s) {
+      const uint32_t* offsets =
+          node_offsets_.data() + static_cast<std::size_t>(s) * (n + 1);
+      const uint32_t* edge_offs = edge_offsets_.data() + entry_base_[s];
+      const uint64_t bit = uint64_t{1} << (s - s_lo);
+      for (NodeId u = 0; u < n; ++u) {
+        const EdgeId base = graph_.OutEdgeBegin(u);
+        for (uint32_t j = offsets[u]; j < offsets[u + 1]; ++j) {
+          edge_mask[base + edge_offs[j]] |= bit;
+        }
+      }
+    }
+    // Emit the union adjacency EdgeId-ascending per source — the same
+    // per-source order every scalar snapshot stores its IC/WC entries in,
+    // so lane-filtering the union reproduces the scalar walk exactly.
+    // The emit scan doubles as the scratch clear.
+    uint32_t* offsets = lane_node_offsets_.data() +
+                        static_cast<std::size_t>(g) * (n + 1);
+    const std::size_t group_base = lane_targets_.size();
+    for (NodeId u = 0; u < n; ++u) {
+      offsets[u] = static_cast<uint32_t>(lane_targets_.size() - group_base);
+      const EdgeId base = graph_.OutEdgeBegin(u);
+      auto neighbors = graph_.OutNeighbors(u);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const uint64_t mask = edge_mask[base + i];
+        if (mask == 0) continue;
+        edge_mask[base + i] = 0;
+        lane_targets_.push_back(neighbors[i]);
+        lane_masks_.push_back(mask);
+        if (record_edge_offsets_) {
+          lane_edge_offsets_.push_back(static_cast<uint32_t>(i));
+        }
+      }
+    }
+    offsets[n] = static_cast<uint32_t>(lane_targets_.size() - group_base);
+    HOLIM_CHECK(lane_targets_.size() - group_base <=
+                std::numeric_limits<uint32_t>::max())
+        << "lane group overflows 32-bit CSR offsets";
+    lane_entry_base_[g + 1] = lane_targets_.size();
+  }
+  lane_targets_.shrink_to_fit();
+  lane_masks_.shrink_to_fit();
+  lane_edge_offsets_.shrink_to_fit();
+  lane_node_offsets_.shrink_to_fit();
+  lane_entry_base_.shrink_to_fit();
+}
+
+double SketchOracle::Estimate(std::span<const NodeId> seeds,
+                              SketchEval eval) const {
   if (seeds.empty()) return 0.0;
+  const int64_t total_reached = eval == SketchEval::kScalar
+                                    ? EstimateScalar(seeds)
+                                    : EstimateLanes(seeds);
+  const int64_t spread =
+      total_reached - static_cast<int64_t>(num_snapshots_) *
+                          static_cast<int64_t>(seeds.size());
+  return static_cast<double>(spread) / num_snapshots_;
+}
+
+int64_t SketchOracle::EstimateScalar(std::span<const NodeId> seeds) const {
   const NodeId n = graph_.num_nodes();
   int64_t total_reached = 0;
   for (uint32_t s = 0; s < num_snapshots_; ++s) {
@@ -198,19 +274,94 @@ double SketchOracle::Estimate(std::span<const NodeId> seeds) const {
     }
     total_reached += reached;
   }
-  const int64_t spread =
-      total_reached - static_cast<int64_t>(num_snapshots_) *
-                          static_cast<int64_t>(seeds.size());
-  return static_cast<double>(spread) / num_snapshots_;
+  return total_reached;
+}
+
+/// Distance (in edges) the lane walks prefetch target state ahead of the
+/// probe. The row scan's latency is dominated by the random per-target
+/// state loads; the target IDs are sequentially readable from the row, so
+/// a short lookahead hides most of the miss latency.
+constexpr uint32_t kLanePrefetchDistance = 8;
+
+int64_t SketchOracle::EstimateLanes(std::span<const NodeId> seeds) const {
+  const NodeId n = graph_.num_nodes();
+  if (lane_state_.size() != n) {
+    lane_state_.assign(n, 0);
+    lane_pending_.assign(n, 0);
+  }
+  int64_t total_reached = 0;
+  for (uint32_t g = 0; g < num_lane_groups_; ++g) {
+    const uint64_t full = LaneMaskAll(g);
+    queue_.clear();     // worklist (pending_ words are the real frontier)
+    frontier_.clear();  // nodes whose state word must be re-zeroed
+    for (NodeId seed : seeds) {
+      const uint64_t fresh = full & ~lane_state_[seed];
+      if (fresh == 0) continue;  // duplicate seed
+      total_reached += std::popcount(fresh);
+      if (lane_state_[seed] == 0) frontier_.push_back(seed);
+      lane_state_[seed] |= fresh;
+      if (lane_pending_[seed] == 0) queue_.push_back(seed);
+      lane_pending_[seed] |= fresh;
+    }
+    // FIFO walk: lanes arriving while a level drains aggregate in the
+    // pending word and cost ONE rescan of v's union row, where LIFO would
+    // chase single lanes down long paths and rescan rows per wave.
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const NodeId v = queue_[head];
+      const uint64_t active = lane_pending_[v];
+      if (active == 0) continue;  // drained by an earlier duplicate entry
+      lane_pending_[v] = 0;  // self-clearing: processing zeroes the word
+      if (head + 1 < queue_.size()) PrefetchLaneRow(g, queue_[head + 1]);
+      if (head + 2 < queue_.size()) PrefetchLaneOffsets(g, queue_[head + 2]);
+      const LaneAdjacency adj = LaneTargets(g, v);
+      for (uint32_t j = 0; j < adj.size; ++j) {
+        if (j + kLanePrefetchDistance < adj.size) {
+          __builtin_prefetch(
+              &lane_state_[adj.targets[j + kLanePrefetchDistance]]);
+        }
+        const NodeId t = adj.targets[j];
+        const uint64_t fresh = adj.masks[j] & active & ~lane_state_[t];
+        if (fresh == 0) continue;
+        total_reached += std::popcount(fresh);
+        if (lane_state_[t] == 0) frontier_.push_back(t);
+        lane_state_[t] |= fresh;
+        if (lane_pending_[t] == 0) queue_.push_back(t);
+        lane_pending_[t] |= fresh;
+      }
+    }
+    for (NodeId t : frontier_) lane_state_[t] = 0;
+  }
+  return total_reached;
 }
 
 double SketchOracle::EstimateIcnPositive(std::span<const NodeId> seeds,
-                                         double quality_factor) const {
+                                         double quality_factor,
+                                         SketchEval eval) const {
   if (seeds.empty()) return 0.0;
   HOLIM_CHECK(quality_factor >= 0.0 && quality_factor <= 1.0)
       << "quality factor out of [0,1]";
-  const NodeId n = graph_.num_nodes();
+  icn_level_counts_.clear();
+  if (eval == SketchEval::kScalar) {
+    AccumulateIcnLevelCountsScalar(seeds);
+  } else {
+    AccumulateIcnLevelCountsLanes(seeds);
+  }
+  // Shared fold: both traversals produce the same integer per-distance
+  // activation counts (summed over snapshots), so the estimate is bitwise
+  // identical across eval modes. Nodes at live-edge distance d are
+  // positive w.p. q^(d+1).
   double total = 0.0;
+  double factor = quality_factor * quality_factor;  // d == 1
+  for (const int64_t count : icn_level_counts_) {
+    total += static_cast<double>(count) * factor;
+    factor *= quality_factor;
+  }
+  return total / num_snapshots_;
+}
+
+void SketchOracle::AccumulateIcnLevelCountsScalar(
+    std::span<const NodeId> seeds) const {
+  const NodeId n = graph_.num_nodes();
   for (uint32_t s = 0; s < num_snapshots_; ++s) {
     visited_.Reset(n);
     queue_.clear();
@@ -219,32 +370,97 @@ double SketchOracle::EstimateIcnPositive(std::span<const NodeId> seeds,
       visited_.Insert(seed);
       queue_.push_back(seed);
     }
-    double acc = 0.0;
-    // Nodes discovered at live-edge distance d are positive w.p. q^(d+1).
-    double factor = quality_factor * quality_factor;  // d == 1
     std::size_t lo = 0;
     std::size_t hi = queue_.size();
+    std::size_t depth = 0;  // depth d counts discoveries at distance d + 1
     while (lo < hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         for (NodeId t : LiveTargets(s, queue_[i])) {
           if (visited_.Contains(t)) continue;
           visited_.Insert(t);
           queue_.push_back(t);
-          acc += factor;
         }
+      }
+      const std::size_t discovered = queue_.size() - hi;
+      if (discovered != 0) {
+        if (icn_level_counts_.size() <= depth) {
+          icn_level_counts_.resize(depth + 1, 0);
+        }
+        icn_level_counts_[depth] += static_cast<int64_t>(discovered);
       }
       lo = hi;
       hi = queue_.size();
-      factor *= quality_factor;
+      ++depth;
     }
-    total += acc;
   }
-  return total / num_snapshots_;
+}
+
+void SketchOracle::AccumulateIcnLevelCountsLanes(
+    std::span<const NodeId> seeds) const {
+  const NodeId n = graph_.num_nodes();
+  if (lane_state_.size() != n) {
+    lane_state_.assign(n, 0);
+    lane_pending_.assign(n, 0);
+  }
+  if (lane_next_.size() != n) lane_next_.assign(n, 0);
+  for (uint32_t g = 0; g < num_lane_groups_; ++g) {
+    const uint64_t full = LaneMaskAll(g);
+    queue_.clear();     // level-ordered node list (lo/hi windows)
+    frontier_.clear();  // nodes whose state word must be re-zeroed
+    for (NodeId seed : seeds) {
+      const uint64_t fresh = full & ~lane_state_[seed];
+      if (fresh == 0) continue;  // duplicate seed
+      if (lane_state_[seed] == 0) frontier_.push_back(seed);
+      lane_state_[seed] |= fresh;
+      if (lane_pending_[seed] == 0) queue_.push_back(seed);
+      lane_pending_[seed] |= fresh;
+    }
+    // Level-synchronous so popcounts land on the right distance: current
+    // lanes live in lane_pending_, next-level lanes accumulate in
+    // lane_next_ (a node can sit in both), swapped per level.
+    std::size_t lo = 0;
+    std::size_t hi = queue_.size();
+    std::size_t depth = 0;
+    while (lo < hi) {
+      int64_t discovered = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const NodeId v = queue_[i];
+        const uint64_t active = lane_pending_[v];
+        lane_pending_[v] = 0;
+        if (i + 1 < hi) PrefetchLaneRow(g, queue_[i + 1]);
+        if (i + 2 < hi) PrefetchLaneOffsets(g, queue_[i + 2]);
+        const LaneAdjacency adj = LaneTargets(g, v);
+        for (uint32_t j = 0; j < adj.size; ++j) {
+          const NodeId t = adj.targets[j];
+          const uint64_t fresh = adj.masks[j] & active & ~lane_state_[t];
+          if (fresh == 0) continue;
+          discovered += std::popcount(fresh);
+          if (lane_state_[t] == 0) frontier_.push_back(t);
+          lane_state_[t] |= fresh;
+          if (lane_next_[t] == 0) queue_.push_back(t);
+          lane_next_[t] |= fresh;
+        }
+      }
+      if (discovered != 0) {
+        if (icn_level_counts_.size() <= depth) {
+          icn_level_counts_.resize(depth + 1, 0);
+        }
+        icn_level_counts_[depth] += discovered;
+      }
+      lo = hi;
+      hi = queue_.size();
+      ++depth;
+      // All processed pending words are zero; the swap promotes the next
+      // level and hands back an all-zero next array.
+      std::swap(lane_pending_, lane_next_);
+    }
+    for (NodeId t : frontier_) lane_state_[t] = 0;
+  }
 }
 
 OpinionSpreadEstimate SketchOracle::EstimateOpinion(
     const OpinionParams& opinions, OiBase base, std::span<const NodeId> seeds,
-    double lambda) const {
+    double lambda, SketchEval eval) const {
   OpinionSpreadEstimate estimate;
   if (seeds.empty()) return estimate;
   HOLIM_CHECK(base == OiBase::kIndependentCascade)
@@ -259,46 +475,75 @@ OpinionSpreadEstimate SketchOracle::EstimateOpinion(
   if (node_value_.size() != n) node_value_.assign(n, 0.0);
   double opinion_sum = 0.0, positive_sum = 0.0, negative_sum = 0.0;
   int64_t plain = 0;
-  for (uint32_t s = 0; s < num_snapshots_; ++s) {
-    visited_.Reset(n);
-    queue_.clear();
-    for (NodeId seed : seeds) {
-      if (visited_.Contains(seed)) continue;
-      visited_.Insert(seed);
-      node_value_[seed] = opinions.o(seed);  // o'_s = o_s, excluded below
-      queue_.push_back(seed);
-    }
-    const uint32_t* offsets =
-        node_offsets_.data() + static_cast<std::size_t>(s) * (n + 1);
-    const NodeId* targets = entries_.data() + entry_base_[s];
-    const uint32_t* edge_offs = edge_offsets_.data() + entry_base_[s];
-    // BFS in activation order: the activator's expected opinion is settled
-    // before any node it activates (first live arrival wins, matching the
-    // IC simulator's queue semantics).
-    std::size_t head = 0;
-    while (head < queue_.size()) {
-      const NodeId u = queue_[head++];
-      const double value_u = node_value_[u];
-      const EdgeId out_begin = graph_.OutEdgeBegin(u);
-      for (uint32_t j = offsets[u]; j < offsets[u + 1]; ++j) {
-        const NodeId v = targets[j];
-        if (visited_.Contains(v)) continue;
-        visited_.Insert(v);
-        const EdgeId e = out_begin + edge_offs[j];
-        // E[(-1)^alpha o'_u] with alpha = 0 w.p. phi(e).
-        const double value =
-            (opinions.o(v) + (2.0 * opinions.phi(e) - 1.0) * value_u) / 2.0;
-        node_value_[v] = value;
-        opinion_sum += value;
-        if (value > 0) {
-          positive_sum += value;
-        } else {
-          negative_sum += -value;
-        }
-        ++plain;
-        queue_.push_back(v);
+  // Opinion values are per-(snapshot, node) doubles, so the replay is
+  // inherently per-snapshot; the eval modes differ only in which arena
+  // serves the snapshot's adjacency. The lane arena stores each source's
+  // union entries EdgeId-ascending — the same order every scalar IC/WC
+  // snapshot stores its entries — so filtering by the snapshot's lane bit
+  // visits the identical (v, e) sequence and the replay is bitwise
+  // identical (this unifies the arenas; it is not a speedup).
+  auto replay = [&](auto&& for_each_live) {
+    for (uint32_t s = 0; s < num_snapshots_; ++s) {
+      visited_.Reset(n);
+      queue_.clear();
+      for (NodeId seed : seeds) {
+        if (visited_.Contains(seed)) continue;
+        visited_.Insert(seed);
+        node_value_[seed] = opinions.o(seed);  // o'_s = o_s, excluded below
+        queue_.push_back(seed);
+      }
+      // BFS in activation order: the activator's expected opinion is
+      // settled before any node it activates (first live arrival wins,
+      // matching the IC simulator's queue semantics).
+      std::size_t head = 0;
+      while (head < queue_.size()) {
+        const NodeId u = queue_[head++];
+        const double value_u = node_value_[u];
+        const EdgeId out_begin = graph_.OutEdgeBegin(u);
+        for_each_live(s, u, [&](NodeId v, uint32_t edge_off) {
+          if (visited_.Contains(v)) return;
+          visited_.Insert(v);
+          const EdgeId e = out_begin + edge_off;
+          // E[(-1)^alpha o'_u] with alpha = 0 w.p. phi(e).
+          const double value =
+              (opinions.o(v) + (2.0 * opinions.phi(e) - 1.0) * value_u) / 2.0;
+          node_value_[v] = value;
+          opinion_sum += value;
+          if (value > 0) {
+            positive_sum += value;
+          } else {
+            negative_sum += -value;
+          }
+          ++plain;
+          queue_.push_back(v);
+        });
       }
     }
+  };
+  if (eval == SketchEval::kScalar) {
+    replay([&](uint32_t s, NodeId u, auto&& emit) {
+      const uint32_t* offsets =
+          node_offsets_.data() + static_cast<std::size_t>(s) * (n + 1);
+      const NodeId* targets = entries_.data() + entry_base_[s];
+      const uint32_t* edge_offs = edge_offsets_.data() + entry_base_[s];
+      for (uint32_t j = offsets[u]; j < offsets[u + 1]; ++j) {
+        emit(targets[j], edge_offs[j]);
+      }
+    });
+  } else {
+    replay([&](uint32_t s, NodeId u, auto&& emit) {
+      const uint32_t g = s / kLanesPerGroup;
+      const uint64_t bit = uint64_t{1} << (s % kLanesPerGroup);
+      const std::size_t group_base = lane_entry_base_[g];
+      const uint32_t* offsets =
+          lane_node_offsets_.data() + static_cast<std::size_t>(g) * (n + 1);
+      const NodeId* targets = lane_targets_.data() + group_base;
+      const uint64_t* masks = lane_masks_.data() + group_base;
+      const uint32_t* edge_offs = lane_edge_offsets_.data() + group_base;
+      for (uint32_t j = offsets[u]; j < offsets[u + 1]; ++j) {
+        if (masks[j] & bit) emit(targets[j], edge_offs[j]);
+      }
+    });
   }
   estimate.opinion_spread = opinion_sum / num_snapshots_;
   estimate.effective_opinion_spread =
@@ -311,40 +556,48 @@ std::size_t SketchOracle::ArenaBytes() const {
   return entries_.capacity() * sizeof(NodeId) +
          edge_offsets_.capacity() * sizeof(uint32_t) +
          node_offsets_.capacity() * sizeof(uint32_t) +
-         entry_base_.capacity() * sizeof(std::size_t);
+         entry_base_.capacity() * sizeof(std::size_t) +
+         lane_targets_.capacity() * sizeof(NodeId) +
+         lane_masks_.capacity() * sizeof(uint64_t) +
+         lane_edge_offsets_.capacity() * sizeof(uint32_t) +
+         lane_node_offsets_.capacity() * sizeof(uint32_t) +
+         lane_entry_base_.capacity() * sizeof(std::size_t);
 }
 
-SketchOracle::Session::Session(const SketchOracle& oracle)
+SketchOracle::Session::Session(const SketchOracle& oracle, SketchEval eval)
     : oracle_(oracle),
-      words_per_snapshot_((oracle.graph().num_nodes() + 63) / 64),
-      activated_(static_cast<std::size_t>(oracle.num_snapshots()) *
-                     words_per_snapshot_,
-                 0),
-      trial_(oracle.graph().num_nodes()) {}
+      eval_(eval),
+      n_(oracle.graph().num_nodes()),
+      num_groups_(oracle.num_lane_groups()),
+      lanes_(static_cast<std::size_t>(oracle.num_lane_groups()) *
+                 oracle.graph().num_nodes(),
+             0) {
+  if (eval_ == SketchEval::kBitParallel) {
+    pending_.assign(n_, 0);
+  }
+}
 
 void SketchOracle::Session::Reset() {
-  std::fill(activated_.begin(), activated_.end(), 0);
+  std::fill(lanes_.begin(), lanes_.end(), 0);
   total_active_ = 0;
   num_seeds_ = 0;
 }
 
 template <bool kCommit>
-int64_t SketchOracle::Session::Explore(NodeId u) {
-  const NodeId n = oracle_.graph().num_nodes();
+int64_t SketchOracle::Session::ExploreScalar(NodeId u) {
   const uint32_t snapshots = oracle_.num_snapshots();
   int64_t newly_total = 0;
   for (uint32_t s = 0; s < snapshots; ++s) {
-    uint64_t* words = activated_.data() + s * words_per_snapshot_;
-    auto active = [&](NodeId x) -> bool {
-      return (words[x >> 6] >> (x & 63)) & 1;
-    };
-    if (active(u)) continue;
+    uint64_t* lanes =
+        lanes_.data() + static_cast<std::size_t>(s / kLanesPerGroup) * n_;
+    const uint64_t bit = uint64_t{1} << (s % kLanesPerGroup);
+    if (lanes[u] & bit) continue;
     // The activated set is reachability-closed, so the walk prunes at
     // every activated node: only reach(u) \ activated is ever visited.
     if constexpr (kCommit) {
-      words[u >> 6] |= uint64_t{1} << (u & 63);
+      lanes[u] |= bit;
     } else {
-      trial_.Reset(n);
+      trial_.Reset(n_);
       trial_.Insert(u);
     }
     stack_.assign(1, u);
@@ -353,9 +606,9 @@ int64_t SketchOracle::Session::Explore(NodeId u) {
       const NodeId v = stack_.back();
       stack_.pop_back();
       for (NodeId t : oracle_.LiveTargets(s, v)) {
-        if (active(t)) continue;
+        if (lanes[t] & bit) continue;
         if constexpr (kCommit) {
-          words[t >> 6] |= uint64_t{1} << (t & 63);
+          lanes[t] |= bit;
         } else {
           if (trial_.Contains(t)) continue;
           trial_.Insert(t);
@@ -369,14 +622,70 @@ int64_t SketchOracle::Session::Explore(NodeId u) {
   return newly_total;
 }
 
+template <bool kCommit>
+int64_t SketchOracle::Session::ExploreLanes(NodeId u) {
+  int64_t newly_total = 0;
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    uint64_t* activated = lanes_.data() + static_cast<std::size_t>(g) * n_;
+    const uint64_t start = oracle_.LaneMaskAll(g) & ~activated[u];
+    if (start == 0) continue;  // u already active in every lane
+    newly_total += std::popcount(start);
+    // Probes speculatively write trial lanes into the activated words and
+    // roll back from undo_ afterwards, so probe and commit walks are the
+    // same kernel with one random state access per edge.
+    if constexpr (!kCommit) undo_.push_back({u, activated[u]});
+    activated[u] |= start;
+    pending_[u] = start;
+    stack_.assign(1, u);
+    // FIFO walk (see EstimateLanes): aggregates lane waves per node so a
+    // union row is rescanned once per wave, not once per arriving lane.
+    for (std::size_t head = 0; head < stack_.size(); ++head) {
+      const NodeId v = stack_[head];
+      const uint64_t active = pending_[v];
+      if (active == 0) continue;
+      pending_[v] = 0;  // self-clearing: processing zeroes the word
+      if (head + 1 < stack_.size()) oracle_.PrefetchLaneRow(g, stack_[head + 1]);
+      if (head + 2 < stack_.size()) {
+        oracle_.PrefetchLaneOffsets(g, stack_[head + 2]);
+      }
+      const LaneAdjacency adj = oracle_.LaneTargets(g, v);
+      for (uint32_t j = 0; j < adj.size; ++j) {
+        if (j + kLanePrefetchDistance < adj.size) {
+          __builtin_prefetch(&activated[adj.targets[j + kLanePrefetchDistance]]);
+        }
+        const NodeId t = adj.targets[j];
+        const uint64_t fresh = adj.masks[j] & active & ~activated[t];
+        if (fresh == 0) continue;
+        newly_total += std::popcount(fresh);
+        if constexpr (!kCommit) undo_.push_back({t, activated[t]});
+        activated[t] |= fresh;
+        if (pending_[t] == 0) stack_.push_back(t);
+        pending_[t] |= fresh;
+      }
+    }
+    if constexpr (!kCommit) {
+      // Reverse replay restores a twice-freshened node's oldest word last.
+      for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+        activated[it->node] = it->word;
+      }
+      undo_.clear();
+    }
+  }
+  return newly_total;
+}
+
 double SketchOracle::Session::MarginalGain(NodeId u) {
-  const int64_t gain =
-      Explore</*kCommit=*/false>(u) - oracle_.num_snapshots();
-  return static_cast<double>(gain) / oracle_.num_snapshots();
+  const int64_t newly = eval_ == SketchEval::kScalar
+                            ? ExploreScalar</*kCommit=*/false>(u)
+                            : ExploreLanes</*kCommit=*/false>(u);
+  return static_cast<double>(newly - oracle_.num_snapshots()) /
+         oracle_.num_snapshots();
 }
 
 double SketchOracle::Session::Commit(NodeId u) {
-  const int64_t newly = Explore</*kCommit=*/true>(u);
+  const int64_t newly = eval_ == SketchEval::kScalar
+                            ? ExploreScalar</*kCommit=*/true>(u)
+                            : ExploreLanes</*kCommit=*/true>(u);
   total_active_ += newly;
   ++num_seeds_;
   return static_cast<double>(newly - oracle_.num_snapshots()) /
@@ -391,7 +700,9 @@ double SketchOracle::Session::Spread() const {
 }
 
 std::size_t SketchOracle::Session::ScratchBytes() const {
-  return activated_.capacity() * sizeof(uint64_t) + trial_.size_bytes() +
+  return lanes_.capacity() * sizeof(uint64_t) +
+         pending_.capacity() * sizeof(uint64_t) +
+         undo_.capacity() * sizeof(LaneUndo) + trial_.size_bytes() +
          stack_.capacity() * sizeof(NodeId);
 }
 

@@ -1,6 +1,7 @@
 #ifndef HOLIM_DIFFUSION_SKETCH_ORACLE_H_
 #define HOLIM_DIFFUSION_SKETCH_ORACLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -16,6 +17,19 @@
 
 namespace holim {
 
+/// Which traversal answers sketch-oracle queries. Both modes walk the SAME
+/// sampled worlds (the eval mode is not part of the sampling contract or
+/// any cache key) and return bitwise-identical results; they differ only in
+/// how the frozen snapshots are iterated:
+///
+///  * kBitParallel — the default: snapshot membership is packed into
+///    64-bit lane masks, so one frontier expansion evaluates up to 64
+///    live-edge worlds per machine word (R=200 becomes 4 word-group
+///    passes).
+///  * kScalar — one BFS per snapshot; kept as the differential-testing
+///    reference the bit-parallel kernel is pinned against.
+enum class SketchEval { kBitParallel, kScalar };
+
 /// Tuning parameters for SketchOracle sampling.
 struct SketchOptions {
   /// Number of presampled live-edge worlds R. Like the MC estimator's
@@ -28,8 +42,9 @@ struct SketchOptions {
   /// identical for any pool size — see the RNG-sharding contract below.
   ThreadPool* pool = nullptr;
   /// Additionally record, per live edge, its offset within the source's
-  /// out-edge list (4 bytes/entry). Required only by the replay estimators
-  /// that read per-edge attributes (EstimateOpinion's phi lookups).
+  /// out-edge list (4 bytes/entry in both arenas). Required only by the
+  /// replay estimators that read per-edge attributes (EstimateOpinion's
+  /// phi lookups).
   bool record_edge_offsets = false;
 };
 
@@ -46,7 +61,7 @@ struct SketchOptions {
 /// StaticGreedy/sketch estimator family, the forward-direction sibling of
 /// the RR engine's world reuse (algo/rr_sets.*).
 ///
-/// ## Arena layout
+/// ## Scalar arena layout
 ///
 /// All R snapshots live in one CSR-packed forward-adjacency arena:
 ///
@@ -66,6 +81,40 @@ struct SketchOptions {
 /// Evaluation walks one snapshot at a time front to back — no hash sets,
 /// no pointer chasing, no per-query allocation (epoch-stamped visited set).
 ///
+/// ## Word-transposed lane-mask arena (the bit-parallel twin)
+///
+/// Snapshots are grouped into ceil(R / 64) lane groups of up to 64; inside
+/// group g, snapshot s occupies lane bit (s - 64 g). Per group the sampled
+/// worlds are re-packed as the UNION forward adjacency over the group's
+/// snapshots, each union edge carrying a uint64_t lane mask ("edge (u, v)
+/// is live in lane b"):
+///
+///   lane_targets_      : NodeId[union entries]  — distinct live out-edges,
+///                                                 grouped by (group, source),
+///                                                 EdgeId-ascending per source
+///   lane_masks_        : uint64[union entries]  — lanes where that edge is
+///                                                 live (parallel array)
+///   lane_node_offsets_ : uint32[G * (n + 1)]    — per-group CSR offsets
+///   lane_entry_base_   : size_t[G + 1]          — group extents
+///   lane_edge_offsets_ : uint32[union entries]  — optional, mirrors
+///                                                 edge_offsets_
+///
+/// Frontier expansion then evaluates 64 worlds per machine word:
+///   fresh = live_mask[u -> v] & active[u] & ~activated[v]
+/// and reached counts are popcount-accumulated, so one pass over the union
+/// adjacency replaces up to 64 per-snapshot BFS walks. Groups are kept as
+/// SEPARATE union CSRs on purpose: a frontier wave usually carries lanes
+/// of one group, and a per-group row costs 12 bytes/edge to scan, where a
+/// merged all-R row would pay G lane words per edge no matter how few
+/// groups the wave touches (measured ~2x slower end to end). The transpose
+/// is a deterministic post-pass over the sampled worlds — the RNG-sharding
+/// contract below is untouched, and both arenas describe the same sample.
+/// Memory: per group, |union live edges| <= min(m, sum of the group's live
+/// edges) entries of 12 bytes (target + mask; +4 with edge offsets), plus
+/// 4 (n + 1) offset bytes — for dense WC-style samples this is ~m entries
+/// per group versus ~64 snapshot-local lists, i.e. the lane arena is a
+/// fraction of the scalar arena's size.
+///
 /// ## RNG-sharding contract (same shape as RrCollection::GenerateParallel)
 ///
 /// Snapshots are sampled in fixed blocks of kSnapshotBlockSize; block b is
@@ -79,10 +128,13 @@ struct SketchOptions {
 /// ## Determinism of estimates
 ///
 /// Every estimator accumulates per-snapshot results in snapshot order into
-/// integer (Estimate/Session) or serial double (replay) accumulators and
-/// divides once at the end, so results are independent of thread count and
-/// reproducible across runs. Estimate() and the replay estimators reuse
-/// member scratch and are therefore NOT thread-safe per oracle instance;
+/// integer (Estimate/Session/IC-N level counts) or serial double (replay)
+/// accumulators and divides once at the end, so results are independent of
+/// thread count and reproducible across runs — and the kBitParallel and
+/// kScalar traversals are bitwise-identical to each other (integer counts
+/// commute across lanes; the replay estimator reads the lane arena in the
+/// scalar walk order). Estimate() and the replay estimators reuse member
+/// scratch and are therefore NOT thread-safe per oracle instance;
 /// concurrent callers should own separate Session objects (sessions carry
 /// their own scratch) or separate oracles.
 class SketchOracle {
@@ -94,29 +146,49 @@ class SketchOracle {
   /// engine's and the MC estimator's salts; the streams must stay
   /// unrelated).
   static constexpr uint64_t kSnapshotSeedSalt = 0xA24BAED4963EE407ULL;
+  /// Snapshots per lane group of the word-transposed arena (one machine
+  /// word). Purely an evaluation-layout constant — NOT part of the
+  /// sampling contract.
+  static constexpr uint32_t kLanesPerGroup = 64;
 
-  /// Samples all R snapshots up front (the only expensive step).
+  /// Samples all R snapshots up front (the only expensive step), then
+  /// builds the word-transposed lane-mask arena from the sampled worlds.
   SketchOracle(const Graph& graph, const InfluenceParams& params,
                const SketchOptions& options = {});
 
   uint32_t num_snapshots() const { return num_snapshots_; }
   const Graph& graph() const { return graph_; }
+  /// Number of 64-snapshot lane groups, ceil(R / 64).
+  uint32_t num_lane_groups() const { return num_lane_groups_; }
+  /// Mask of the lanes group `g` actually populates (all-ones except a
+  /// trailing partial group).
+  uint64_t LaneMaskAll(uint32_t g) const {
+    const uint32_t lanes = std::min<uint32_t>(
+        kLanesPerGroup, num_snapshots_ - g * kLanesPerGroup);
+    return lanes == kLanesPerGroup ? ~uint64_t{0}
+                                   : (uint64_t{1} << lanes) - 1;
+  }
 
   /// One-shot batch estimate of sigma(S) = E[|V_a| - |S|] (paper Def. 3):
-  /// per snapshot, BFS reachability from `seeds` over the packed arena;
-  /// the average over snapshots. Exact over the frozen sample: the total
-  /// reached count is accumulated as an integer and divided once, so
-  /// Session::Spread() after committing the same seeds is bitwise equal.
-  double Estimate(std::span<const NodeId> seeds) const;
+  /// reachability from `seeds` over the frozen worlds, averaged over
+  /// snapshots. Exact over the frozen sample: the total reached count is
+  /// accumulated as an integer and divided once, so Session::Spread()
+  /// after committing the same seeds is bitwise equal — in either eval
+  /// mode.
+  double Estimate(std::span<const NodeId> seeds,
+                  SketchEval eval = SketchEval::kBitParallel) const;
 
   /// Expected IC-N positive spread over the frozen worlds (Chen et al.,
   /// SDM'11, uniform quality factor q): a node activated at live-edge BFS
   /// distance d is positive w.p. q^(d+1) (one quality flip per hop plus
-  /// the seed's own flip), so per snapshot the level-BFS accumulates
-  /// q^(d+1) over activated non-seeds. Exact in the quality flips given
-  /// the sampled worlds (a Rao-Blackwellized estimator of the MC path).
+  /// the seed's own flip). Both eval modes accumulate integer
+  /// per-distance activation counts and fold them through one shared
+  /// q-polynomial evaluation, so they are bitwise identical. Exact in the
+  /// quality flips given the sampled worlds (a Rao-Blackwellized
+  /// estimator of the MC path).
   double EstimateIcnPositive(std::span<const NodeId> seeds,
-                             double quality_factor) const;
+                             double quality_factor,
+                             SketchEval eval = SketchEval::kBitParallel) const;
 
   /// Expected OI opinion spread over the frozen worlds, IC base only
   /// (requires record_edge_offsets). Replays the activation BFS per
@@ -127,13 +199,18 @@ class SketchOracle {
   /// effective_opinion_spread splits the EXPECTED opinions by sign, which
   /// coincides with the MC estimand at lambda == 1 (where Gamma_o_lambda
   /// is linear in the opinions) and is a documented approximation
-  /// otherwise.
-  OpinionSpreadEstimate EstimateOpinion(const OpinionParams& opinions,
-                                        OiBase base,
-                                        std::span<const NodeId> seeds,
-                                        double lambda) const;
+  /// otherwise. Opinion values are per-(snapshot, node) doubles, so the
+  /// replay is inherently per-snapshot; kBitParallel rides the lane-mask
+  /// arena (per-snapshot adjacency = union entries filtered by the lane
+  /// bit, in the same EdgeId order the scalar arena stores), which keeps
+  /// the replay bitwise identical while the forward arena stays free for
+  /// the scalar reference path.
+  OpinionSpreadEstimate EstimateOpinion(
+      const OpinionParams& opinions, OiBase base,
+      std::span<const NodeId> seeds, double lambda,
+      SketchEval eval = SketchEval::kBitParallel) const;
 
-  /// Live out-targets of `u` in snapshot `s` (zero-copy arena span).
+  /// Live out-targets of `u` in snapshot `s` (zero-copy scalar-arena span).
   std::span<const NodeId> LiveTargets(uint32_t s, NodeId u) const {
     const uint32_t* off = node_offsets_.data() +
                           static_cast<std::size_t>(s) * (graph_.num_nodes() + 1);
@@ -141,26 +218,65 @@ class SketchOracle {
     return {base + off[u], base + off[u + 1]};
   }
 
-  /// Bytes held by the snapshot arena (capacity-based, the repo-wide
-  /// memory accounting convention).
+  /// Union live out-adjacency of `u` in lane group `g`: `size` parallel
+  /// (target, lane-mask) pairs, EdgeId-ascending. Zero-copy arena view.
+  struct LaneAdjacency {
+    const NodeId* targets;
+    const uint64_t* masks;
+    uint32_t size;
+  };
+  LaneAdjacency LaneTargets(uint32_t g, NodeId u) const {
+    const uint32_t* off =
+        lane_node_offsets_.data() +
+        static_cast<std::size_t>(g) * (graph_.num_nodes() + 1);
+    const std::size_t base = lane_entry_base_[g];
+    return {lane_targets_.data() + base + off[u],
+            lane_masks_.data() + base + off[u], off[u + 1] - off[u]};
+  }
+  /// Prefetch hint for a union row about to be scanned: a lane walk's
+  /// worklist names its upcoming rows, and each row is a short burst at a
+  /// random address in an arena far larger than cache, so pulling the next
+  /// row while the current one drains hides most of its DRAM latency.
+  void PrefetchLaneRow(uint32_t g, NodeId u) const {
+    const LaneAdjacency adj = LaneTargets(g, u);
+    __builtin_prefetch(adj.targets);
+    __builtin_prefetch(adj.masks);
+    // One extra line per array: rows average a handful of entries, so two
+    // lines cover nearly all rows (past-the-end prefetches are harmless).
+    __builtin_prefetch(adj.targets + 7);
+    __builtin_prefetch(adj.masks + 7);
+  }
+  /// Companion hint one step further out: pulls u's row OFFSETS so the
+  /// PrefetchLaneRow issued for u next iteration doesn't itself stall.
+  void PrefetchLaneOffsets(uint32_t g, NodeId u) const {
+    __builtin_prefetch(lane_node_offsets_.data() +
+                       static_cast<std::size_t>(g) * (graph_.num_nodes() + 1) +
+                       u);
+  }
+
+  /// Bytes held by the snapshot arenas — scalar AND lane-mask (capacity-
+  /// based, the repo-wide memory accounting convention).
   std::size_t ArenaBytes() const;
 
   /// \brief Incremental marginal-gain session: StaticGreedy-style
   /// activate-once evaluation across a whole greedy run.
   ///
-  /// The session keeps one persistent activated bitset per snapshot.
-  /// Because each snapshot's activated set is reachability-closed, the
-  /// BFS for a new candidate prunes at every already-activated node, so
-  /// round i+1 only explores the newly added seed's frontier instead of
-  /// re-walking reach(S) per evaluation. Gains are maintained as integer
-  /// newly-activated counts, hence:
+  /// The session keeps one persistent activated lane mask per (lane group,
+  /// node) — i.e. the per-snapshot activated bitsets, stored transposed so
+  /// they double as the bit-parallel kernel's activation words. Because
+  /// each snapshot's activated set is reachability-closed, the BFS for a
+  /// new candidate prunes at every already-activated node, so round i+1
+  /// only explores the newly added seed's frontier instead of re-walking
+  /// reach(S) per evaluation. Gains are maintained as integer
+  /// newly-activated counts, hence (in either eval mode, bitwise):
   ///   MarginalGain(u) == Estimate(S + u) - Estimate(S)   (same estimand)
   ///   Spread() after committing S  == Estimate(S)        (bitwise)
   /// The session owns its scratch; multiple sessions on one oracle are
   /// independent (but a single session is not thread-safe).
   class Session {
    public:
-    explicit Session(const SketchOracle& oracle);
+    explicit Session(const SketchOracle& oracle,
+                     SketchEval eval = SketchEval::kBitParallel);
 
     /// Drops all committed seeds (keeps capacity).
     void Reset();
@@ -175,7 +291,7 @@ class SketchOracle {
     double Commit(NodeId u);
 
     /// sigma of the committed seed set; bitwise equal to
-    /// oracle.Estimate(committed seeds).
+    /// oracle.Estimate(committed seeds) in either eval mode.
     double Spread() const;
 
     std::size_t num_seeds() const { return num_seeds_; }
@@ -187,17 +303,38 @@ class SketchOracle {
     std::size_t ScratchBytes() const;
 
    private:
+    /// One BFS per snapshot over the scalar arena (reference traversal).
     template <bool kCommit>
-    int64_t Explore(NodeId u);
-    bool Activated(uint32_t s, NodeId u) const {
-      const uint64_t* w = activated_.data() + s * words_per_snapshot_;
-      return (w[u >> 6] >> (u & 63)) & 1;
-    }
+    int64_t ExploreScalar(NodeId u);
+    /// One worklist pass per lane group over the lane-mask arena: every
+    /// expansion of node v propagates v's pending lane word through each
+    /// union edge with fresh = live & pending[v] & ~activated[t].
+    template <bool kCommit>
+    int64_t ExploreLanes(NodeId u);
 
     const SketchOracle& oracle_;
-    std::size_t words_per_snapshot_;
-    std::vector<uint64_t> activated_;  // R * words_per_snapshot_ bits
-    EpochSet trial_;                   // visited set for non-committing BFS
+    SketchEval eval_;
+    NodeId n_;
+    uint32_t num_groups_;
+    /// Activated lane masks, group-major: bit b of lanes_[g * n + u] means
+    /// u is activated in snapshot 64 g + b. The scalar traversal reads the
+    /// same words one bit at a time, so both modes share one state layout.
+    std::vector<uint64_t> lanes_;
+    /// Bit-parallel frontier words (pending lanes to expand per node);
+    /// self-clearing — every pushed node is popped with its word zeroed.
+    std::vector<uint64_t> pending_;
+    /// Probe undo log: non-committing walks write their trial lanes into
+    /// the activated words directly (one random access per edge instead of
+    /// a separate overlay) and roll the words back in reverse order at
+    /// probe end. A node can appear more than once (one entry per wave
+    /// that freshened it); reverse replay restores the oldest word last.
+    struct LaneUndo {
+      NodeId node;
+      uint64_t word;
+    };
+    std::vector<LaneUndo> undo_;
+    EpochSet trial_;  // scalar-mode trial visited set
+    /// Shared worklist: scalar BFS queue / bit-parallel FIFO wave walk.
     std::vector<NodeId> stack_;
     int64_t total_active_ = 0;
     std::size_t num_seeds_ = 0;
@@ -207,10 +344,19 @@ class SketchOracle {
   struct SnapshotBuffer;
   void SampleAll(ThreadPool* pool);
   void SampleOne(Rng& rng, SnapshotBuffer& buffer) const;
+  /// Deterministic post-pass: transposes the sampled scalar arena into the
+  /// per-group union lane-mask arena (same worlds, different layout).
+  void BuildLaneArena();
+
+  int64_t EstimateScalar(std::span<const NodeId> seeds) const;
+  int64_t EstimateLanes(std::span<const NodeId> seeds) const;
+  void AccumulateIcnLevelCountsScalar(std::span<const NodeId> seeds) const;
+  void AccumulateIcnLevelCountsLanes(std::span<const NodeId> seeds) const;
 
   const Graph& graph_;
   const InfluenceParams& params_;
   uint32_t num_snapshots_;
+  uint32_t num_lane_groups_;
   uint64_t seed_;
   bool record_edge_offsets_;
   // LT live-in-edge distribution (shared, stateless sampling helper); null
@@ -222,10 +368,22 @@ class SketchOracle {
   std::vector<uint32_t> node_offsets_;   // R * (n + 1), snapshot-local
   std::vector<std::size_t> entry_base_;  // R + 1
 
+  // Word-transposed lane-mask arena (see class comment).
+  std::vector<NodeId> lane_targets_;
+  std::vector<uint64_t> lane_masks_;
+  std::vector<uint32_t> lane_edge_offsets_;  // when recorded
+  std::vector<uint32_t> lane_node_offsets_;  // G * (n + 1), group-local
+  std::vector<std::size_t> lane_entry_base_;  // G + 1
+
   // Reusable one-shot evaluation scratch (Estimate and the replay
   // estimators are single-caller; see class comment).
   mutable EpochSet visited_;
   mutable std::vector<NodeId> queue_;
+  mutable std::vector<NodeId> frontier_;     // bit-parallel level/touch lists
+  mutable std::vector<uint64_t> lane_state_;    // activated words, n
+  mutable std::vector<uint64_t> lane_pending_;  // frontier words, n
+  mutable std::vector<uint64_t> lane_next_;     // next-level words, n
+  mutable std::vector<int64_t> icn_level_counts_;
   mutable std::vector<double> node_value_;  // expected opinion per node
 };
 

@@ -54,8 +54,8 @@ Result<std::shared_ptr<McObjective>> MakeMcObjective(const SolveContext& ctx) {
     options.pool = ctx.pool;
     auto sketch =
         ctx.workspace.GetSketchOracle(ctx.graph, *r.params, options);
-    return std::shared_ptr<McObjective>(
-        std::make_shared<SketchSpreadObjective>(std::move(sketch)));
+    return std::shared_ptr<McObjective>(std::make_shared<SketchSpreadObjective>(
+        std::move(sketch), /*use_session=*/true, r.sketch_eval));
   }
   McOptions mc;
   mc.num_simulations = r.mc;

@@ -58,6 +58,11 @@ std::string HolimEngine::SelectorKey(const AlgorithmInfo& info,
   key += "|snapshots=" + std::to_string(r.num_snapshots);
   key += "|rescore=" + std::to_string(r.incremental_rescore ? 1 : 0);
   key += "|threads=" + std::to_string(r.threads);
+  // Eval mode changes no result bits, but sketch-backed selectors capture
+  // it at construction (session scratch layout), so cached selectors must
+  // not leak across modes. The sketch ARENA key deliberately omits it —
+  // both traversals read the same worlds.
+  key += "|eval=" + std::to_string(static_cast<int>(r.sketch_eval));
   return key;
 }
 
@@ -136,7 +141,8 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
   if (request.evaluate_spread) {
     Timer spread_timer;
     if (eval_sketch != nullptr) {
-      result.spread = eval_sketch->Estimate(result.seeds);
+      result.spread = eval_sketch->Estimate(result.seeds,
+                                            request.sketch_eval);
     } else {
       McOptions mc;
       mc.num_simulations = request.mc;

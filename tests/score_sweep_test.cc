@@ -246,6 +246,88 @@ TEST(ScoreSweepTest, IncrementalDoesLessNodeWorkThanFull) {
       << "dirty-frontier rescore touched most of the graph";
 }
 
+TEST(ScoreSweepTest, HubFallbackRebuildsExactlyAndStateStaysConsistent) {
+  // Excluding the biggest hub of a scale-free graph dirties a frontier that
+  // blows past an aggressive fallback fraction: the rescore must abandon
+  // frontier bookkeeping (fallback_sweeps counts it, and it books a full
+  // sweep instead of an incremental one) while staying bitwise identical to
+  // the full-recompute oracle. The rebuild must also leave the level table
+  // consistent: a later exclusion with the fallback disabled has to take
+  // the genuine incremental path and still match the oracle exactly.
+  Graph g = GenerateBarabasiAlbert(4000, 4, 33).ValueOrDie();
+  auto params = MakeWeightedCascade(g);
+  NodeId hub = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.InNeighbors(u).size() > g.InNeighbors(hub).size()) hub = u;
+  }
+  ASSERT_GT(g.InNeighbors(hub).size(), 40u) << "graph grew no hub";
+
+  EasyImScorer falling(g, params, 3), inc_only(g, params, 3),
+      oracle(g, params, 3);
+  falling.set_incremental_fallback_fraction(0.01);
+  inc_only.set_incremental_fallback_fraction(2.0);  // disabled
+
+  EpochSet excluded(g.num_nodes());
+  excluded.Reset(g.num_nodes());
+  std::vector<double> fall_scores, inc_scores, full_scores;
+  falling.AssignScoresIncremental(excluded, nullptr, &fall_scores, nullptr);
+  inc_only.AssignScoresIncremental(excluded, nullptr, &inc_scores, nullptr);
+
+  std::vector<NodeId> newly = {hub};
+  excluded.Insert(hub);
+  falling.AssignScoresIncremental(excluded, &newly, &fall_scores, nullptr);
+  inc_only.AssignScoresIncremental(excluded, &newly, &inc_scores, nullptr);
+  oracle.AssignScores(excluded, &full_scores);
+  EXPECT_EQ(fall_scores, full_scores);
+  EXPECT_EQ(inc_scores, full_scores);
+  EXPECT_EQ(falling.stats().fallback_sweeps, 1u);
+  EXPECT_EQ(falling.stats().incremental_sweeps, 0u);
+  EXPECT_EQ(falling.stats().full_sweeps, 2u);  // initial build + fallback
+  EXPECT_EQ(inc_only.stats().fallback_sweeps, 0u);
+  EXPECT_EQ(inc_only.stats().incremental_sweeps, 1u);
+
+  // Disable the fallback and keep excluding: the pass after a fallback
+  // rebuild must run incrementally off the rebuilt levels, bit for bit.
+  falling.set_incremental_fallback_fraction(2.0);
+  newly = {hub == 0 ? NodeId{1} : NodeId{0}};
+  excluded.Insert(newly[0]);
+  falling.AssignScoresIncremental(excluded, &newly, &fall_scores, nullptr);
+  oracle.AssignScores(excluded, &full_scores);
+  EXPECT_EQ(fall_scores, full_scores);
+  EXPECT_EQ(falling.stats().fallback_sweeps, 1u);
+  EXPECT_EQ(falling.stats().incremental_sweeps, 1u);
+}
+
+TEST(ScoreSweepTest, GreedyEquivalentAcrossFallbackFractions) {
+  // End-to-end BA-graph regression for the hub-aware fallback: a greedy run
+  // that falls back (aggressive fraction), one that never can (>= 1), and
+  // the full-recompute oracle must all pick identical seeds and scores.
+  Graph g = GenerateBarabasiAlbert(500, 3, 34).ValueOrDie();
+  auto params = MakeWeightedCascade(g);
+  auto run = [&](bool incremental, double fraction, uint64_t* fallbacks) {
+    ScoreGreedyOptions options;
+    options.incremental_rescore = incremental;
+    options.rescore_fallback_fraction = fraction;
+    EasyImSelector selector(g, params, 3, options);
+    auto selection = selector.Select(12).ValueOrDie();
+    if (fallbacks != nullptr) {
+      *fallbacks = selector.scorer().stats().fallback_sweeps;
+    }
+    return selection;
+  };
+  uint64_t aggressive_fallbacks = 0, disabled_fallbacks = 0;
+  auto full = run(false, 0.25, nullptr);
+  auto falling = run(true, 0.01, &aggressive_fallbacks);
+  auto inc_only = run(true, 2.0, &disabled_fallbacks);
+  EXPECT_EQ(full.seeds, falling.seeds);
+  EXPECT_EQ(full.seeds, inc_only.seeds);
+  EXPECT_EQ(full.seed_scores, falling.seed_scores);
+  EXPECT_EQ(full.seed_scores, inc_only.seed_scores);
+  EXPECT_GE(aggressive_fallbacks, 1u)
+      << "hub exclusions never tripped the aggressive fallback";
+  EXPECT_EQ(disabled_fallbacks, 0u);
+}
+
 TEST(ScoreSweepTest, LevelStateAllocatedLazily) {
   Graph g = GenerateBarabasiAlbert(5000, 3, 30).ValueOrDie();
   auto params = MakeUniformIc(g, 0.1);

@@ -1,0 +1,175 @@
+// Differential tests pinning the bit-parallel lane-mask kernel to the
+// scalar per-snapshot reference: both traversals walk the SAME sampled
+// worlds, so every estimator must agree BITWISE (integer reach counts and
+// level counts divided once; the opinion replay visits the identical
+// (v, e) sequence). Snapshot counts straddle the 64-lane word boundary on
+// purpose: R = 1 (single partial word), 63/64/65 (full word +/- one lane),
+// and 200 (the bench workload's multi-group shape, 3 full words + partial).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algo/celf.h"
+#include "algo/greedy.h"
+#include "diffusion/sketch_oracle.h"
+#include "graph/generators.h"
+#include "model/influence_params.h"
+#include "model/opinion_params.h"
+
+namespace holim {
+namespace {
+
+constexpr uint32_t kWordBoundaryCounts[] = {1, 63, 64, 65, 200};
+
+SketchOptions Opts(uint32_t snapshots, uint64_t seed = 7,
+                   bool record_edge_offsets = false) {
+  SketchOptions options;
+  options.num_snapshots = snapshots;
+  options.seed = seed;
+  options.record_edge_offsets = record_edge_offsets;
+  return options;
+}
+
+std::vector<InfluenceParams> AllModels(const Graph& g) {
+  return {MakeUniformIc(g, 0.3), MakeWeightedCascade(g),
+          MakeLinearThreshold(g)};
+}
+
+// One-shot Estimate: every model, every word-boundary snapshot count,
+// several seed-set shapes (singleton, spread-out set, duplicates — the
+// scalar path dedups seeds via its visited set, the lanes path via
+// all-zero fresh masks; both must subtract R * |seeds| identically).
+TEST(SketchBitParallelTest, EstimateBitwiseEqualsScalar) {
+  Graph g = GenerateBarabasiAlbert(120, 3, 11).ValueOrDie();
+  const std::vector<std::vector<NodeId>> seed_sets = {
+      {0}, {5, 41, 99}, {7, 7, 23}, {119}};
+  for (const auto& params : AllModels(g)) {
+    for (uint32_t r : kWordBoundaryCounts) {
+      SketchOracle oracle(g, params, Opts(r));
+      for (const auto& seeds : seed_sets) {
+        EXPECT_EQ(oracle.Estimate(seeds, SketchEval::kBitParallel),
+                  oracle.Estimate(seeds, SketchEval::kScalar))
+            << "model=" << static_cast<int>(params.model) << " R=" << r;
+      }
+    }
+  }
+}
+
+// Persistent sessions: twin sessions (one per eval mode) driven through
+// the same probe/commit script must report bitwise-equal marginal gains,
+// commit gains, and running spreads — and both must stay bitwise equal to
+// one-shot Estimate of the committed prefix in BOTH eval modes (the
+// activate-once pruning may never change a value).
+TEST(SketchBitParallelTest, SessionBitwiseEqualsScalarSession) {
+  Graph g = GenerateBarabasiAlbert(100, 3, 19).ValueOrDie();
+  const std::vector<NodeId> commits = {4, 17, 52, 4, 88};  // incl. re-commit
+  const std::vector<NodeId> probes = {0, 9, 33, 61, 99};
+  for (const auto& params : AllModels(g)) {
+    for (uint32_t r : kWordBoundaryCounts) {
+      SketchOracle oracle(g, params, Opts(r, 13));
+      SketchOracle::Session lanes(oracle, SketchEval::kBitParallel);
+      SketchOracle::Session scalar(oracle, SketchEval::kScalar);
+      std::vector<NodeId> prefix;
+      for (NodeId u : commits) {
+        for (NodeId p : probes) {
+          EXPECT_EQ(lanes.MarginalGain(p), scalar.MarginalGain(p));
+        }
+        EXPECT_EQ(lanes.Commit(u), scalar.Commit(u));
+        prefix.push_back(u);
+        const double spread = lanes.Spread();
+        EXPECT_EQ(spread, scalar.Spread());
+        EXPECT_EQ(spread, oracle.Estimate(prefix, SketchEval::kBitParallel));
+        EXPECT_EQ(spread, oracle.Estimate(prefix, SketchEval::kScalar));
+      }
+      lanes.Reset();
+      scalar.Reset();
+      EXPECT_EQ(lanes.MarginalGain(commits[0]),
+                scalar.MarginalGain(commits[0]));
+    }
+  }
+}
+
+// IC-N positive spread: both modes accumulate the same integer
+// per-distance activation counts and share one q-polynomial fold.
+TEST(SketchBitParallelTest, IcnPositiveBitwiseEqualsScalar) {
+  Graph g = GenerateBarabasiAlbert(90, 3, 29).ValueOrDie();
+  const std::vector<NodeId> seeds = {2, 31, 74};
+  for (const auto& params : AllModels(g)) {
+    for (uint32_t r : kWordBoundaryCounts) {
+      SketchOracle oracle(g, params, Opts(r, 5));
+      for (double q : {0.0, 0.37, 0.5, 1.0}) {
+        EXPECT_EQ(
+            oracle.EstimateIcnPositive(seeds, q, SketchEval::kBitParallel),
+            oracle.EstimateIcnPositive(seeds, q, SketchEval::kScalar))
+            << "model=" << static_cast<int>(params.model) << " R=" << r
+            << " q=" << q;
+      }
+    }
+  }
+}
+
+// Opinion replay (IC base): the lane arena stores union entries in the
+// same EdgeId-ascending per-source order every scalar snapshot uses, so
+// the lane-filtered replay visits the identical (v, e) sequence and all
+// three accumulated figures match bitwise.
+TEST(SketchBitParallelTest, OpinionReplayBitwiseEqualsScalar) {
+  Graph g = GenerateBarabasiAlbert(80, 3, 37).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.35);
+  OpinionParams opinions = MakeRandomOpinions(
+      g, OpinionDistribution::kStandardNormal, /*seed=*/17);
+  const std::vector<NodeId> seeds = {1, 40, 66};
+  for (uint32_t r : kWordBoundaryCounts) {
+    SketchOracle oracle(g, params, Opts(r, 3, /*record_edge_offsets=*/true));
+    for (double lambda : {0.5, 1.0}) {
+      auto lanes =
+          oracle.EstimateOpinion(opinions, OiBase::kIndependentCascade, seeds,
+                                 lambda, SketchEval::kBitParallel);
+      auto scalar =
+          oracle.EstimateOpinion(opinions, OiBase::kIndependentCascade, seeds,
+                                 lambda, SketchEval::kScalar);
+      EXPECT_EQ(lanes.opinion_spread, scalar.opinion_spread);
+      EXPECT_EQ(lanes.effective_opinion_spread,
+                scalar.effective_opinion_spread);
+      EXPECT_EQ(lanes.plain_spread, scalar.plain_spread);
+    }
+  }
+}
+
+// Session-CELF under the bit-parallel kernel picks exactly the seeds of
+// eager frozen greedy (one-shot evaluations, no session) — gains on the
+// static sample stay exactly submodular integers, so CELF's lazy bound
+// never misranks — and exactly the seeds of the scalar-session CELF.
+TEST(SketchBitParallelTest, CelfBitParallelMatchesEagerFrozenGreedy) {
+  Graph g = GenerateBarabasiAlbert(70, 2, 15).ValueOrDie();
+  auto params = MakeUniformIc(g, 0.25);
+  auto oracle = std::make_shared<const SketchOracle>(g, params, Opts(65, 3));
+
+  auto eager_objective = std::make_shared<SketchSpreadObjective>(
+      oracle, /*use_session=*/false, SketchEval::kBitParallel);
+  GreedySelector eager(g, eager_objective, "eager-frozen");
+  auto eager_sel = eager.Select(6).ValueOrDie();
+
+  auto lanes_objective = std::make_shared<SketchSpreadObjective>(
+      oracle, /*use_session=*/true, SketchEval::kBitParallel);
+  CelfSelector lanes_celf(g, lanes_objective, /*plus_plus=*/false,
+                          "CELF-bitparallel");
+  auto lanes_sel = lanes_celf.Select(6).ValueOrDie();
+  EXPECT_EQ(eager_sel.seeds, lanes_sel.seeds);
+
+  auto scalar_objective = std::make_shared<SketchSpreadObjective>(
+      oracle, /*use_session=*/true, SketchEval::kScalar);
+  CelfSelector scalar_celf(g, scalar_objective, /*plus_plus=*/false,
+                           "CELF-scalar");
+  auto scalar_sel = scalar_celf.Select(6).ValueOrDie();
+  EXPECT_EQ(scalar_sel.seeds, lanes_sel.seeds);
+  EXPECT_EQ(scalar_sel.seed_scores, lanes_sel.seed_scores);
+  // Identical gains mean identical lazy-queue behavior, evaluation for
+  // evaluation.
+  EXPECT_EQ(scalar_celf.last_evaluation_count(),
+            lanes_celf.last_evaluation_count());
+}
+
+}  // namespace
+}  // namespace holim

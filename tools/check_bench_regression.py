@@ -35,9 +35,17 @@ Dispatches on the baseline's "bench" field:
       - session.session_work_ratio — nodes touched evaluating the growing
         seed prefixes one-shot vs the activate-once incremental session;
         derived from integer reach counts, so deterministic.
+      - celf.spread_parity_vs_mc — MC-estimated spread of the
+        sketch-selected seeds over that of the MC-selected seeds, both
+        under the same fixed-seed estimator; deterministic, and ~1.0 means
+        the sketch oracle picks seeds as good as MC-driven greedy.
       - celf.celf_speedup_vs_mc and celf.incremental_vs_oneshot_speedup —
         timing ratios (single-thread CELF runs on the same machine), gated
         like select_speedup.
+      - bitparallel.speedup_vs_scalar_session — scalar-session CELF seconds
+        over bit-parallel-session CELF seconds (64 live-edge worlds per
+        machine word, bitwise-identical seeds and spreads); a timing ratio,
+        gated like select_speedup.
 
 Timing ratios take the best value across the supplied runs: CI runs each
 bench twice and a regression is only real if neither run reaches the bar.
@@ -208,9 +216,11 @@ def gate_spread_oracle(baseline, runs, args, failures):
     base_arena = baseline.get("arena")
     base_session = baseline.get("session")
     base_celf = baseline.get("celf")
-    if base_arena is None or base_session is None or base_celf is None:
-        sys.exit("error: baseline lacks arena/session/celf sections; "
-                 "regenerate it with the current bench binary")
+    base_bp = baseline.get("bitparallel")
+    if (base_arena is None or base_session is None or base_celf is None
+            or base_bp is None):
+        sys.exit("error: baseline lacks arena/session/celf/bitparallel "
+                 "sections; regenerate it with the current bench binary")
 
     gate_deterministic("arena.bytes_per_snapshot",
                        base_arena["bytes_per_snapshot"],
@@ -220,6 +230,10 @@ def gate_spread_oracle(baseline, runs, args, failures):
                        base_session["session_work_ratio"],
                        section_values("session", "session_work_ratio"),
                        args.threshold, failures, larger_is_better=True)
+    gate_deterministic("celf.spread_parity_vs_mc",
+                       base_celf["spread_parity_vs_mc"],
+                       section_values("celf", "spread_parity_vs_mc"),
+                       args.threshold, failures, larger_is_better=True)
     gate_timing_ratio("celf.celf_speedup_vs_mc",
                       base_celf["celf_speedup_vs_mc"],
                       section_values("celf", "celf_speedup_vs_mc"),
@@ -227,6 +241,11 @@ def gate_spread_oracle(baseline, runs, args, failures):
     gate_timing_ratio("celf.incremental_vs_oneshot_speedup",
                       base_celf["incremental_vs_oneshot_speedup"],
                       section_values("celf", "incremental_vs_oneshot_speedup"),
+                      args.threshold, args.jitter_limit, failures)
+    gate_timing_ratio("bitparallel.speedup_vs_scalar_session",
+                      base_bp["speedup_vs_scalar_session"],
+                      section_values("bitparallel",
+                                     "speedup_vs_scalar_session"),
                       args.threshold, args.jitter_limit, failures)
 
 
