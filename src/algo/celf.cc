@@ -41,6 +41,22 @@ struct SessionHeapEntry {
   }
 };
 
+// Heap entry of the budgeted (benefit-per-cost) loop: ordered by ratio
+// with the session path's smaller-id tie-break, so with unit costs the
+// ratio equals the gain bitwise and the pop sequence reproduces the
+// session Select heap exactly.
+struct BudgetHeapEntry {
+  NodeId node;
+  double ratio;   // gain / cost at round `round`
+  double gain;    // marginal gain backing the ratio (reported as score)
+  uint32_t round;
+
+  bool operator<(const BudgetHeapEntry& other) const {
+    if (ratio != other.ratio) return ratio < other.ratio;
+    return node > other.node;  // smaller id pops first on ties
+  }
+};
+
 }  // namespace
 
 CelfSelector::CelfSelector(const Graph& graph,
@@ -155,6 +171,95 @@ Result<SeedSelection> CelfSelector::Select(uint32_t k) {
     heap.push(top);
   }
 
+  selection.elapsed_seconds = timer.ElapsedSeconds();
+  selection.overhead_bytes = meter.OverheadBytes();
+  return selection;
+}
+
+Result<SeedSelection> CelfSelector::SelectBudgeted(
+    uint32_t max_seeds, std::span<const double> costs, double budget) {
+  if (max_seeds == 0) return Status::InvalidArgument("max_seeds must be positive");
+  if (costs.size() != graph_.num_nodes()) {
+    return Status::InvalidArgument("cost/node count mismatch");
+  }
+  if (!(budget > 0.0)) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  SeedSelection selection;
+  MemoryMeter meter;
+  Timer timer;
+  evaluations_ = 0;
+  double remaining = budget;
+
+  if (objective_->StartSession()) {
+    // Lazy benefit-per-cost loop over session probes. Stale ratios are
+    // upper bounds (submodular gains over the frozen snapshots; costs are
+    // fixed), so the lazy skip logic carries over from Select unchanged.
+    std::priority_queue<BudgetHeapEntry> heap;
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      ++evaluations_;
+      const double gain = objective_->SessionMarginalGain(u);
+      heap.push({u, gain / costs[u], gain, 0});
+    }
+    while (selection.seeds.size() < max_seeds && !heap.empty()) {
+      BudgetHeapEntry top = heap.top();
+      heap.pop();
+      if (costs[top.node] > remaining) continue;  // drop: can never fit
+      const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+      if (top.round == round) {
+        objective_->SessionCommit(top.node);
+        remaining -= costs[top.node];
+        selection.seeds.push_back(top.node);
+        selection.seed_scores.push_back(top.gain);
+        continue;
+      }
+      ++evaluations_;
+      top.gain = objective_->SessionMarginalGain(top.node);
+      top.ratio = top.gain / costs[top.node];
+      top.round = round;
+      heap.push(top);
+    }
+    selection.elapsed_seconds = timer.ElapsedSeconds();
+    selection.overhead_bytes = meter.OverheadBytes();
+    return selection;
+  }
+
+  // Monte-Carlo objective: the same lazy ratio loop over whole-set
+  // Evaluate calls (no CELF++ double-gain cache — the budgeted pop order
+  // depends on costs, so the "likely next best" prediction it rests on
+  // doesn't carry over).
+  std::vector<NodeId> trial;
+  auto evaluate = [&](const std::vector<NodeId>& seeds) {
+    ++evaluations_;
+    return objective_->Evaluate(seeds);
+  };
+  std::priority_queue<BudgetHeapEntry> heap;
+  trial.assign(1, 0);
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    trial[0] = u;
+    const double gain = evaluate(trial);
+    heap.push({u, gain / costs[u], gain, 0});
+  }
+  double current_value = 0.0;
+  while (selection.seeds.size() < max_seeds && !heap.empty()) {
+    BudgetHeapEntry top = heap.top();
+    heap.pop();
+    if (costs[top.node] > remaining) continue;  // drop: can never fit
+    const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+    if (top.round == round) {
+      remaining -= costs[top.node];
+      selection.seeds.push_back(top.node);
+      selection.seed_scores.push_back(top.gain);
+      current_value += top.gain;
+      continue;
+    }
+    trial = selection.seeds;
+    trial.push_back(top.node);
+    top.gain = evaluate(trial) - current_value;
+    top.ratio = top.gain / costs[top.node];
+    top.round = round;
+    heap.push(top);
+  }
   selection.elapsed_seconds = timer.ElapsedSeconds();
   selection.overhead_bytes = meter.OverheadBytes();
   return selection;

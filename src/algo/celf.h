@@ -40,6 +40,20 @@ class CelfSelector : public SeedSelector {
   std::string name() const override { return name_; }
   Result<SeedSelection> Select(uint32_t k) override;
 
+  /// Budgeted lazy greedy (QueryKind::kBudgeted): the CELF loop keyed on
+  /// the benefit-per-cost ratio gain(u)/cost(u), with the classic
+  /// drop-when-over-budget heap discipline — a popped candidate whose cost
+  /// exceeds the residual budget is discarded permanently (its gain only
+  /// shrinks while its cost is fixed, so it can never fit later). Ties
+  /// break toward the smaller node id, and with uniform unit costs and
+  /// budget == k the ratio IS the gain, the drop rule never fires before
+  /// the budget is spent, and the selection is bitwise-identical to
+  /// Select(k) on the session path. The CELF++ double-gain cache is
+  /// skipped in both paths (stale ratios re-evaluate like plain CELF).
+  Result<SeedSelection> SelectBudgeted(uint32_t max_seeds,
+                                       std::span<const double> costs,
+                                       double budget) override;
+
   /// Number of objective evaluations performed by the last Select call
   /// (exposed so tests can verify laziness actually skips work).
   uint64_t last_evaluation_count() const { return evaluations_; }

@@ -94,11 +94,19 @@ class SketchSpreadObjective : public McObjective {
   /// goes through one-shot Estimate) — the baseline the incremental path
   /// is benchmarked against. `eval` picks the oracle traversal (bitwise-
   /// identical results either way; scalar is the differential-testing
-  /// reference).
+  /// reference). A non-empty `node_weights` (one finite weight >= 0 per
+  /// node) switches the objective to the weighted spread sigma_w
+  /// (targeted IM); the objective owns the copy, so the oracle session it
+  /// opens never dangles into caller storage. All-ones weights are
+  /// bitwise-identical to the unweighted objective (see
+  /// SketchOracle::EstimateWeighted).
   explicit SketchSpreadObjective(std::shared_ptr<const SketchOracle> oracle,
                                  bool use_session = true,
-                                 SketchEval eval = SketchEval::kBitParallel);
-  std::string name() const override { return "sigma_sketch"; }
+                                 SketchEval eval = SketchEval::kBitParallel,
+                                 std::vector<double> node_weights = {});
+  std::string name() const override {
+    return weights_.empty() ? "sigma_sketch" : "sigma_sketch_w";
+  }
   double Evaluate(const std::vector<NodeId>& seeds) override;
   bool StartSession() override;
   double SessionMarginalGain(NodeId u) override;
@@ -109,6 +117,8 @@ class SketchSpreadObjective : public McObjective {
  private:
   std::shared_ptr<const SketchOracle> oracle_;
   SketchEval eval_;
+  // Declared before session_: the session holds a span into this vector.
+  std::vector<double> weights_;
   SketchOracle::Session session_;
   bool use_session_;
 };
@@ -126,6 +136,14 @@ class GreedySelector : public SeedSelector {
 
   std::string name() const override { return name_; }
   Result<SeedSelection> Select(uint32_t k) override;
+  /// Eager benefit-per-cost greedy: each round scans every affordable
+  /// candidate's gain/cost ratio (ties toward the smaller node id, like
+  /// Select) and commits the best. The evaluate-everything reference the
+  /// lazy budgeted CELF is benchmarked against. With uniform unit costs
+  /// and budget == k the selection is bitwise-identical to Select(k).
+  Result<SeedSelection> SelectBudgeted(uint32_t max_seeds,
+                                       std::span<const double> costs,
+                                       double budget) override;
 
  private:
   const Graph& graph_;

@@ -2,6 +2,7 @@
 #define HOLIM_ALGO_SEED_SELECTOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,6 +45,24 @@ class SeedSelector {
   /// return bitwise-identical selections (the contract the engine
   /// Workspace's warm selector reuse rests on).
   virtual Result<SeedSelection> Select(uint32_t k) = 0;
+
+  /// Budgeted selection (QueryKind::kBudgeted): benefit-per-cost greedy
+  /// under a total `budget`, at most `max_seeds` seeds. `costs` holds one
+  /// positive cost per node and must outlive the call. Selection stops
+  /// when no remaining node fits the residual budget (candidates whose
+  /// cost exceeds it are dropped permanently — their gain only shrinks
+  /// while their cost is fixed, so they can never fit later). Same
+  /// determinism contract as Select. The default reports no support; the
+  /// engine gates callers through AlgorithmInfo::supported_queries, so
+  /// this surfaces only on direct misuse.
+  virtual Result<SeedSelection> SelectBudgeted(
+      uint32_t max_seeds, std::span<const double> costs, double budget) {
+    (void)max_seeds;
+    (void)costs;
+    (void)budget;
+    return Status::Unimplemented(name() +
+                                 " does not support budgeted selection");
+  }
 
   /// Algorithm-specific counters of the most recent Select call (name ->
   /// value), e.g. TIM+'s theta / theta_capped / RR arena bytes. Empty when

@@ -51,6 +51,11 @@ inline SolveRequest MakeSolveRequest(std::string algorithm, uint32_t k,
   request.sketch_eval = common.sketch_eval;
   request.incremental_rescore = common.incremental_rescore;
   request.threads = common.threads;
+  // The query kind and budget carry over directly; the graph-dependent
+  // vectors (node_costs / target_weights / given_seeds) are materialized
+  // by the caller from the raw specs (bench_support/query_support.h).
+  request.query = common.query;
+  request.budget = common.budget;
   request.evaluate_spread = false;
   return request;
 }

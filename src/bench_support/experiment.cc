@@ -165,6 +165,30 @@ void DeclareCommonOptions(BenchArgs* args, const CommonOptionsSpec& spec) {
                   "worker threads for the sharded kernels (0 = serial; "
                   "results are bitwise thread-count-invariant)");
   }
+  if (spec.query) {
+    std::string choices;
+    for (const QueryKind kind : kAllQueryKinds) {
+      if (!choices.empty()) choices += " | ";
+      choices += QueryKindName(kind);
+    }
+    args->Declare("query",
+                  "query kind: " + choices +
+                      " (default topk — byte-identical to the "
+                      "pre-query-vocabulary invocation)");
+    args->Declare("budget",
+                  "[--query=budgeted] total cost budget (> 0 required)");
+    args->Declare("costs",
+                  "[--query=budgeted] per-node cost source: uniform | "
+                  "degree | <file with one cost per node> (default "
+                  "uniform 1.0)");
+    args->Declare("targets",
+                  "[--query=targeted] target set: twitter-topic[:i] "
+                  "(topic i of a Twitter corpus over this graph) | <file "
+                  "of node ids> — weight 1.0 on members, 0 elsewhere");
+    args->Declare("seeds",
+                  "[--query=evaluate|explain] comma-separated node ids "
+                  "of the seed set to score");
+  }
 }
 
 Result<CommonOptions> ParseCommonOptions(const BenchArgs& args,
@@ -202,6 +226,30 @@ Result<CommonOptions> ParseCommonOptions(const BenchArgs& args,
       return Status::InvalidArgument("--threads must be >= 0");
     }
     options.threads = static_cast<uint32_t>(threads);
+  }
+  if (spec.query) {
+    const std::string query = args.GetString("query", "topk");
+    bool known = false;
+    for (const QueryKind kind : kAllQueryKinds) {
+      if (query == QueryKindName(kind)) {
+        options.query = kind;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string choices;
+      for (const QueryKind kind : kAllQueryKinds) {
+        if (!choices.empty()) choices += "|";
+        choices += QueryKindName(kind);
+      }
+      return Status::InvalidArgument("unknown --query (" + choices +
+                                     "): " + query);
+    }
+    options.budget = args.GetDouble("budget", 0.0);
+    options.costs_spec = args.GetString("costs", "");
+    options.targets_spec = args.GetString("targets", "");
+    options.seeds_spec = args.GetString("seeds", "");
   }
   return options;
 }

@@ -94,12 +94,22 @@ void DeclareCommonFlags(BenchArgs* args);
 ///   `--oracle=mc`.
 /// - `--threads`: worker threads of the sharded kernels (0 = serial);
 ///   results are bitwise thread-count-invariant everywhere.
+/// - `--query` (plus its per-query flag group `--budget`, `--costs`,
+///   `--targets`, `--seeds`; declared when `spec.query`): which QueryKind
+///   the solve asks. The choice list and help text are generated from
+///   kAllQueryKinds, so they cannot drift from the engine's vocabulary.
+///   Old invocations are unchanged: the default is "topk", whose output is
+///   byte-identical to the pre-query-vocabulary CLI. The spec strings of
+///   `--costs`/`--targets`/`--seeds` are kept verbatim here (materializing
+///   them needs the graph — see bench_support/query_support.h).
 struct CommonOptionsSpec {
   bool oracle = false;
   /// "incremental"/"full" to declare --rescore with that default; nullptr
   /// omits the flag.
   const char* rescore_default = nullptr;
   bool threads = false;
+  /// Declares the --query flag family.
+  bool query = false;
 };
 
 struct CommonOptions {
@@ -107,6 +117,13 @@ struct CommonOptions {
   SketchEval sketch_eval = SketchEval::kBitParallel;
   bool incremental_rescore = false;
   uint32_t threads = 0;
+  QueryKind query = QueryKind::kTopK;
+  double budget = 0.0;
+  /// Raw --costs / --targets / --seeds specs (graph-dependent; materialize
+  /// via query_support.h).
+  std::string costs_spec;
+  std::string targets_spec;
+  std::string seeds_spec;
 };
 
 /// Declares exactly the flags `spec` enables (with help text derived from

@@ -249,6 +249,52 @@ double SketchOracle::Estimate(std::span<const NodeId> seeds,
   return static_cast<double>(spread) / num_snapshots_;
 }
 
+double SketchOracle::EstimateWeighted(std::span<const NodeId> seeds,
+                                      std::span<const double> node_weights,
+                                      SketchEval eval) const {
+  if (seeds.empty()) return 0.0;
+  HOLIM_CHECK(node_weights.size() == graph_.num_nodes())
+      << "weight/node count mismatch";
+  const double total_weight = eval == SketchEval::kScalar
+                                  ? EstimateScalarWeighted(seeds, node_weights)
+                                  : EstimateLanesWeighted(seeds, node_weights);
+  // Mirror Estimate's |S| exclusion: each seed entry contributes its
+  // weight R times (duplicates included, like R * seeds.size()). The
+  // subtraction and single division reproduce Estimate's arithmetic
+  // bit-for-bit when every weight is 1.0.
+  double seed_weight = 0.0;
+  for (const NodeId seed : seeds) seed_weight += node_weights[seed];
+  return (total_weight - static_cast<double>(num_snapshots_) * seed_weight) /
+         num_snapshots_;
+}
+
+double SketchOracle::EstimateScalarWeighted(
+    std::span<const NodeId> seeds, std::span<const double> weights) const {
+  const NodeId n = graph_.num_nodes();
+  double total_weight = 0.0;
+  for (uint32_t s = 0; s < num_snapshots_; ++s) {
+    visited_.Reset(n);
+    queue_.clear();
+    for (NodeId seed : seeds) {
+      if (visited_.Contains(seed)) continue;
+      visited_.Insert(seed);
+      queue_.push_back(seed);
+      total_weight += weights[seed];
+    }
+    while (!queue_.empty()) {
+      const NodeId v = queue_.back();
+      queue_.pop_back();
+      for (NodeId t : LiveTargets(s, v)) {
+        if (visited_.Contains(t)) continue;
+        visited_.Insert(t);
+        queue_.push_back(t);
+        total_weight += weights[t];
+      }
+    }
+  }
+  return total_weight;
+}
+
 int64_t SketchOracle::EstimateScalar(std::span<const NodeId> seeds) const {
   const NodeId n = graph_.num_nodes();
   int64_t total_reached = 0;
@@ -332,6 +378,55 @@ int64_t SketchOracle::EstimateLanes(std::span<const NodeId> seeds) const {
     for (NodeId t : frontier_) lane_state_[t] = 0;
   }
   return total_reached;
+}
+
+double SketchOracle::EstimateLanesWeighted(
+    std::span<const NodeId> seeds, std::span<const double> weights) const {
+  const NodeId n = graph_.num_nodes();
+  if (lane_state_.size() != n) {
+    lane_state_.assign(n, 0);
+    lane_pending_.assign(n, 0);
+  }
+  double total_weight = 0.0;
+  for (uint32_t g = 0; g < num_lane_groups_; ++g) {
+    const uint64_t full = LaneMaskAll(g);
+    queue_.clear();
+    frontier_.clear();
+    for (NodeId seed : seeds) {
+      const uint64_t fresh = full & ~lane_state_[seed];
+      if (fresh == 0) continue;  // duplicate seed
+      total_weight += std::popcount(fresh) * weights[seed];
+      if (lane_state_[seed] == 0) frontier_.push_back(seed);
+      lane_state_[seed] |= fresh;
+      if (lane_pending_[seed] == 0) queue_.push_back(seed);
+      lane_pending_[seed] |= fresh;
+    }
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const NodeId v = queue_[head];
+      const uint64_t active = lane_pending_[v];
+      if (active == 0) continue;
+      lane_pending_[v] = 0;
+      if (head + 1 < queue_.size()) PrefetchLaneRow(g, queue_[head + 1]);
+      if (head + 2 < queue_.size()) PrefetchLaneOffsets(g, queue_[head + 2]);
+      const LaneAdjacency adj = LaneTargets(g, v);
+      for (uint32_t j = 0; j < adj.size; ++j) {
+        if (j + kLanePrefetchDistance < adj.size) {
+          __builtin_prefetch(
+              &lane_state_[adj.targets[j + kLanePrefetchDistance]]);
+        }
+        const NodeId t = adj.targets[j];
+        const uint64_t fresh = adj.masks[j] & active & ~lane_state_[t];
+        if (fresh == 0) continue;
+        total_weight += std::popcount(fresh) * weights[t];
+        if (lane_state_[t] == 0) frontier_.push_back(t);
+        lane_state_[t] |= fresh;
+        if (lane_pending_[t] == 0) queue_.push_back(t);
+        lane_pending_[t] |= fresh;
+      }
+    }
+    for (NodeId t : frontier_) lane_state_[t] = 0;
+  }
+  return total_weight;
 }
 
 double SketchOracle::EstimateIcnPositive(std::span<const NodeId> seeds,
@@ -564,14 +659,18 @@ std::size_t SketchOracle::ArenaBytes() const {
          lane_entry_base_.capacity() * sizeof(std::size_t);
 }
 
-SketchOracle::Session::Session(const SketchOracle& oracle, SketchEval eval)
+SketchOracle::Session::Session(const SketchOracle& oracle, SketchEval eval,
+                               std::span<const double> node_weights)
     : oracle_(oracle),
       eval_(eval),
+      weights_(node_weights),
       n_(oracle.graph().num_nodes()),
       num_groups_(oracle.num_lane_groups()),
       lanes_(static_cast<std::size_t>(oracle.num_lane_groups()) *
                  oracle.graph().num_nodes(),
              0) {
+  HOLIM_CHECK(weights_.empty() || weights_.size() == n_)
+      << "weight/node count mismatch";
   if (eval_ == SketchEval::kBitParallel) {
     pending_.assign(n_, 0);
   }
@@ -580,6 +679,8 @@ SketchOracle::Session::Session(const SketchOracle& oracle, SketchEval eval)
 void SketchOracle::Session::Reset() {
   std::fill(lanes_.begin(), lanes_.end(), 0);
   total_active_ = 0;
+  total_active_weight_ = 0.0;
+  seed_weight_sum_ = 0.0;
   num_seeds_ = 0;
 }
 
@@ -674,25 +775,138 @@ int64_t SketchOracle::Session::ExploreLanes(NodeId u) {
   return newly_total;
 }
 
+template <bool kCommit>
+SketchOracle::Session::WeightedNewly
+SketchOracle::Session::ExploreScalarWeighted(NodeId u) {
+  const uint32_t snapshots = oracle_.num_snapshots();
+  WeightedNewly total;
+  for (uint32_t s = 0; s < snapshots; ++s) {
+    uint64_t* lanes =
+        lanes_.data() + static_cast<std::size_t>(s / kLanesPerGroup) * n_;
+    const uint64_t bit = uint64_t{1} << (s % kLanesPerGroup);
+    if (lanes[u] & bit) continue;
+    if constexpr (kCommit) {
+      lanes[u] |= bit;
+    } else {
+      trial_.Reset(n_);
+      trial_.Insert(u);
+    }
+    stack_.assign(1, u);
+    total.nodes += 1;
+    total.weight += weights_[u];
+    while (!stack_.empty()) {
+      const NodeId v = stack_.back();
+      stack_.pop_back();
+      for (NodeId t : oracle_.LiveTargets(s, v)) {
+        if (lanes[t] & bit) continue;
+        if constexpr (kCommit) {
+          lanes[t] |= bit;
+        } else {
+          if (trial_.Contains(t)) continue;
+          trial_.Insert(t);
+        }
+        total.nodes += 1;
+        total.weight += weights_[t];
+        stack_.push_back(t);
+      }
+    }
+  }
+  return total;
+}
+
+template <bool kCommit>
+SketchOracle::Session::WeightedNewly
+SketchOracle::Session::ExploreLanesWeighted(NodeId u) {
+  WeightedNewly total;
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    uint64_t* activated = lanes_.data() + static_cast<std::size_t>(g) * n_;
+    const uint64_t start = oracle_.LaneMaskAll(g) & ~activated[u];
+    if (start == 0) continue;  // u already active in every lane
+    total.nodes += std::popcount(start);
+    total.weight += std::popcount(start) * weights_[u];
+    if constexpr (!kCommit) undo_.push_back({u, activated[u]});
+    activated[u] |= start;
+    pending_[u] = start;
+    stack_.assign(1, u);
+    for (std::size_t head = 0; head < stack_.size(); ++head) {
+      const NodeId v = stack_[head];
+      const uint64_t active = pending_[v];
+      if (active == 0) continue;
+      pending_[v] = 0;
+      if (head + 1 < stack_.size()) oracle_.PrefetchLaneRow(g, stack_[head + 1]);
+      if (head + 2 < stack_.size()) {
+        oracle_.PrefetchLaneOffsets(g, stack_[head + 2]);
+      }
+      const LaneAdjacency adj = oracle_.LaneTargets(g, v);
+      for (uint32_t j = 0; j < adj.size; ++j) {
+        if (j + kLanePrefetchDistance < adj.size) {
+          __builtin_prefetch(&activated[adj.targets[j + kLanePrefetchDistance]]);
+        }
+        const NodeId t = adj.targets[j];
+        const uint64_t fresh = adj.masks[j] & active & ~activated[t];
+        if (fresh == 0) continue;
+        total.nodes += std::popcount(fresh);
+        total.weight += std::popcount(fresh) * weights_[t];
+        if constexpr (!kCommit) undo_.push_back({t, activated[t]});
+        activated[t] |= fresh;
+        if (pending_[t] == 0) stack_.push_back(t);
+        pending_[t] |= fresh;
+      }
+    }
+    if constexpr (!kCommit) {
+      for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+        activated[it->node] = it->word;
+      }
+      undo_.clear();
+    }
+  }
+  return total;
+}
+
 double SketchOracle::Session::MarginalGain(NodeId u) {
+  const uint32_t snapshots = oracle_.num_snapshots();
+  if (!weights_.empty()) {
+    const WeightedNewly newly =
+        eval_ == SketchEval::kScalar
+            ? ExploreScalarWeighted</*kCommit=*/false>(u)
+            : ExploreLanesWeighted</*kCommit=*/false>(u);
+    return (newly.weight - static_cast<double>(snapshots) * weights_[u]) /
+           snapshots;
+  }
   const int64_t newly = eval_ == SketchEval::kScalar
                             ? ExploreScalar</*kCommit=*/false>(u)
                             : ExploreLanes</*kCommit=*/false>(u);
-  return static_cast<double>(newly - oracle_.num_snapshots()) /
-         oracle_.num_snapshots();
+  return static_cast<double>(newly - snapshots) / snapshots;
 }
 
 double SketchOracle::Session::Commit(NodeId u) {
+  const uint32_t snapshots = oracle_.num_snapshots();
+  if (!weights_.empty()) {
+    const WeightedNewly newly =
+        eval_ == SketchEval::kScalar
+            ? ExploreScalarWeighted</*kCommit=*/true>(u)
+            : ExploreLanesWeighted</*kCommit=*/true>(u);
+    total_active_ += newly.nodes;
+    total_active_weight_ += newly.weight;
+    seed_weight_sum_ += weights_[u];
+    ++num_seeds_;
+    return (newly.weight - static_cast<double>(snapshots) * weights_[u]) /
+           snapshots;
+  }
   const int64_t newly = eval_ == SketchEval::kScalar
                             ? ExploreScalar</*kCommit=*/true>(u)
                             : ExploreLanes</*kCommit=*/true>(u);
   total_active_ += newly;
   ++num_seeds_;
-  return static_cast<double>(newly - oracle_.num_snapshots()) /
-         oracle_.num_snapshots();
+  return static_cast<double>(newly - snapshots) / snapshots;
 }
 
 double SketchOracle::Session::Spread() const {
+  if (!weights_.empty()) {
+    return (total_active_weight_ -
+            static_cast<double>(oracle_.num_snapshots()) * seed_weight_sum_) /
+           oracle_.num_snapshots();
+  }
   const int64_t spread =
       total_active_ - static_cast<int64_t>(oracle_.num_snapshots()) *
                           static_cast<int64_t>(num_seeds_);

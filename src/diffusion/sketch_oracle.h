@@ -178,6 +178,24 @@ class SketchOracle {
   double Estimate(std::span<const NodeId> seeds,
                   SketchEval eval = SketchEval::kBitParallel) const;
 
+  /// Weighted twin of Estimate for targeted IM: sigma_w(S) =
+  /// E[sum of w(v) over activated non-seeds v] — each reached node counts
+  /// its weight instead of 1 (in lane space, a weighted popcount per lane
+  /// group: popcount(fresh) * w(target)). `node_weights` must hold one
+  /// finite weight >= 0 per node.
+  ///
+  /// Bitwise contract: with all-ones weights the accumulated weight sums
+  /// are exact small integers in doubles and the final division matches
+  /// Estimate's, so EstimateWeighted == Estimate bitwise in BOTH eval
+  /// modes. With arbitrary weights each eval mode is deterministic, but
+  /// the two modes accumulate per-node weights in different orders (one
+  /// per discovery vs popcount-batched per union edge), so they agree
+  /// exactly only when every partial sum is exactly representable (e.g.
+  /// integer weights, the 0/1 target masks).
+  double EstimateWeighted(std::span<const NodeId> seeds,
+                          std::span<const double> node_weights,
+                          SketchEval eval = SketchEval::kBitParallel) const;
+
   /// Expected IC-N positive spread over the frozen worlds (Chen et al.,
   /// SDM'11, uniform quality factor q): a node activated at live-edge BFS
   /// distance d is positive w.p. q^(d+1) (one quality flip per hop plus
@@ -275,8 +293,15 @@ class SketchOracle {
   /// independent (but a single session is not thread-safe).
   class Session {
    public:
+    /// `node_weights` non-empty switches the session to the weighted
+    /// objective sigma_w (targeted IM): gains and Spread() count each
+    /// activated node's weight instead of 1. The span must outlive the
+    /// session (SketchSpreadObjective owns a copy for exactly this
+    /// reason). With all-ones weights every weighted result is bitwise
+    /// equal to the unweighted session's — see EstimateWeighted.
     explicit Session(const SketchOracle& oracle,
-                     SketchEval eval = SketchEval::kBitParallel);
+                     SketchEval eval = SketchEval::kBitParallel,
+                     std::span<const double> node_weights = {});
 
     /// Drops all committed seeds (keeps capacity).
     void Reset();
@@ -284,14 +309,17 @@ class SketchOracle {
     /// Marginal gain of adding `u` to the committed set, WITHOUT
     /// committing: avg over snapshots of |reach(u) \ activated| minus 1
     /// (the candidate joins the excluded seed set, mirroring Def. 3).
+    /// Weighted sessions count w(v) per newly reached v and subtract
+    /// w(u) instead of 1.
     double MarginalGain(NodeId u);
 
     /// Commits `u` as a seed, persistently activating its frontier in
     /// every snapshot. Returns its marginal gain.
     double Commit(NodeId u);
 
-    /// sigma of the committed seed set; bitwise equal to
-    /// oracle.Estimate(committed seeds) in either eval mode.
+    /// sigma (or sigma_w) of the committed seed set; bitwise equal to
+    /// oracle.Estimate(committed seeds) / EstimateWeighted(...) in either
+    /// eval mode.
     double Spread() const;
 
     std::size_t num_seeds() const { return num_seeds_; }
@@ -303,6 +331,13 @@ class SketchOracle {
     std::size_t ScratchBytes() const;
 
    private:
+    /// Newly activated totals of one weighted explore: the node count
+    /// feeds the work counter, the weight sum feeds gains/Spread.
+    struct WeightedNewly {
+      int64_t nodes = 0;
+      double weight = 0.0;
+    };
+
     /// One BFS per snapshot over the scalar arena (reference traversal).
     template <bool kCommit>
     int64_t ExploreScalar(NodeId u);
@@ -311,9 +346,19 @@ class SketchOracle {
     /// union edge with fresh = live & pending[v] & ~activated[t].
     template <bool kCommit>
     int64_t ExploreLanes(NodeId u);
+    /// Weighted twins of the two kernels (kept separate so the unweighted
+    /// hot loops stay branch-free): same traversal, but each fresh
+    /// activation also accumulates its node weight (scalar: w(t) per
+    /// discovery; lanes: popcount(fresh) * w(t) per union edge).
+    template <bool kCommit>
+    WeightedNewly ExploreScalarWeighted(NodeId u);
+    template <bool kCommit>
+    WeightedNewly ExploreLanesWeighted(NodeId u);
 
     const SketchOracle& oracle_;
     SketchEval eval_;
+    /// Per-node objective weights; empty = unweighted (see constructor).
+    std::span<const double> weights_;
     NodeId n_;
     uint32_t num_groups_;
     /// Activated lane masks, group-major: bit b of lanes_[g * n + u] means
@@ -337,6 +382,11 @@ class SketchOracle {
     /// Shared worklist: scalar BFS queue / bit-parallel FIFO wave walk.
     std::vector<NodeId> stack_;
     int64_t total_active_ = 0;
+    /// Weighted-session accumulators (exactly mirror total_active_ /
+    /// num_seeds_ when all weights are 1.0 — both stay exact integers in
+    /// doubles, which is what makes the all-ones parity bitwise).
+    double total_active_weight_ = 0.0;
+    double seed_weight_sum_ = 0.0;
     std::size_t num_seeds_ = 0;
   };
 
@@ -350,6 +400,10 @@ class SketchOracle {
 
   int64_t EstimateScalar(std::span<const NodeId> seeds) const;
   int64_t EstimateLanes(std::span<const NodeId> seeds) const;
+  double EstimateScalarWeighted(std::span<const NodeId> seeds,
+                                std::span<const double> weights) const;
+  double EstimateLanesWeighted(std::span<const NodeId> seeds,
+                               std::span<const double> weights) const;
   void AccumulateIcnLevelCountsScalar(std::span<const NodeId> seeds) const;
   void AccumulateIcnLevelCountsLanes(std::span<const NodeId> seeds) const;
 

@@ -54,8 +54,15 @@ Result<std::shared_ptr<McObjective>> MakeMcObjective(const SolveContext& ctx) {
     options.pool = ctx.pool;
     auto sketch =
         ctx.workspace.GetSketchOracle(ctx.graph, *r.params, options);
+    // Targeted queries hill-climb the weighted objective sigma_w; the
+    // objective copies the weights so the cached selector never dangles
+    // into a caller-owned request vector.
+    std::vector<double> weights =
+        r.query == QueryKind::kTargeted ? r.target_weights
+                                        : std::vector<double>{};
     return std::shared_ptr<McObjective>(std::make_shared<SketchSpreadObjective>(
-        std::move(sketch), /*use_session=*/true, r.sketch_eval));
+        std::move(sketch), /*use_session=*/true, r.sketch_eval,
+        std::move(weights)));
   }
   McOptions mc;
   mc.num_simulations = r.mc;
@@ -70,6 +77,13 @@ Result<std::shared_ptr<McObjective>> MakeMcObjective(const SolveContext& ctx) {
 }
 
 using SelectorResult = Result<std::unique_ptr<SeedSelector>>;
+
+/// Capability mask of the hill-climbing selectors: on top of the base
+/// kinds they answer budgeted queries (benefit-per-cost lazy greedy) and
+/// targeted queries (weighted sketch objective).
+constexpr uint32_t kHillClimbQueries = kBaseQueries |
+                                       QueryBit(QueryKind::kBudgeted) |
+                                       QueryBit(QueryKind::kTargeted);
 
 }  // namespace
 
@@ -104,6 +118,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry) {
     info.name = "greedy";
     info.models = "IC, WC, LT (+ opinion objective)";
     info.artifacts = "sketch-oracle arena (oracle=sketch)";
+    info.supported_queries = kHillClimbQueries;
     info.factory = [](const SolveContext& ctx) -> SelectorResult {
       HOLIM_ASSIGN_OR_RETURN(std::shared_ptr<McObjective> objective,
                              MakeMcObjective(ctx));
@@ -117,6 +132,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry) {
     info.name = "celf";
     info.models = "IC, WC, LT (+ opinion objective)";
     info.artifacts = "sketch-oracle arena (oracle=sketch)";
+    info.supported_queries = kHillClimbQueries;
     info.factory = [](const SolveContext& ctx) -> SelectorResult {
       HOLIM_ASSIGN_OR_RETURN(std::shared_ptr<McObjective> objective,
                              MakeMcObjective(ctx));
@@ -131,6 +147,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry) {
     info.aliases = {"celfpp"};
     info.models = "IC, WC, LT (+ opinion objective)";
     info.artifacts = "sketch-oracle arena (oracle=sketch)";
+    info.supported_queries = kHillClimbQueries;
     info.factory = [](const SolveContext& ctx) -> SelectorResult {
       HOLIM_ASSIGN_OR_RETURN(std::shared_ptr<McObjective> objective,
                              MakeMcObjective(ctx));

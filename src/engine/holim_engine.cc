@@ -1,8 +1,11 @@
 #include "engine/holim_engine.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "diffusion/spread_estimator.h"
 #include "util/timer.h"
@@ -16,6 +19,88 @@ namespace {
 /// one key and silently warm-reuse the wrong selector.
 std::string KeyBits(double value) {
   return std::to_string(std::bit_cast<uint64_t>(value));
+}
+
+/// Shape/range checks of the query-family request fields against the
+/// bound graph, before any artifact is built. Kind-agnostic fields
+/// (node_costs) are validated whenever present, so kEvaluate's
+/// total_cost reporting meets the same contract as kBudgeted's
+/// selection.
+Status ValidateQueryFields(const SolveRequest& r, uint32_t num_nodes) {
+  if (!r.node_costs.empty()) {
+    if (r.node_costs.size() != num_nodes) {
+      return Status::InvalidArgument(
+          "node_costs must have one entry per node (" +
+          std::to_string(r.node_costs.size()) + " given, " +
+          std::to_string(num_nodes) + " nodes)");
+    }
+    for (const double c : r.node_costs) {
+      if (!std::isfinite(c) || !(c > 0.0)) {
+        return Status::InvalidArgument("node costs must be finite and > 0");
+      }
+    }
+  }
+  if (!r.target_weights.empty()) {
+    if (r.target_weights.size() != num_nodes) {
+      return Status::InvalidArgument(
+          "target_weights must have one entry per node (" +
+          std::to_string(r.target_weights.size()) + " given, " +
+          std::to_string(num_nodes) + " nodes)");
+    }
+    for (const double w : r.target_weights) {
+      if (!std::isfinite(w) || w < 0.0) {
+        return Status::InvalidArgument(
+            "target weights must be finite and >= 0");
+      }
+    }
+  }
+  switch (r.query) {
+    case QueryKind::kTopK:
+      break;
+    case QueryKind::kBudgeted:
+      if (!std::isfinite(r.budget) || !(r.budget > 0.0)) {
+        return Status::InvalidArgument(
+            "kBudgeted requires a finite budget > 0");
+      }
+      break;
+    case QueryKind::kTargeted:
+      if (r.target_weights.empty()) {
+        return Status::InvalidArgument(
+            "kTargeted requires target_weights (one per node)");
+      }
+      if (r.oracle != SpreadOracle::kSketch) {
+        return Status::InvalidArgument(
+            "kTargeted requires the sketch oracle (weighted spread is "
+            "evaluated over the frozen snapshot worlds)");
+      }
+      break;
+    case QueryKind::kEvaluate:
+    case QueryKind::kExplain:
+      if (r.given_seeds.empty()) {
+        return Status::InvalidArgument(
+            std::string(QueryKindName(r.query)) +
+            " requires a non-empty given_seeds set");
+      }
+      for (const NodeId s : r.given_seeds) {
+        if (s >= num_nodes) {
+          return Status::InvalidArgument("given seed id " +
+                                         std::to_string(s) +
+                                         " out of range");
+        }
+      }
+      if (r.query == QueryKind::kExplain &&
+          r.oracle != SpreadOracle::kSketch) {
+        return Status::InvalidArgument(
+            "kExplain requires the sketch oracle (contributions come "
+            "from the session bitsets)");
+      }
+      if (!r.target_weights.empty() && r.oracle != SpreadOracle::kSketch) {
+        return Status::InvalidArgument(
+            "weighted evaluation requires the sketch oracle");
+      }
+      break;
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -63,6 +148,15 @@ std::string HolimEngine::SelectorKey(const AlgorithmInfo& info,
   // not leak across modes. The sketch ARENA key deliberately omits it —
   // both traversals read the same worlds.
   key += "|eval=" + std::to_string(static_cast<int>(r.sketch_eval));
+  // Query-family knobs. The kind and the *content* of costs / target
+  // weights / given seeds are all part of the key (a weighted objective is
+  // baked into the selector at construction; cost vectors gate which
+  // SelectBudgeted calls may reuse a session); the budget, like k, is a
+  // call-time argument and deliberately absent.
+  key += "|query=" + std::to_string(static_cast<int>(r.query));
+  key += "|costs=" + std::to_string(FingerprintDoubles(r.node_costs));
+  key += "|tw=" + std::to_string(FingerprintDoubles(r.target_weights));
+  key += "|gs=" + std::to_string(FingerprintNodes(r.given_seeds));
   return key;
 }
 
@@ -71,7 +165,13 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
   if (request.params == nullptr) {
     return Status::InvalidArgument("SolveRequest.params must be set");
   }
-  if (request.k == 0) return Status::InvalidArgument("k must be positive");
+  HOLIM_RETURN_NOT_OK(ValidateQueryFields(request, graph_.num_nodes()));
+  const bool runs_selector = request.query == QueryKind::kTopK ||
+                             request.query == QueryKind::kBudgeted ||
+                             request.query == QueryKind::kTargeted;
+  if (runs_selector && request.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
   const AlgorithmInfo* info =
       AlgorithmRegistry::Global().Find(request.algorithm);
   if (info == nullptr) {
@@ -79,12 +179,22 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
         "unknown algorithm '" + request.algorithm + "' (registered: " +
         AlgorithmRegistry::Global().NamesOneLine() + ")");
   }
+  // Capability gate: an unsupported (algorithm, kind) pair is a typed
+  // error, never a silent top-k fallback.
+  if ((info->supported_queries & QueryBit(request.query)) == 0) {
+    return Status::Unimplemented(
+        "algorithm '" + info->name + "' does not support query kind '" +
+        QueryKindName(request.query) +
+        "' (supports: " + QueryMaskNames(info->supported_queries) + ")");
+  }
   if (info->needs_opinions && request.opinions == nullptr) {
     return Status::InvalidArgument("algorithm '" + info->name +
                                    "' requires SolveRequest.opinions");
   }
+  if (!runs_selector) return SolveGivenSeeds(request, total_timer);
 
   SolveResult result;
+  result.query = request.query;
   SolveContext ctx{graph_, request, workspace_, PoolFor(request.threads)};
 
   // Artifact acquisition: the cached selector (and, inside the factory,
@@ -128,8 +238,21 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
   }
   result.artifact_seconds = artifact_timer.ElapsedSeconds();
 
-  HOLIM_ASSIGN_OR_RETURN(SeedSelection selection,
-                         selector->Select(request.k));
+  SeedSelection selection;
+  if (request.query == QueryKind::kBudgeted) {
+    // Empty costs mean uniform 1.0 — materialized here once so selectors
+    // see one contract (a full per-node span).
+    std::vector<double> uniform;
+    std::span<const double> costs(request.node_costs);
+    if (costs.empty()) {
+      uniform.assign(graph_.num_nodes(), 1.0);
+      costs = uniform;
+    }
+    HOLIM_ASSIGN_OR_RETURN(
+        selection, selector->SelectBudgeted(request.k, costs, request.budget));
+  } else {
+    HOLIM_ASSIGN_OR_RETURN(selection, selector->Select(request.k));
+  }
   result.seeds = std::move(selection.seeds);
   result.seed_scores = std::move(selection.seed_scores);
   result.algorithm = selector->name();
@@ -137,12 +260,24 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
   result.overhead_bytes = selection.overhead_bytes;
   result.scratch_bytes = selection.scratch_bytes;
   result.stats = selector->LastRunStats();
+  result.SortStats();
+
+  if (request.query == QueryKind::kBudgeted || !request.node_costs.empty()) {
+    for (const NodeId s : result.seeds) {
+      result.total_cost +=
+          request.node_costs.empty() ? 1.0 : request.node_costs[s];
+    }
+  }
 
   if (request.evaluate_spread) {
     Timer spread_timer;
     if (eval_sketch != nullptr) {
       result.spread = eval_sketch->Estimate(result.seeds,
                                             request.sketch_eval);
+      if (request.query == QueryKind::kTargeted) {
+        result.targeted_spread = eval_sketch->EstimateWeighted(
+            result.seeds, request.target_weights, request.sketch_eval);
+      }
     } else {
       McOptions mc;
       mc.num_simulations = request.mc;
@@ -151,6 +286,84 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
                                      mc);
     }
     result.spread_seconds = spread_timer.ElapsedSeconds();
+  }
+
+  workspace_.EnforceBudget();
+  result.workspace_bytes = workspace_.MemoryFootprintBytes();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+Result<SolveResult> HolimEngine::SolveGivenSeeds(const SolveRequest& request,
+                                                 const Timer& total_timer) {
+  SolveResult result;
+  result.query = request.query;
+  // No selector runs; the display name records what answered instead.
+  result.algorithm = QueryKindName(request.query);
+  result.seeds = request.given_seeds;
+
+  Timer artifact_timer;
+  std::shared_ptr<const SketchOracle> sketch;
+  if (request.oracle == SpreadOracle::kSketch) {
+    const std::string sketch_key =
+        SketchOracleKey(FingerprintParams(*request.params),
+                        request.EffectiveSketchCount(), request.seed,
+                        /*record_edge_offsets=*/false);
+    result.warm_sketch = workspace_.PeekSketchOracle(sketch_key) != nullptr;
+    SketchOptions options;
+    options.num_snapshots = request.EffectiveSketchCount();
+    options.seed = request.seed;
+    options.pool = PoolFor(request.threads);
+    sketch = workspace_.GetSketchOracle(graph_, *request.params, options);
+    result.sketch_arena_bytes = sketch->ArenaBytes();
+  }
+  result.artifact_seconds = artifact_timer.ElapsedSeconds();
+
+  const bool weighted = !request.target_weights.empty();
+  Timer spread_timer;
+  if (request.query == QueryKind::kExplain) {
+    // One committed session pass over the given seeds, in order:
+    // contribution i is the exact marginal gain of seeds[i] given
+    // seeds[0..i) over the frozen worlds, so the vector telescopes to the
+    // session spread (bitwise, when the per-commit quotients are exact —
+    // e.g. any power-of-two snapshot count).
+    SketchOracle::Session session(
+        *sketch, request.sketch_eval,
+        weighted ? std::span<const double>(request.target_weights)
+                 : std::span<const double>{});
+    result.seed_contributions.reserve(request.given_seeds.size());
+    for (const NodeId s : request.given_seeds) {
+      result.seed_contributions.push_back(session.Commit(s));
+    }
+    const double session_spread = session.Spread();
+    if (weighted) {
+      result.targeted_spread = session_spread;
+      result.spread = sketch->Estimate(result.seeds, request.sketch_eval);
+    } else {
+      result.spread = session_spread;
+    }
+    result.scratch_bytes = session.ScratchBytes();
+  } else {  // kEvaluate — `evaluate_spread` is implied by the kind.
+    if (sketch != nullptr) {
+      result.spread = sketch->Estimate(result.seeds, request.sketch_eval);
+      if (weighted) {
+        result.targeted_spread = sketch->EstimateWeighted(
+            result.seeds, request.target_weights, request.sketch_eval);
+      }
+    } else {
+      McOptions mc;
+      mc.num_simulations = request.mc;
+      mc.seed = request.seed;
+      result.spread =
+          EstimateSpread(graph_, *request.params, result.seeds, mc);
+    }
+  }
+  result.spread_seconds = spread_timer.ElapsedSeconds();
+
+  if (!request.node_costs.empty()) {
+    for (const NodeId s : result.seeds) {
+      result.total_cost += request.node_costs[s];
+    }
   }
 
   workspace_.EnforceBudget();

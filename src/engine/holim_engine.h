@@ -12,6 +12,7 @@
 #include "graph/graph.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace holim {
 
@@ -42,9 +43,19 @@ class HolimEngine {
   explicit HolimEngine(const Graph& graph, const EngineOptions& options = {});
 
   /// Runs one query. On success the result carries seeds, per-round
-  /// scores, the oracle spread estimate (when requested), timings, and
-  /// artifact bookkeeping. Fails with InvalidArgument on an unknown
-  /// algorithm, a missing opinion layer, or k out of range.
+  /// scores, the oracle spread estimate (when requested), the query-kind
+  /// outputs (total cost, targeted spread, per-seed contributions),
+  /// timings, and artifact bookkeeping. Typed failures:
+  ///  * InvalidArgument — unknown algorithm, missing opinion layer, k out
+  ///    of range, or malformed query fields (bad costs/budget/weights/
+  ///    given seeds for the requested QueryKind);
+  ///  * Unimplemented — the algorithm does not advertise the requested
+  ///    QueryKind in AlgorithmInfo::supported_queries (the engine never
+  ///    silently falls back to top-k).
+  /// kEvaluate/kExplain never build a selector: they score
+  /// `given_seeds` straight through the oracle (explain requires the
+  /// sketch oracle; its contributions come from one committed session
+  /// pass over the session bitsets).
   Result<SolveResult> Solve(const SolveRequest& request);
 
   const Graph& graph() const { return graph_; }
@@ -63,9 +74,18 @@ class HolimEngine {
   ThreadPool* PoolFor(uint32_t threads);
 
   /// Selector cache key: canonical algorithm + params/opinions
-  /// fingerprints + every request knob except k.
+  /// fingerprints + every request knob except k and budget (both are
+  /// call-time arguments of the selector). The query kind and the
+  /// content fingerprints of node_costs / target_weights / given_seeds
+  /// are folded in.
   std::string SelectorKey(const AlgorithmInfo& info,
                           const SolveRequest& request) const;
+
+  /// The kEvaluate/kExplain path: no selector, score `given_seeds`
+  /// through the oracle (sketch session for explain). `total_timer` is
+  /// Solve's end-to-end timer.
+  Result<SolveResult> SolveGivenSeeds(const SolveRequest& request,
+                                      const Timer& total_timer);
 
   const Graph& graph_;
   // Declared before workspace_ on purpose: cached selectors hold pool

@@ -10,6 +10,16 @@ namespace holim {
 // `registry`. Called exactly once, under Global()'s static init.
 void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry);
 
+std::string QueryMaskNames(uint32_t mask) {
+  std::string out;
+  for (const QueryKind kind : kAllQueryKinds) {
+    if ((mask & QueryBit(kind)) == 0) continue;
+    if (!out.empty()) out += ",";
+    out += QueryKindName(kind);
+  }
+  return out.empty() ? "-" : out;
+}
+
 AlgorithmRegistry& AlgorithmRegistry::Global() {
   static AlgorithmRegistry* registry = [] {
     auto* r = new AlgorithmRegistry();

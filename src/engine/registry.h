@@ -26,6 +26,23 @@ struct SolveContext {
   ThreadPool* pool = nullptr;
 };
 
+/// Capability bit of one query kind (for AlgorithmInfo::supported_queries).
+inline constexpr uint32_t QueryBit(QueryKind kind) {
+  return uint32_t{1} << static_cast<uint32_t>(kind);
+}
+
+/// The capability mask every algorithm supports for free: top-k selection
+/// plus the oracle-side evaluate/explain endpoints (those score
+/// caller-supplied seeds through the Workspace's sketch oracle / MC
+/// estimator, so the algorithm choice never constrains them).
+inline constexpr uint32_t kBaseQueries = QueryBit(QueryKind::kTopK) |
+                                         QueryBit(QueryKind::kEvaluate) |
+                                         QueryBit(QueryKind::kExplain);
+
+/// "topk,evaluate,explain"-style rendering of a capability mask, in
+/// QueryKind declaration order (for --list-algorithms and error text).
+std::string QueryMaskNames(uint32_t mask);
+
 /// \brief One registry row: the canonical name every CLI/bench dispatch
 /// uses, plus the metadata `holim_cli --list-algorithms` prints and the
 /// factory HolimEngine::Solve calls on a selector-cache miss.
@@ -41,6 +58,12 @@ struct AlgorithmInfo {
   std::string artifacts;
   /// Requires SolveRequest::opinions.
   bool needs_opinions = false;
+  /// QueryBit mask of the query kinds this algorithm can answer.
+  /// HolimEngine::Solve rejects an unsupported (algorithm, kind) pair with
+  /// a typed Unimplemented error instead of silently running top-k. The
+  /// cost/weight-aware selectors (greedy, celf, celf++) additionally set
+  /// kBudgeted and kTargeted.
+  uint32_t supported_queries = kBaseQueries;
   /// Builds a fresh selector for the request. Must be deterministic in the
   /// request: the parity contract (engine solve == direct selector call,
   /// warm == cold) holds because this is the only construction path.

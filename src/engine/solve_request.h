@@ -1,6 +1,7 @@
 #ifndef HOLIM_ENGINE_SOLVE_REQUEST_H_
 #define HOLIM_ENGINE_SOLVE_REQUEST_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -22,6 +23,52 @@ namespace holim {
 /// across successive solves on the same graph).
 enum class SpreadOracle { kMonteCarlo, kSketch };
 
+/// \brief The engine's query vocabulary: what question a SolveRequest asks
+/// over the bound graph. All kinds dispatch through HolimEngine::Solve and
+/// share the Workspace artifacts; they differ in which request fields they
+/// read and which SolveResult fields they fill.
+///
+///  * kTopK     — classic unconstrained top-k seed selection (the default;
+///                byte-identical to the pre-query-vocabulary engine).
+///  * kBudgeted — benefit-per-cost lazy greedy under a total budget:
+///                reads `node_costs` (empty = uniform 1.0) and `budget`,
+///                selects until no affordable node remains (at most k),
+///                fills `total_cost`. With uniform unit costs and
+///                budget == k the selection is bitwise-identical to kTopK.
+///  * kTargeted — maximize spread over a weighted node subset: reads
+///                `target_weights` (one per node), requires the sketch
+///                oracle (weighted popcount per lane group), fills
+///                `targeted_spread`. With all-ones weights the selection
+///                and spread are bitwise-identical to kTopK.
+///  * kEvaluate — no selection: score the caller-supplied `given_seeds`
+///                through the requested oracle (plus the weighted spread
+///                when `target_weights` is set, and `total_cost` when
+///                `node_costs` is set).
+///  * kExplain  — kEvaluate plus attribution: per-seed marginal
+///                contributions from the sketch session bitsets, in
+///                `given_seeds` order (`seed_contributions`; they
+///                telescope, so their sum equals the evaluate spread
+///                bitwise). Requires the sketch oracle.
+enum class QueryKind { kTopK, kBudgeted, kTargeted, kEvaluate, kExplain };
+
+/// Every query kind, in declaration order — the one list the CLI help
+/// text, the capability mask printer, and the docs gate all derive from.
+inline constexpr QueryKind kAllQueryKinds[] = {
+    QueryKind::kTopK, QueryKind::kBudgeted, QueryKind::kTargeted,
+    QueryKind::kEvaluate, QueryKind::kExplain};
+
+/// Canonical lowercase name, as spelled by `holim_cli --query=`.
+inline const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kTopK: return "topk";
+    case QueryKind::kBudgeted: return "budgeted";
+    case QueryKind::kTargeted: return "targeted";
+    case QueryKind::kEvaluate: return "evaluate";
+    case QueryKind::kExplain: return "explain";
+  }
+  return "?";
+}
+
 /// \brief One influence-maximization query against a HolimEngine.
 ///
 /// The engine binds the graph at construction; a request names a
@@ -35,6 +82,23 @@ struct SolveRequest {
   /// --list-algorithms`), e.g. "easyim", "tim+", "celf++".
   std::string algorithm;
   uint32_t k = 50;
+
+  /// Which question this request asks (see QueryKind). The algorithm must
+  /// advertise the kind in its AlgorithmInfo::supported_queries mask or
+  /// Solve fails with a typed Unimplemented error.
+  QueryKind query = QueryKind::kTopK;
+  /// kBudgeted: per-node selection cost (one entry per node, all > 0);
+  /// empty = uniform cost 1.0. Also read by kEvaluate/kExplain to report
+  /// `total_cost`.
+  std::vector<double> node_costs;
+  /// kBudgeted: total cost budget (> 0 required).
+  double budget = 0.0;
+  /// kTargeted: per-node spread weight (one entry per node, all >= 0,
+  /// finite). Also read by kEvaluate/kExplain to score the weighted
+  /// objective. Empty = untargeted.
+  std::vector<double> target_weights;
+  /// kEvaluate/kExplain: the caller-supplied seed set to score.
+  std::vector<NodeId> given_seeds;
 
   /// First-layer model parameters (required; must outlive the solve and,
   /// for warm reuse, the engine — cached artifacts key on their content).
@@ -105,10 +169,24 @@ struct SolveResult {
   std::vector<double> seed_scores;
   /// The selector's display name, e.g. "EaSyIM(l=3)".
   std::string algorithm;
+  /// The query kind this result answers (copied from the request).
+  QueryKind query = QueryKind::kTopK;
 
   /// sigma(S) through the requested oracle; 0 when `evaluate_spread` was
   /// off.
   double spread = 0.0;
+  /// kBudgeted/kEvaluate/kExplain with costs: total cost of `seeds` under
+  /// the request's node_costs (uniform 1.0 when they were empty).
+  double total_cost = 0.0;
+  /// kTargeted (and kEvaluate/kExplain with target_weights): the weighted
+  /// spread sigma_w(S) over the frozen sketch worlds. With all-ones
+  /// weights this is bitwise equal to `spread`.
+  double targeted_spread = 0.0;
+  /// kExplain: per-seed marginal contribution, in `seeds` order —
+  /// contribution[i] is the (weighted, when targeted) spread gain of
+  /// seeds[i] given seeds[0..i). Contributions telescope, so their sum is
+  /// bitwise equal to the evaluate spread of the same seed set.
+  std::vector<double> seed_contributions;
 
   /// Select(k) wall time as reported by the selector.
   double select_seconds = 0.0;
@@ -138,13 +216,30 @@ struct SolveResult {
 
   /// Algorithm-specific counters from SeedSelector::LastRunStats(), e.g.
   /// TIM+'s {"theta", "theta_capped", "rr_memory_bytes", ...}.
+  ///
+  /// Lookup contract: the engine sorts these by name ONCE per solve, so
+  /// Stat() is a binary search — benches that probe several counters per
+  /// round no longer pay a linear scan each. Callers that fill `stats`
+  /// by hand must keep them name-sorted (or call SortStats()).
   std::vector<std::pair<std::string, double>> stats;
 
-  /// First stat named `name`, or `fallback` when absent.
+  /// Restores the sorted-by-name invariant `Stat` relies on (stable, so
+  /// a duplicated name keeps its original relative order).
+  void SortStats() {
+    std::stable_sort(
+        stats.begin(), stats.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  /// First stat named `name`, or `fallback` when absent. O(log #stats)
+  /// over the name-sorted vector (see `stats`).
   double Stat(const std::string& name, double fallback = 0.0) const {
-    for (const auto& [key, value] : stats) {
-      if (key == name) return value;
-    }
+    const auto it = std::lower_bound(
+        stats.begin(), stats.end(), name,
+        [](const auto& entry, const std::string& key) {
+          return entry.first < key;
+        });
+    if (it != stats.end() && it->first == name) return it->second;
     return fallback;
   }
 };

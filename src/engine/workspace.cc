@@ -44,6 +44,16 @@ uint64_t FingerprintOpinions(const OpinionParams& opinions) {
   return HashDoubles(opinions.interaction, hash);
 }
 
+uint64_t FingerprintDoubles(const std::vector<double>& values) {
+  return HashDoubles(values, kFnvOffset);
+}
+
+uint64_t FingerprintNodes(const std::vector<NodeId>& nodes) {
+  return nodes.empty() ? kFnvOffset
+                       : Fnv1a(nodes.data(), nodes.size() * sizeof(NodeId),
+                               kFnvOffset);
+}
+
 std::string SketchOracleKey(uint64_t params_fingerprint, uint32_t snapshots,
                             uint64_t seed, bool record_edge_offsets) {
   return "sketch|fp=" + std::to_string(params_fingerprint) +

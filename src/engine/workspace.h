@@ -128,6 +128,17 @@ uint64_t FingerprintParams(const InfluenceParams& params);
 /// interaction probabilities).
 uint64_t FingerprintOpinions(const OpinionParams& opinions);
 
+/// Content fingerprint of an arbitrary double vector — the query-family
+/// request fields (node costs, target weights) folded into Workspace keys.
+/// Same FNV-1a-over-representation convention as FingerprintParams: any
+/// bit-level change misses the cache.
+uint64_t FingerprintDoubles(const std::vector<double>& values);
+
+/// Content fingerprint of a node-id vector (kEvaluate/kExplain given
+/// seed sets). Order-sensitive, matching explain's order-dependent
+/// contributions.
+uint64_t FingerprintNodes(const std::vector<NodeId>& nodes);
+
 /// Canonical workspace key of a sketch-oracle artifact — shared by the
 /// engine's spread evaluation and the greedy/CELF factories so one arena
 /// serves both.

@@ -47,6 +47,21 @@ Dispatches on the baseline's "bench" field:
         machine word, bitwise-identical seeds and spreads); a timing ratio,
         gated like select_speedup.
 
+  * "query_family" (BENCH_query.json, from bench_micro_query_family):
+      - budgeted.uniform_parity / budgeted.lazy_eager_seed_match /
+        targeted.allones_parity / explain.contribution_sum_parity — the
+        query-vocabulary contracts (uniform-cost budgeted == top-k,
+        lazy == eager budgeted seeds, all-ones targeted == untargeted,
+        explain contributions telescope to the evaluate spread). All are
+        exactly 1.0 by construction; any drift means a weighted kernel or
+        the budget heap discipline broke.
+      - targeted.topic_gain_ratio — weighted spread of the targeted solve
+        over the untargeted winner rescored on the same Twitter-topic
+        weights; deterministic (fixed sampling seeds), must not fall.
+      - budgeted.lazy_speedup and explain.explain_speedup_vs_solve —
+        timing ratios (eager-vs-lazy budgeted selection; solve-vs-explain
+        attribution), gated like select_speedup.
+
 Timing ratios take the best value across the supplied runs: CI runs each
 bench twice and a regression is only real if neither run reaches the bar.
 Run-to-run jitter of a timing ratio is reported; if it exceeds
@@ -286,6 +301,53 @@ def gate_engine(baseline, runs, args, failures):
                       args.threshold, args.jitter_limit, failures)
 
 
+def gate_query_family(baseline, runs, args, failures):
+    check_geometry(baseline, runs, ("nodes", "k", "snapshots", "seed",
+                                    "model"))
+
+    base_budgeted = baseline.get("budgeted")
+    base_targeted = baseline.get("targeted")
+    base_explain = baseline.get("explain")
+    if base_budgeted is None or base_targeted is None or base_explain is None:
+        sys.exit("error: baseline lacks budgeted/targeted/explain sections; "
+                 "regenerate it with the current bench binary")
+
+    def section_values(section, key):
+        values = []
+        for path, run in runs:
+            row = run.get(section)
+            if row is None or key not in row:
+                failures.append(f"{path}: {section}.{key}: missing")
+                continue
+            values.append(row[key])
+        return values
+
+    # Parity contracts are exactly 1.0 by construction (bitwise-equality
+    # booleans and an exact dyadic-rational telescoping sum at the
+    # power-of-two snapshot count); any other value is a broken kernel,
+    # not a regression — fail regardless of threshold.
+    for section, key in (("budgeted", "uniform_parity"),
+                         ("budgeted", "lazy_eager_seed_match"),
+                         ("targeted", "allones_parity"),
+                         ("explain", "contribution_sum_parity")):
+        expected = baseline[section][key]
+        for value in section_values(section, key):
+            if value != expected:
+                failures.append(f"{section}.{key}: {value} != {expected} "
+                                "(exact parity contract)")
+    gate_deterministic("targeted.topic_gain_ratio",
+                       base_targeted["topic_gain_ratio"],
+                       section_values("targeted", "topic_gain_ratio"),
+                       args.threshold, failures, larger_is_better=True)
+    gate_timing_ratio("budgeted.lazy_speedup", base_budgeted["lazy_speedup"],
+                      section_values("budgeted", "lazy_speedup"),
+                      args.threshold, args.jitter_limit, failures)
+    gate_timing_ratio("explain.explain_speedup_vs_solve",
+                      base_explain["explain_speedup_vs_solve"],
+                      section_values("explain", "explain_speedup_vs_solve"),
+                      args.threshold, args.jitter_limit, failures)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -316,6 +378,8 @@ def main():
         gate_spread_oracle(baseline, runs, args, failures)
     elif kind == "engine":
         gate_engine(baseline, runs, args, failures)
+    elif kind == "query_family":
+        gate_query_family(baseline, runs, args, failures)
     else:
         sys.exit(f"error: unknown bench kind '{kind}' in {args.baseline}")
 

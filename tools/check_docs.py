@@ -22,6 +22,14 @@ Checks, relative to the repo root (the script's parent directory):
      registered. Aliases are checked the same way against the row's alias
      column.
 
+  4. README.md's "Query family" table stays in sync with the engine's
+     query vocabulary: every QueryKind spelling returned by
+     QueryKindName() in src/engine/solve_request.h (the
+     `case QueryKind::...: return "...";` lines) must appear as a
+     `name` row under the "## Query family" heading, and every row must
+     still be a QueryKind. Adding a kind without documenting it — or
+     documenting a kind that no longer exists — fails CI.
+
 Exit 1 with a per-finding message on any violation.
 
 Usage: python3 tools/check_docs.py
@@ -155,6 +163,44 @@ def check_registry_table(readme_text, failures):
                 f"{sorted(registered[name])}")
 
 
+QUERY_SOURCE = REPO / "src" / "engine" / "solve_request.h"
+QUERY_NAME_RE = re.compile(r'case QueryKind::k\w+:\s*return "([^"]+)";')
+QUERY_HEADING = "## Query family"
+
+
+def check_query_table(readme_text, failures):
+    if not QUERY_SOURCE.exists():
+        failures.append(f"{QUERY_SOURCE.relative_to(REPO)} missing — the "
+                        "query-vocabulary/README sync check has nothing to "
+                        "parse")
+        return
+    declared = set(QUERY_NAME_RE.findall(
+        QUERY_SOURCE.read_text(encoding="utf-8")))
+    if not declared:
+        failures.append("src/engine/solve_request.h: no QueryKindName "
+                        "`case ...: return \"...\";` spellings found — "
+                        "the naming shape changed?")
+        return
+    section = readme_text.split(QUERY_HEADING, 1)
+    if len(section) < 2:
+        failures.append(f"README.md: no '{QUERY_HEADING}' section — the "
+                        "query table must document every QueryKind")
+        return
+    body = section[1].split("\n## ", 1)[0]
+    documented = set()
+    for line in body.splitlines():
+        m = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+        if m:
+            documented.add(m.group(1))
+    for missing in sorted(declared - documented):
+        failures.append(f"README.md: query kind '{missing}' "
+                        "(QueryKindName in src/engine/solve_request.h) is "
+                        "not documented in the Query family table")
+    for stale in sorted(documented - declared):
+        failures.append(f"README.md: Query family table row '{stale}' is "
+                        "not a QueryKind in src/engine/solve_request.h")
+
+
 def main():
     failures = []
     files = doc_files()
@@ -169,6 +215,7 @@ def main():
     if readme_text is not None:
         check_bench_table(readme_text, failures)
         check_registry_table(readme_text, failures)
+        check_query_table(readme_text, failures)
 
     if failures:
         print("docs-gate FAILED:", file=sys.stderr)

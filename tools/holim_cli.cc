@@ -9,12 +9,21 @@
 //   holim_cli --algo=osim --dataset=HepPh --opinions=normal --lambda=1 --k=25
 //   holim_cli --algo=tim+ --edge_list=/data/soc-LiveJournal1.txt --k=100
 //   holim_cli --algo=celf++ --dataset=NetHEPT --scale=0.01 --mc=100 --k=10
+//
+// Query family (--query; default topk is byte-identical to the old CLI):
+//   holim_cli --algo=celf --oracle=sketch --query=budgeted --budget=12 \
+//             --costs=degree --k=20
+//   holim_cli --algo=celf --oracle=sketch --query=targeted \
+//             --targets=twitter-topic:2 --k=10
+//   holim_cli --algo=celf --oracle=sketch --query=evaluate --seeds=3,17,42
+//   holim_cli --algo=celf --oracle=sketch --query=explain --seeds=3,17,42
 
 #include <cstdio>
 #include <limits>
 
 #include "bench_support/bench_main.h"
 #include "bench_support/engine_support.h"
+#include "bench_support/query_support.h"
 #include "data/datasets.h"
 #include "diffusion/spread_estimator.h"
 #include "engine/holim_engine.h"
@@ -36,8 +45,8 @@ Result<InfluenceParams> MakeParams(const Graph& graph,
 }
 
 void PrintRegistry() {
-  std::printf("%-16s %-13s %-36s %s\n", "name", "aliases", "models",
-              "cached artifacts");
+  std::printf("%-16s %-13s %-36s %-38s %s\n", "name", "aliases", "models",
+              "queries", "cached artifacts");
   for (const AlgorithmInfo* info : HolimEngine::Registry().List()) {
     std::string aliases;
     for (const std::string& alias : info->aliases) {
@@ -45,8 +54,9 @@ void PrintRegistry() {
       aliases += alias;
     }
     if (aliases.empty()) aliases = "-";
-    std::printf("%-16s %-13s %-36s %s\n", info->name.c_str(),
+    std::printf("%-16s %-13s %-36s %-38s %s\n", info->name.c_str(),
                 aliases.c_str(), info->models.c_str(),
+                QueryMaskNames(info->supported_queries).c_str(),
                 info->artifacts.c_str());
   }
 }
@@ -59,7 +69,7 @@ Status Run(const BenchArgs& args) {
   auto config = ReadCommonConfig(args);
   const CommonOptionsSpec spec{/*oracle=*/true,
                                /*rescore_default=*/"incremental",
-                               /*threads=*/true};
+                               /*threads=*/true, /*query=*/true};
   HOLIM_ASSIGN_OR_RETURN(CommonOptions common,
                          ParseCommonOptions(args, spec));
   const std::string algo = args.GetString("algo", "easyim");
@@ -135,6 +145,18 @@ Status Run(const BenchArgs& args) {
   request.num_sketches = static_cast<uint32_t>(sketches);
   request.evaluate_spread = request.oracle == SpreadOracle::kSketch;
 
+  // Query-family materialization: graph-dependent vectors from the raw
+  // --costs/--targets/--seeds specs.
+  HOLIM_ASSIGN_OR_RETURN(request.node_costs,
+                         MaterializeCosts(common.costs_spec, graph));
+  HOLIM_ASSIGN_OR_RETURN(
+      request.target_weights,
+      MaterializeTargets(common.targets_spec, graph, config.seed));
+  if (!common.seeds_spec.empty()) {
+    HOLIM_ASSIGN_OR_RETURN(request.given_seeds,
+                           ParseSeedList(common.seeds_spec, graph));
+  }
+
   HOLIM_ASSIGN_OR_RETURN(SolveResult result, engine.Solve(request));
   if (result.sketch_arena_bytes != 0) {
     std::printf("sketch oracle: %u live-edge snapshots, arena %s "
@@ -143,18 +165,32 @@ Status Run(const BenchArgs& args) {
                 HumanBytes(result.sketch_arena_bytes).c_str());
   }
 
-  std::printf("\n%s selected %zu seeds in %s (exec memory %s, scorer "
-              "scratch %s)\n",
-              result.algorithm.c_str(), result.seeds.size(),
-              HumanSeconds(result.select_seconds).c_str(),
-              HumanBytes(result.overhead_bytes).c_str(),
-              HumanBytes(result.scratch_bytes).c_str());
+  if (request.query == QueryKind::kEvaluate ||
+      request.query == QueryKind::kExplain) {
+    std::printf("\n%s: scored %zu given seeds in %s\n",
+                result.algorithm.c_str(), result.seeds.size(),
+                HumanSeconds(result.spread_seconds).c_str());
+  } else {
+    std::printf("\n%s selected %zu seeds in %s (exec memory %s, scorer "
+                "scratch %s)\n",
+                result.algorithm.c_str(), result.seeds.size(),
+                HumanSeconds(result.select_seconds).c_str(),
+                HumanBytes(result.overhead_bytes).c_str(),
+                HumanBytes(result.scratch_bytes).c_str());
+  }
   std::printf("seeds:");
   for (std::size_t i = 0; i < result.seeds.size() && i < 20; ++i) {
     std::printf(" %u", result.seeds[i]);
   }
   if (result.seeds.size() > 20) std::printf(" ...");
-  std::printf("\n\n");
+  std::printf("\n");
+  if (request.query == QueryKind::kBudgeted) {
+    std::printf("budget: spent %.4g of %.4g (%s costs)\n",
+                result.total_cost, request.budget,
+                common.costs_spec.empty() ? "uniform"
+                                          : common.costs_spec.c_str());
+  }
+  std::printf("\n");
 
   McOptions mc;
   mc.num_simulations = config.mc;
@@ -165,6 +201,26 @@ Status Run(const BenchArgs& args) {
   if (result.sketch_arena_bytes != 0) {
     std::printf("sketch spread estimate:   %.2f (%u snapshots)\n",
                 result.spread, request.EffectiveSketchCount());
+  }
+  const bool weighted_query =
+      !request.target_weights.empty() &&
+      (request.query == QueryKind::kTargeted ||
+       request.query == QueryKind::kEvaluate ||
+       request.query == QueryKind::kExplain);
+  if (weighted_query) {
+    std::size_t members = 0;
+    for (const double w : request.target_weights) {
+      if (w != 0.0) ++members;
+    }
+    std::printf("targeted spread sigma_w(S): %.2f (%zu weighted targets)\n",
+                result.targeted_spread, members);
+  }
+  if (request.query == QueryKind::kExplain) {
+    std::printf("per-seed marginal contributions (given preceding seeds):\n");
+    for (std::size_t i = 0; i < result.seeds.size(); ++i) {
+      std::printf("  seed %-8u %+.4f\n", result.seeds[i],
+                  result.seed_contributions[i]);
+    }
   }
   if (opinion_aware) {
     const OiBase base = request.oi_base;
@@ -193,7 +249,7 @@ int main(int argc, char** argv) {
                       "see --list-algorithms)");
         args->Declare("list-algorithms",
                       "print the algorithm registry (name, aliases, models, "
-                      "cached artifacts) and exit");
+                      "supported queries, cached artifacts) and exit");
         args->Declare("dataset",
                       "synthetic stand-in name (Table 2; default NetHEPT)");
         args->Declare("edge_list",
@@ -222,6 +278,6 @@ int main(int argc, char** argv) {
                       "eviction above it (default 0 = unlimited)");
         holim::DeclareCommonOptions(
             args, {/*oracle=*/true, /*rescore_default=*/"incremental",
-                   /*threads=*/true});
+                   /*threads=*/true, /*query=*/true});
       });
 }
