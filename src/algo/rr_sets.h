@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "model/influence_params.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace holim {
@@ -104,6 +105,18 @@ namespace holim {
 /// stack) and reusable output buffers merged into the arena in block order
 /// after each wave — peak transient memory is one wave of buffers, not a
 /// second copy of the arena.
+///
+/// ## Streaming deltas (ApplyDelta)
+///
+/// The same contract makes the collection patchable after a graph delta:
+/// each GenerateParallel call records (first_set, count, seed), and a
+/// block's draw sequence depends only on its seed and on the in-rows of
+/// the nodes its DFS pops — which are exactly the sets' members. After a
+/// delta, a block replays bitwise identically unless some member's in-row
+/// changed, so ApplyDelta copies clean blocks' arena spans verbatim and
+/// resamples only dirty blocks from their recorded seeds. The serial
+/// `Generate` path draws from a caller-owned stream that cannot be
+/// replayed, so using it marks the collection non-patchable.
 class RrCollection {
  public:
   /// Sets sampled per RNG block in GenerateParallel. Part of the
@@ -141,8 +154,30 @@ class RrCollection {
                         ThreadPool* pool = nullptr);
 
   /// Drops all sets and index segments (keeps capacity) and bumps the
-  /// epoch, invalidating every outstanding CoverageSnapshot.
+  /// epoch, invalidating every outstanding CoverageSnapshot. Also clears
+  /// the generate records, restoring patchability.
   void Clear();
+
+  /// \brief Patches the collection onto a post-delta graph: sets whose
+  /// members all kept their in-rows are copied verbatim; every RNG block
+  /// containing an affected set is resampled from its recorded seed.
+  ///
+  /// The result — arena, widths, index — is bitwise identical to a fresh
+  /// collection built on `new_graph` by replaying the same
+  /// GenerateParallel(count, seed) calls. The inverted index is rebuilt as
+  /// a single segment and the epoch is bumped (outstanding snapshots are
+  /// invalidated). `new_graph` must outlive this collection; `new_params`
+  /// is copied. A node-count change shifts every root draw, so it
+  /// resamples all blocks (still from the recorded seeds).
+  ///
+  /// Fails with InvalidArgument — leaving the collection untouched — if
+  /// params/graph sizes mismatch, the diffusion model changed, or the
+  /// serial Generate path made the collection non-replayable.
+  Status ApplyDelta(const Graph& new_graph, const InfluenceParams& new_params);
+
+  /// False once the serial Generate path has appended sets (their RNG
+  /// stream is caller-owned and cannot be replayed). Clear() restores it.
+  bool replayable() const { return replayable_; }
 
   std::size_t num_sets() const { return offsets_.size() - 1; }
   /// Zero-copy view of set i; the root is element 0. Invalidated by
@@ -234,6 +269,15 @@ class RrCollection {
     std::vector<uint32_t> sets;     // set ids grouped by node
   };
 
+  /// One GenerateParallel call: sets [first_set, first_set + count) were
+  /// sampled under `seed` with the block decomposition of the RNG-sharding
+  /// contract. ApplyDelta replays dirty blocks from these.
+  struct GenerateRecord {
+    std::size_t first_set = 0;
+    std::size_t count = 0;
+    uint64_t seed = 0;
+  };
+
   /// Samples one RR set with `rng`, appending its members to `out`
   /// (root first). Returns the set's width.
   uint64_t SampleOne(Rng& rng, EpochSet& visited, std::vector<NodeId>& stack,
@@ -250,14 +294,20 @@ class RrCollection {
   /// segment count is back under kMaxIndexSegments.
   void CompactSegments();
 
-  const Graph& graph_;
-  const InfluenceParams& params_;
+  // Re-bindable: ApplyDelta pivots these onto the post-delta epoch. The
+  // params are an owned copy so the collection survives the caller's
+  // per-epoch param objects going away.
+  const Graph* graph_;
+  InfluenceParams params_;
   bool track_widths_ = false;
   bool build_index_ = true;
   std::vector<NodeId> entries_;       // flat member arena
   std::vector<std::size_t> offsets_;  // num_sets + 1, offsets_[0] == 0
   std::vector<uint64_t> widths_;      // per-set width; empty unless tracked
   uint64_t total_width_ = 0;
+  // Replay log for ApplyDelta (see class comment).
+  std::vector<GenerateRecord> records_;
+  bool replayable_ = true;
   // Incremental inverted index (see class comment).
   std::vector<IndexSegment> segments_;
   std::vector<uint32_t> cover_count_;  // per node: #indexed sets containing it

@@ -34,7 +34,8 @@ inline std::shared_ptr<const SketchOracle> GetBenchSketchOracle(
   options.num_snapshots = config.mc;
   options.seed = config.seed + seed_offset;
   options.record_edge_offsets = record_edge_offsets;
-  return engine.workspace().GetSketchOracle(graph, params, options);
+  return engine.workspace().GetSketchOracle(graph, params, options,
+                                            engine.graph_token());
 }
 
 inline SolveRequest MakeSolveRequest(std::string algorithm, uint32_t k,

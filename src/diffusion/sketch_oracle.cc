@@ -26,7 +26,7 @@ struct SketchOracle::SnapshotBuffer {
 
 SketchOracle::SketchOracle(const Graph& graph, const InfluenceParams& params,
                            const SketchOptions& options)
-    : graph_(graph),
+    : graph_(&graph),
       params_(params),
       num_snapshots_(options.num_snapshots),
       num_lane_groups_((options.num_snapshots + kLanesPerGroup - 1) /
@@ -37,9 +37,6 @@ SketchOracle::SketchOracle(const Graph& graph, const InfluenceParams& params,
   HOLIM_CHECK(params.probability.size() == graph.num_edges())
       << "params/graph edge count mismatch";
   HOLIM_CHECK(num_snapshots_ > 0) << "need at least one snapshot";
-  if (params_.model == DiffusionModel::kLinearThreshold) {
-    live_edge_ = std::make_unique<LiveEdgeSimulator>(graph, params);
-  }
   SampleAll(options.pool);
   BuildLaneArena();
   if (!record_edge_offsets_) {
@@ -51,25 +48,38 @@ SketchOracle::SketchOracle(const Graph& graph, const InfluenceParams& params,
   }
 }
 
-void SketchOracle::SampleOne(Rng& rng, SnapshotBuffer& buffer) const {
-  const NodeId n = graph_.num_nodes();
+void SketchOracle::SampleOne(uint32_t snapshot, SnapshotBuffer& buffer) const {
+  const NodeId n = graph_->num_nodes();
   const std::size_t entry_base = buffer.entries.size();
   if (params_.model == DiffusionModel::kLinearThreshold) {
     // Live-edge LT: each node keeps at most one live in-edge, chosen with
-    // the residual-probability scan shared with the RIS samplers.
+    // one uniform draw from its (snapshot, node) stream and the
+    // residual-probability scan (LiveEdgeSimulator's distribution). Nodes
+    // without in-edges draw nothing — the row-stream contract.
     buffer.lt_source.clear();
     buffer.lt_target.clear();
     buffer.lt_edge_offset.clear();
     for (NodeId v = 0; v < n; ++v) {
-      const int64_t pos = live_edge_->SampleLiveInEdge(v, rng);
-      if (pos < 0) continue;
-      const std::size_t i = static_cast<std::size_t>(pos);
-      const NodeId u = graph_.InNeighbors(v)[i];
-      const EdgeId e = graph_.InEdgeIds(v)[i];
+      const auto in_edges = graph_->InEdgeIds(v);
+      if (in_edges.empty()) continue;
+      uint64_t state = NodeStreamState(snapshot, v);
+      double r = UnitDouble(Rng::SplitMix64(state));
+      std::size_t pick = in_edges.size();
+      for (std::size_t i = 0; i < in_edges.size(); ++i) {
+        const double w = params_.p(in_edges[i]);
+        if (r < w) {
+          pick = i;
+          break;
+        }
+        r -= w;
+      }
+      if (pick == in_edges.size()) continue;  // residual mass: no live edge
+      const NodeId u = graph_->InNeighbors(v)[pick];
+      const EdgeId e = in_edges[pick];
       buffer.lt_source.push_back(u);
       buffer.lt_target.push_back(v);
       buffer.lt_edge_offset.push_back(
-          static_cast<uint32_t>(e - graph_.OutEdgeBegin(u)));
+          static_cast<uint32_t>(e - graph_->OutEdgeBegin(u)));
     }
     // Counting sort by source into the snapshot-local CSR. Scatter order
     // is target-ascending within each source (the discovery order above).
@@ -88,14 +98,17 @@ void SketchOracle::SampleOne(Rng& rng, SnapshotBuffer& buffer) const {
     }
     return;
   }
-  // IC/WC: every edge flips independently, in EdgeId order.
+  // IC/WC: every edge flips independently, in EdgeId order, each source
+  // row drawing from its own (snapshot, node) stream.
   for (NodeId u = 0; u < n; ++u) {
     buffer.node_offsets.push_back(
         static_cast<uint32_t>(buffer.entries.size() - entry_base));
-    const EdgeId base = graph_.OutEdgeBegin(u);
-    auto neighbors = graph_.OutNeighbors(u);
+    const EdgeId base = graph_->OutEdgeBegin(u);
+    auto neighbors = graph_->OutNeighbors(u);
+    if (neighbors.empty()) continue;
+    uint64_t state = NodeStreamState(snapshot, u);
     for (std::size_t i = 0; i < neighbors.size(); ++i) {
-      if (rng.NextBernoulli(params_.p(base + i))) {
+      if (UnitDouble(Rng::SplitMix64(state)) < params_.p(base + i)) {
         buffer.entries.push_back(neighbors[i]);
         buffer.edge_offsets.push_back(static_cast<uint32_t>(i));
       }
@@ -106,7 +119,7 @@ void SketchOracle::SampleOne(Rng& rng, SnapshotBuffer& buffer) const {
 }
 
 void SketchOracle::SampleAll(ThreadPool* pool) {
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   const std::size_t num_blocks =
       (num_snapshots_ + kSnapshotBlockSize - 1) / kSnapshotBlockSize;
   node_offsets_.reserve(static_cast<std::size_t>(num_snapshots_) * (n + 1));
@@ -114,9 +127,10 @@ void SketchOracle::SampleAll(ThreadPool* pool) {
   entry_base_.push_back(0);
 
   // Waves of one block per shard, merged in block order (same shape as
-  // RrCollection::GenerateParallel): block seeds depend only on the global
-  // block index, so the merged arena is independent of the pool size, and
-  // peak transient memory is one wave of shard buffers.
+  // RrCollection::GenerateParallel). The per-(snapshot, node) streams are
+  // keyed by global snapshot index, so the merged arena is independent of
+  // the pool size and block decomposition; peak transient memory is one
+  // wave of shard buffers.
   const std::size_t shards =
       pool ? std::max<std::size_t>(
                  1, std::min<std::size_t>(pool->num_threads() * 2, num_blocks))
@@ -132,14 +146,12 @@ void SketchOracle::SampleAll(ThreadPool* pool) {
       buffer.node_offsets.clear();
       buffer.num_snapshots = 0;
       const std::size_t b = wave_start + w;
-      uint64_t state = seed_ + kSnapshotSeedSalt * (b + 1);
-      Rng rng(Rng::SplitMix64(state));
       const std::size_t lo = b * kSnapshotBlockSize;
       const std::size_t count =
           std::min(kSnapshotBlockSize,
                    static_cast<std::size_t>(num_snapshots_) - lo);
       for (std::size_t i = 0; i < count; ++i) {
-        SampleOne(rng, buffer);
+        SampleOne(static_cast<uint32_t>(lo + i), buffer);
         ++buffer.num_snapshots;
       }
     };
@@ -177,7 +189,7 @@ void SketchOracle::SampleAll(ThreadPool* pool) {
 }
 
 void SketchOracle::BuildLaneArena() {
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   lane_node_offsets_.assign(
       static_cast<std::size_t>(num_lane_groups_) * (n + 1), 0);
   lane_entry_base_.assign(num_lane_groups_ + 1, 0);
@@ -185,7 +197,7 @@ void SketchOracle::BuildLaneArena() {
   // group_lo + b". m words of transient scratch, reused across groups —
   // the scatter stays within an L2/L3-sized array while the scalar arena
   // is streamed front to back.
-  std::vector<uint64_t> edge_mask(graph_.num_edges(), 0);
+  std::vector<uint64_t> edge_mask(graph_->num_edges(), 0);
   for (uint32_t g = 0; g < num_lane_groups_; ++g) {
     const uint32_t s_lo = g * kLanesPerGroup;
     const uint32_t s_hi =
@@ -196,7 +208,7 @@ void SketchOracle::BuildLaneArena() {
       const uint32_t* edge_offs = edge_offsets_.data() + entry_base_[s];
       const uint64_t bit = uint64_t{1} << (s - s_lo);
       for (NodeId u = 0; u < n; ++u) {
-        const EdgeId base = graph_.OutEdgeBegin(u);
+        const EdgeId base = graph_->OutEdgeBegin(u);
         for (uint32_t j = offsets[u]; j < offsets[u + 1]; ++j) {
           edge_mask[base + edge_offs[j]] |= bit;
         }
@@ -211,8 +223,8 @@ void SketchOracle::BuildLaneArena() {
     const std::size_t group_base = lane_targets_.size();
     for (NodeId u = 0; u < n; ++u) {
       offsets[u] = static_cast<uint32_t>(lane_targets_.size() - group_base);
-      const EdgeId base = graph_.OutEdgeBegin(u);
-      auto neighbors = graph_.OutNeighbors(u);
+      const EdgeId base = graph_->OutEdgeBegin(u);
+      auto neighbors = graph_->OutNeighbors(u);
       for (std::size_t i = 0; i < neighbors.size(); ++i) {
         const uint64_t mask = edge_mask[base + i];
         if (mask == 0) continue;
@@ -253,7 +265,7 @@ double SketchOracle::EstimateWeighted(std::span<const NodeId> seeds,
                                       std::span<const double> node_weights,
                                       SketchEval eval) const {
   if (seeds.empty()) return 0.0;
-  HOLIM_CHECK(node_weights.size() == graph_.num_nodes())
+  HOLIM_CHECK(node_weights.size() == graph_->num_nodes())
       << "weight/node count mismatch";
   const double total_weight = eval == SketchEval::kScalar
                                   ? EstimateScalarWeighted(seeds, node_weights)
@@ -270,7 +282,7 @@ double SketchOracle::EstimateWeighted(std::span<const NodeId> seeds,
 
 double SketchOracle::EstimateScalarWeighted(
     std::span<const NodeId> seeds, std::span<const double> weights) const {
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   double total_weight = 0.0;
   for (uint32_t s = 0; s < num_snapshots_; ++s) {
     visited_.Reset(n);
@@ -296,7 +308,7 @@ double SketchOracle::EstimateScalarWeighted(
 }
 
 int64_t SketchOracle::EstimateScalar(std::span<const NodeId> seeds) const {
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   int64_t total_reached = 0;
   for (uint32_t s = 0; s < num_snapshots_; ++s) {
     visited_.Reset(n);
@@ -330,7 +342,7 @@ int64_t SketchOracle::EstimateScalar(std::span<const NodeId> seeds) const {
 constexpr uint32_t kLanePrefetchDistance = 8;
 
 int64_t SketchOracle::EstimateLanes(std::span<const NodeId> seeds) const {
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   if (lane_state_.size() != n) {
     lane_state_.assign(n, 0);
     lane_pending_.assign(n, 0);
@@ -382,7 +394,7 @@ int64_t SketchOracle::EstimateLanes(std::span<const NodeId> seeds) const {
 
 double SketchOracle::EstimateLanesWeighted(
     std::span<const NodeId> seeds, std::span<const double> weights) const {
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   if (lane_state_.size() != n) {
     lane_state_.assign(n, 0);
     lane_pending_.assign(n, 0);
@@ -456,7 +468,7 @@ double SketchOracle::EstimateIcnPositive(std::span<const NodeId> seeds,
 
 void SketchOracle::AccumulateIcnLevelCountsScalar(
     std::span<const NodeId> seeds) const {
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   for (uint32_t s = 0; s < num_snapshots_; ++s) {
     visited_.Reset(n);
     queue_.clear();
@@ -492,7 +504,7 @@ void SketchOracle::AccumulateIcnLevelCountsScalar(
 
 void SketchOracle::AccumulateIcnLevelCountsLanes(
     std::span<const NodeId> seeds) const {
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   if (lane_state_.size() != n) {
     lane_state_.assign(n, 0);
     lane_pending_.assign(n, 0);
@@ -562,11 +574,11 @@ OpinionSpreadEstimate SketchOracle::EstimateOpinion(
       << "sketch opinion replay supports the IC base only";
   HOLIM_CHECK(record_edge_offsets_)
       << "EstimateOpinion needs SketchOptions::record_edge_offsets";
-  HOLIM_CHECK(opinions.opinion.size() == graph_.num_nodes())
+  HOLIM_CHECK(opinions.opinion.size() == graph_->num_nodes())
       << "opinion/node count mismatch";
-  HOLIM_CHECK(opinions.interaction.size() == graph_.num_edges())
+  HOLIM_CHECK(opinions.interaction.size() == graph_->num_edges())
       << "interaction/edge count mismatch";
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = graph_->num_nodes();
   if (node_value_.size() != n) node_value_.assign(n, 0.0);
   double opinion_sum = 0.0, positive_sum = 0.0, negative_sum = 0.0;
   int64_t plain = 0;
@@ -594,7 +606,7 @@ OpinionSpreadEstimate SketchOracle::EstimateOpinion(
       while (head < queue_.size()) {
         const NodeId u = queue_[head++];
         const double value_u = node_value_[u];
-        const EdgeId out_begin = graph_.OutEdgeBegin(u);
+        const EdgeId out_begin = graph_->OutEdgeBegin(u);
         for_each_live(s, u, [&](NodeId v, uint32_t edge_off) {
           if (visited_.Contains(v)) return;
           visited_.Insert(v);
@@ -657,6 +669,383 @@ std::size_t SketchOracle::ArenaBytes() const {
          lane_edge_offsets_.capacity() * sizeof(uint32_t) +
          lane_node_offsets_.capacity() * sizeof(uint32_t) +
          lane_entry_base_.capacity() * sizeof(std::size_t);
+}
+
+Status SketchOracle::ApplyDelta(const Graph& new_graph,
+                                const InfluenceParams& new_params) {
+  if (new_params.probability.size() != new_graph.num_edges()) {
+    return Status::InvalidArgument(
+        "params/graph edge count mismatch: " +
+        std::to_string(new_params.probability.size()) + " probabilities vs " +
+        std::to_string(new_graph.num_edges()) + " edges");
+  }
+  if (new_params.model != params_.model) {
+    return Status::InvalidArgument(
+        "diffusion model changed across the delta; rebuild the oracle");
+  }
+  if (new_graph.num_nodes() < graph_->num_nodes()) {
+    return Status::InvalidArgument(
+        "graph shrank across the delta; deltas never drop nodes");
+  }
+  if (params_.model == DiffusionModel::kLinearThreshold) {
+    return ApplyDeltaLinearThreshold(new_graph, new_params);
+  }
+  return ApplyDeltaCascade(new_graph, new_params);
+}
+
+Status SketchOracle::ApplyDeltaCascade(const Graph& new_graph,
+                                       const InfluenceParams& new_params) {
+  const Graph& old_graph = *graph_;
+  const NodeId n_old = old_graph.num_nodes();
+  const NodeId n_new = new_graph.num_nodes();
+
+  // Dirty = source rows whose (targets, p) contents changed positionally;
+  // only their (snapshot, node) streams replay differently. Comparing p
+  // (not just topology) is what makes this model-agnostic: a WC delta
+  // shifts 1/indeg(v) on every in-edge of a touched target, and each such
+  // edge's source row goes dirty via the p mismatch.
+  std::vector<uint8_t> dirty(n_new, 0);
+  std::vector<NodeId> dirty_rows;
+  std::vector<uint32_t> dirty_index(n_new, 0);
+  for (NodeId u = 0; u < n_new; ++u) {
+    bool is_dirty = u >= n_old;
+    if (!is_dirty) {
+      const auto old_row = old_graph.OutNeighbors(u);
+      const auto new_row = new_graph.OutNeighbors(u);
+      if (old_row.size() != new_row.size()) {
+        is_dirty = true;
+      } else {
+        const EdgeId old_base = old_graph.OutEdgeBegin(u);
+        const EdgeId new_base = new_graph.OutEdgeBegin(u);
+        for (std::size_t i = 0; i < old_row.size(); ++i) {
+          if (old_row[i] != new_row[i] ||
+              params_.p(old_base + i) != new_params.p(new_base + i)) {
+            is_dirty = true;
+            break;
+          }
+        }
+      }
+    }
+    if (is_dirty) {
+      dirty[u] = 1;
+      dirty_index[u] = static_cast<uint32_t>(dirty_rows.size());
+      dirty_rows.push_back(u);
+    }
+  }
+  if (dirty_rows.empty()) {  // identical CSR + params: rebind only
+    graph_ = &new_graph;
+    params_ = new_params;
+    return Status::OK();
+  }
+
+  // Resample ONLY the dirty rows, per snapshot, into side buffers — the
+  // entire RNG cost of the patch.
+  const std::size_t num_dirty = dirty_rows.size();
+  std::vector<NodeId> side_entries;
+  std::vector<uint32_t> side_offsets;
+  std::vector<std::size_t> side_base(
+      static_cast<std::size_t>(num_snapshots_) * num_dirty + 1, 0);
+  for (uint32_t s = 0; s < num_snapshots_; ++s) {
+    for (std::size_t d = 0; d < num_dirty; ++d) {
+      const NodeId u = dirty_rows[d];
+      const auto row = new_graph.OutNeighbors(u);
+      if (!row.empty()) {
+        const EdgeId base = new_graph.OutEdgeBegin(u);
+        uint64_t state = NodeStreamState(s, u);
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (UnitDouble(Rng::SplitMix64(state)) < new_params.p(base + i)) {
+            side_entries.push_back(row[i]);
+            side_offsets.push_back(static_cast<uint32_t>(i));
+          }
+        }
+      }
+      side_base[static_cast<std::size_t>(s) * num_dirty + d + 1] =
+          side_entries.size();
+    }
+  }
+
+  // Splice the scalar arena: clean rows byte-copied from the old arena,
+  // dirty rows from the side buffers; snapshot-local offsets and bases
+  // rebuilt outright (n may have grown). Content and — after the trailing
+  // shrink_to_fit — capacities match a cold build exactly.
+  std::vector<NodeId> new_entries;
+  std::vector<uint32_t> new_edge_offsets;
+  std::vector<uint32_t> new_node_offsets;
+  std::vector<std::size_t> new_entry_base;
+  new_node_offsets.reserve(static_cast<std::size_t>(num_snapshots_) *
+                           (n_new + 1));
+  new_entry_base.reserve(num_snapshots_ + 1);
+  new_entry_base.push_back(0);
+  for (uint32_t s = 0; s < num_snapshots_; ++s) {
+    const uint32_t* old_offsets =
+        node_offsets_.data() + static_cast<std::size_t>(s) * (n_old + 1);
+    const NodeId* old_entries = entries_.data() + entry_base_[s];
+    const uint32_t* old_eoffs =
+        record_edge_offsets_ ? edge_offsets_.data() + entry_base_[s] : nullptr;
+    const std::size_t snapshot_base = new_entry_base.back();
+    for (NodeId u = 0; u < n_new; ++u) {
+      new_node_offsets.push_back(
+          static_cast<uint32_t>(new_entries.size() - snapshot_base));
+      if (dirty[u]) {
+        const std::size_t base_index =
+            static_cast<std::size_t>(s) * num_dirty + dirty_index[u];
+        const std::size_t lo = side_base[base_index];
+        const std::size_t hi = side_base[base_index + 1];
+        new_entries.insert(new_entries.end(), side_entries.begin() + lo,
+                           side_entries.begin() + hi);
+        if (record_edge_offsets_) {
+          new_edge_offsets.insert(new_edge_offsets.end(),
+                                  side_offsets.begin() + lo,
+                                  side_offsets.begin() + hi);
+        }
+      } else {
+        new_entries.insert(new_entries.end(), old_entries + old_offsets[u],
+                           old_entries + old_offsets[u + 1]);
+        if (record_edge_offsets_) {
+          new_edge_offsets.insert(new_edge_offsets.end(),
+                                  old_eoffs + old_offsets[u],
+                                  old_eoffs + old_offsets[u + 1]);
+        }
+      }
+    }
+    new_node_offsets.push_back(
+        static_cast<uint32_t>(new_entries.size() - snapshot_base));
+    new_entry_base.push_back(new_entries.size());
+  }
+
+  // Splice the lane arena the same way: clean source rows keep identical
+  // per-snapshot entries, so their union rows (and masks) copy verbatim;
+  // dirty rows re-transpose from the side buffers, emitted EdgeId-ascending
+  // exactly like BuildLaneArena.
+  std::vector<NodeId> new_lane_targets;
+  std::vector<uint64_t> new_lane_masks;
+  std::vector<uint32_t> new_lane_edge_offsets;
+  std::vector<uint32_t> new_lane_node_offsets(
+      static_cast<std::size_t>(num_lane_groups_) * (n_new + 1), 0);
+  std::vector<std::size_t> new_lane_entry_base(num_lane_groups_ + 1, 0);
+  std::vector<uint64_t> row_mask;
+  for (uint32_t g = 0; g < num_lane_groups_; ++g) {
+    const uint32_t s_lo = g * kLanesPerGroup;
+    const uint32_t s_hi =
+        std::min<uint32_t>(num_snapshots_, s_lo + kLanesPerGroup);
+    uint32_t* offsets = new_lane_node_offsets.data() +
+                        static_cast<std::size_t>(g) * (n_new + 1);
+    const std::size_t group_base = new_lane_targets.size();
+    const uint32_t* old_loffs =
+        lane_node_offsets_.data() + static_cast<std::size_t>(g) * (n_old + 1);
+    const std::size_t old_gbase = lane_entry_base_[g];
+    for (NodeId u = 0; u < n_new; ++u) {
+      offsets[u] = static_cast<uint32_t>(new_lane_targets.size() - group_base);
+      if (!dirty[u]) {
+        const std::size_t lo = old_gbase + old_loffs[u];
+        const std::size_t hi = old_gbase + old_loffs[u + 1];
+        new_lane_targets.insert(new_lane_targets.end(),
+                                lane_targets_.begin() + lo,
+                                lane_targets_.begin() + hi);
+        new_lane_masks.insert(new_lane_masks.end(), lane_masks_.begin() + lo,
+                              lane_masks_.begin() + hi);
+        if (record_edge_offsets_) {
+          new_lane_edge_offsets.insert(new_lane_edge_offsets.end(),
+                                       lane_edge_offsets_.begin() + lo,
+                                       lane_edge_offsets_.begin() + hi);
+        }
+      } else {
+        const auto row = new_graph.OutNeighbors(u);
+        row_mask.assign(row.size(), 0);
+        for (uint32_t s = s_lo; s < s_hi; ++s) {
+          const std::size_t base_index =
+              static_cast<std::size_t>(s) * num_dirty + dirty_index[u];
+          const uint64_t bit = uint64_t{1} << (s - s_lo);
+          for (std::size_t k = side_base[base_index];
+               k < side_base[base_index + 1]; ++k) {
+            row_mask[side_offsets[k]] |= bit;
+          }
+        }
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (row_mask[i] == 0) continue;
+          new_lane_targets.push_back(row[i]);
+          new_lane_masks.push_back(row_mask[i]);
+          if (record_edge_offsets_) {
+            new_lane_edge_offsets.push_back(static_cast<uint32_t>(i));
+          }
+        }
+      }
+    }
+    offsets[n_new] =
+        static_cast<uint32_t>(new_lane_targets.size() - group_base);
+    HOLIM_CHECK(new_lane_targets.size() - group_base <=
+                std::numeric_limits<uint32_t>::max())
+        << "lane group overflows 32-bit CSR offsets";
+    new_lane_entry_base[g + 1] = new_lane_targets.size();
+  }
+
+  new_entries.shrink_to_fit();
+  new_edge_offsets.shrink_to_fit();
+  new_node_offsets.shrink_to_fit();
+  new_entry_base.shrink_to_fit();
+  new_lane_targets.shrink_to_fit();
+  new_lane_masks.shrink_to_fit();
+  new_lane_edge_offsets.shrink_to_fit();
+  entries_ = std::move(new_entries);
+  edge_offsets_ = std::move(new_edge_offsets);
+  node_offsets_ = std::move(new_node_offsets);
+  entry_base_ = std::move(new_entry_base);
+  lane_targets_ = std::move(new_lane_targets);
+  lane_masks_ = std::move(new_lane_masks);
+  lane_edge_offsets_ = std::move(new_lane_edge_offsets);
+  lane_node_offsets_ = std::move(new_lane_node_offsets);
+  lane_entry_base_ = std::move(new_lane_entry_base);
+  graph_ = &new_graph;
+  params_ = new_params;
+  return Status::OK();
+}
+
+Status SketchOracle::ApplyDeltaLinearThreshold(
+    const Graph& new_graph, const InfluenceParams& new_params) {
+  const Graph& old_graph = *graph_;
+  const NodeId n_old = old_graph.num_nodes();
+  const NodeId n_new = new_graph.num_nodes();
+
+  // LT draws are per *target*: dirty = targets whose in-row (sources, p)
+  // contents changed positionally.
+  std::vector<uint8_t> dirty(n_new, 0);
+  bool any_dirty = false;
+  for (NodeId v = 0; v < n_new; ++v) {
+    bool is_dirty = v >= n_old;
+    if (!is_dirty) {
+      const auto old_src = old_graph.InNeighbors(v);
+      const auto new_src = new_graph.InNeighbors(v);
+      if (old_src.size() != new_src.size()) {
+        is_dirty = true;
+      } else {
+        const auto old_ids = old_graph.InEdgeIds(v);
+        const auto new_ids = new_graph.InEdgeIds(v);
+        for (std::size_t i = 0; i < old_src.size(); ++i) {
+          if (old_src[i] != new_src[i] ||
+              params_.p(old_ids[i]) != new_params.p(new_ids[i])) {
+            is_dirty = true;
+            break;
+          }
+        }
+      }
+    }
+    if (is_dirty) {
+      dirty[v] = 1;
+      any_dirty = true;
+    }
+  }
+  if (!any_dirty) {  // identical CSR + params: rebind only
+    graph_ = &new_graph;
+    params_ = new_params;
+    return Status::OK();
+  }
+
+  // Rebuild the scalar arena per snapshot: a clean target's live pick
+  // replays identically (same stream, same in-row weights), so it is
+  // *recovered* from the old arena instead of redrawn — only its edge
+  // offset is re-derived against the source's possibly-shifted new
+  // out-row. Dirty targets redraw from their streams on the new graph.
+  std::vector<NodeId> pick(n_new, kInvalidNode);
+  std::vector<NodeId> lt_source;
+  std::vector<NodeId> lt_target;
+  std::vector<uint32_t> lt_edge_offset;
+  std::vector<uint32_t> counts;
+  std::vector<NodeId> new_entries;
+  std::vector<uint32_t> new_edge_offsets;  // always built: keys the lane pass
+  std::vector<uint32_t> new_node_offsets;
+  std::vector<std::size_t> new_entry_base;
+  new_node_offsets.reserve(static_cast<std::size_t>(num_snapshots_) *
+                           (n_new + 1));
+  new_entry_base.reserve(num_snapshots_ + 1);
+  new_entry_base.push_back(0);
+  for (uint32_t s = 0; s < num_snapshots_; ++s) {
+    std::fill(pick.begin(), pick.end(), kInvalidNode);
+    const uint32_t* old_offsets =
+        node_offsets_.data() + static_cast<std::size_t>(s) * (n_old + 1);
+    const NodeId* old_entries = entries_.data() + entry_base_[s];
+    for (NodeId u = 0; u < n_old; ++u) {
+      for (uint32_t j = old_offsets[u]; j < old_offsets[u + 1]; ++j) {
+        pick[old_entries[j]] = u;  // entry v in u's row: v picked u
+      }
+    }
+    lt_source.clear();
+    lt_target.clear();
+    lt_edge_offset.clear();
+    for (NodeId v = 0; v < n_new; ++v) {
+      if (dirty[v]) {
+        const auto in_edges = new_graph.InEdgeIds(v);
+        if (in_edges.empty()) continue;
+        uint64_t state = NodeStreamState(s, v);
+        double r = UnitDouble(Rng::SplitMix64(state));
+        std::size_t pos = in_edges.size();
+        for (std::size_t i = 0; i < in_edges.size(); ++i) {
+          const double w = new_params.p(in_edges[i]);
+          if (r < w) {
+            pos = i;
+            break;
+          }
+          r -= w;
+        }
+        if (pos == in_edges.size()) continue;  // residual mass: no live edge
+        const NodeId u = new_graph.InNeighbors(v)[pos];
+        lt_source.push_back(u);
+        lt_target.push_back(v);
+        lt_edge_offset.push_back(static_cast<uint32_t>(
+            in_edges[pos] - new_graph.OutEdgeBegin(u)));
+      } else {
+        const NodeId u = pick[v];
+        if (u == kInvalidNode) continue;  // old draw kept no edge; replays so
+        // v's in-row is unchanged, so edge (u -> v) still exists; its
+        // offset in u's new out-row may have shifted (rows are strictly
+        // ascending, so binary search recovers it).
+        const auto row = new_graph.OutNeighbors(u);
+        const auto it = std::lower_bound(row.begin(), row.end(), v);
+        lt_source.push_back(u);
+        lt_target.push_back(v);
+        lt_edge_offset.push_back(static_cast<uint32_t>(it - row.begin()));
+      }
+    }
+    // Counting sort by source — SampleOne's LT scatter, verbatim.
+    counts.assign(n_new + 1, 0);
+    for (NodeId u : lt_source) ++counts[u + 1];
+    for (NodeId u = 0; u < n_new; ++u) counts[u + 1] += counts[u];
+    new_node_offsets.insert(new_node_offsets.end(), counts.begin(),
+                            counts.end());
+    const std::size_t snapshot_base = new_entries.size();
+    new_entries.resize(snapshot_base + lt_source.size());
+    new_edge_offsets.resize(new_entries.size());
+    for (std::size_t i = 0; i < lt_source.size(); ++i) {
+      const NodeId u = lt_source[i];
+      const std::size_t slot = snapshot_base + counts[u]++;
+      new_entries[slot] = lt_target[i];
+      new_edge_offsets[slot] = lt_edge_offset[i];
+    }
+    new_entry_base.push_back(new_entries.size());
+  }
+  new_entries.shrink_to_fit();
+  new_edge_offsets.shrink_to_fit();
+  new_node_offsets.shrink_to_fit();
+  new_entry_base.shrink_to_fit();
+  entries_ = std::move(new_entries);
+  edge_offsets_ = std::move(new_edge_offsets);
+  node_offsets_ = std::move(new_node_offsets);
+  entry_base_ = std::move(new_entry_base);
+  graph_ = &new_graph;
+  params_ = new_params;
+
+  // An LT lane row unions picks of many targets, so per-row splicing does
+  // not apply; re-transpose wholesale from the spliced scalar arena — the
+  // cold post-pass (BuildLaneArena assigns the offset arrays but appends
+  // to the entry arrays, hence the clears).
+  lane_targets_.clear();
+  lane_masks_.clear();
+  lane_edge_offsets_.clear();
+  BuildLaneArena();
+  if (!record_edge_offsets_) {
+    edge_offsets_.clear();
+    edge_offsets_.shrink_to_fit();
+  }
+  return Status::OK();
 }
 
 SketchOracle::Session::Session(const SketchOracle& oracle, SketchEval eval,

@@ -8,11 +8,11 @@
 #include <vector>
 
 #include "diffusion/cascade.h"
-#include "diffusion/live_edge.h"
 #include "diffusion/spread_estimator.h"
 #include "graph/graph.h"
 #include "model/influence_params.h"
 #include "model/opinion_params.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace holim {
@@ -115,15 +115,23 @@ struct SketchOptions {
 /// per group versus ~64 snapshot-local lists, i.e. the lane arena is a
 /// fraction of the scalar arena's size.
 ///
-/// ## RNG-sharding contract (same shape as RrCollection::GenerateParallel)
+/// ## RNG contract (counter-based per-(snapshot, node) streams)
 ///
-/// Snapshots are sampled in fixed blocks of kSnapshotBlockSize; block b is
-/// sampled sequentially by an independent stream seeded with
-/// SplitMix64(seed + kSnapshotSeedSalt * (b + 1)). Block decomposition and
-/// block seeds depend only on (num_snapshots, seed) — never on the pool —
-/// so the arena is bitwise identical for any thread count, including
-/// serial. Blocks are processed in waves of one block per shard and merged
-/// in block order; peak transient memory is one wave of shard buffers.
+/// Snapshot s's world is a pure function of (seed, s): every row of the
+/// world is drawn from an independent SplitMix64 stream keyed per
+/// (snapshot, node) — IC/WC flip source u's out-edges in order from the
+/// stream with initial state
+///   seed + kSnapshotSeedSalt * (s + 1) + kSnapshotNodeSalt * (u + 1),
+/// and LT draws target v's live in-edge (one uniform, residual scan over
+/// the in-row weights) from the v-keyed stream; empty rows draw nothing.
+/// Because a row's draws depend only on (seed, s, node) and the row's own
+/// (targets, p) contents, ApplyDelta can resample exactly the rows a graph
+/// delta touched and byte-splice every clean row — bitwise equal to a cold
+/// rebuild on the mutated graph. Sampling is sharded in blocks of
+/// kSnapshotBlockSize (waves of one block per shard, merged in block
+/// order), but the block decomposition is purely a scheduling choice:
+/// neither the block size nor the pool affects the sampled worlds, and the
+/// arena is bitwise identical for any thread count, including serial.
 ///
 /// ## Determinism of estimates
 ///
@@ -139,13 +147,16 @@ struct SketchOptions {
 /// their own scratch) or separate oracles.
 class SketchOracle {
  public:
-  /// Snapshots sampled per RNG block. Part of the reproducibility
-  /// contract: changing it changes the sampled worlds.
+  /// Snapshots sampled per scheduling block (wave sharding granularity
+  /// only — NOT part of the sampling contract; the per-(snapshot, node)
+  /// streams make the worlds independent of how sampling is partitioned).
   static constexpr std::size_t kSnapshotBlockSize = 4;
-  /// Salt for deriving block seeds (deliberately distinct from the RR
-  /// engine's and the MC estimator's salts; the streams must stay
-  /// unrelated).
+  /// Snapshot-axis salt of the per-(snapshot, node) stream keys
+  /// (deliberately distinct from the RR engine's and the MC estimator's
+  /// salts; the streams must stay unrelated).
   static constexpr uint64_t kSnapshotSeedSalt = 0xA24BAED4963EE407ULL;
+  /// Node-axis salt of the per-(snapshot, node) stream keys.
+  static constexpr uint64_t kSnapshotNodeSalt = 0xE7037ED1A0B428DBULL;
   /// Snapshots per lane group of the word-transposed arena (one machine
   /// word). Purely an evaluation-layout constant — NOT part of the
   /// sampling contract.
@@ -156,8 +167,23 @@ class SketchOracle {
   SketchOracle(const Graph& graph, const InfluenceParams& params,
                const SketchOptions& options = {});
 
+  /// Incrementally re-points the oracle at a mutated graph: resamples only
+  /// the rows whose (targets, p) contents changed between the bound graph
+  /// and `new_graph` (IC/WC: out-rows; LT: in-rows) and byte-splices every
+  /// clean row from the existing arenas. Both arenas end bitwise identical
+  /// — contents AND ArenaBytes() — to a cold SketchOracle built on
+  /// (new_graph, new_params) with the same options; every estimator and
+  /// Session result is therefore bitwise equal to the cold rebuild's.
+  ///
+  /// `new_graph` must outlive the oracle (the oracle re-binds to it; the
+  /// previously bound graph is only needed during this call). The model
+  /// must not change and `new_params` must match `new_graph`'s edge count;
+  /// violations fail with InvalidArgument and leave the oracle untouched.
+  Status ApplyDelta(const Graph& new_graph, const InfluenceParams& new_params);
+
   uint32_t num_snapshots() const { return num_snapshots_; }
-  const Graph& graph() const { return graph_; }
+  const Graph& graph() const { return *graph_; }
+  const InfluenceParams& params() const { return params_; }
   /// Number of 64-snapshot lane groups, ceil(R / 64).
   uint32_t num_lane_groups() const { return num_lane_groups_; }
   /// Mask of the lanes group `g` actually populates (all-ones except a
@@ -230,8 +256,9 @@ class SketchOracle {
 
   /// Live out-targets of `u` in snapshot `s` (zero-copy scalar-arena span).
   std::span<const NodeId> LiveTargets(uint32_t s, NodeId u) const {
-    const uint32_t* off = node_offsets_.data() +
-                          static_cast<std::size_t>(s) * (graph_.num_nodes() + 1);
+    const uint32_t* off =
+        node_offsets_.data() +
+        static_cast<std::size_t>(s) * (graph_->num_nodes() + 1);
     const NodeId* base = entries_.data() + entry_base_[s];
     return {base + off[u], base + off[u + 1]};
   }
@@ -246,7 +273,7 @@ class SketchOracle {
   LaneAdjacency LaneTargets(uint32_t g, NodeId u) const {
     const uint32_t* off =
         lane_node_offsets_.data() +
-        static_cast<std::size_t>(g) * (graph_.num_nodes() + 1);
+        static_cast<std::size_t>(g) * (graph_->num_nodes() + 1);
     const std::size_t base = lane_entry_base_[g];
     return {lane_targets_.data() + base + off[u],
             lane_masks_.data() + base + off[u], off[u + 1] - off[u]};
@@ -268,7 +295,7 @@ class SketchOracle {
   /// PrefetchLaneRow issued for u next iteration doesn't itself stall.
   void PrefetchLaneOffsets(uint32_t g, NodeId u) const {
     __builtin_prefetch(lane_node_offsets_.data() +
-                       static_cast<std::size_t>(g) * (graph_.num_nodes() + 1) +
+                       static_cast<std::size_t>(g) * (graph_->num_nodes() + 1) +
                        u);
   }
 
@@ -393,10 +420,28 @@ class SketchOracle {
  private:
   struct SnapshotBuffer;
   void SampleAll(ThreadPool* pool);
-  void SampleOne(Rng& rng, SnapshotBuffer& buffer) const;
+  void SampleOne(uint32_t snapshot, SnapshotBuffer& buffer) const;
   /// Deterministic post-pass: transposes the sampled scalar arena into the
   /// per-group union lane-mask arena (same worlds, different layout).
   void BuildLaneArena();
+  /// Initial SplitMix64 state of the (snapshot, node) row stream.
+  uint64_t NodeStreamState(uint32_t snapshot, NodeId node) const {
+    return seed_ + kSnapshotSeedSalt * (snapshot + uint64_t{1}) +
+           kSnapshotNodeSalt * (static_cast<uint64_t>(node) + 1);
+  }
+  /// SplitMix64 output -> uniform double in [0, 1) (Rng::NextDouble's
+  /// mantissa construction, applied to the row streams).
+  static double UnitDouble(uint64_t bits) {
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  }
+  /// ApplyDelta per model: IC/WC splice dirty *source* rows; LT recovers
+  /// clean targets' live picks and redraws dirty *target* rows, then
+  /// rebuilds the lane arena wholesale (LT lane rows depend on in-rows of
+  /// every target, so per-row splicing does not apply).
+  Status ApplyDeltaCascade(const Graph& new_graph,
+                           const InfluenceParams& new_params);
+  Status ApplyDeltaLinearThreshold(const Graph& new_graph,
+                                   const InfluenceParams& new_params);
 
   int64_t EstimateScalar(std::span<const NodeId> seeds) const;
   int64_t EstimateLanes(std::span<const NodeId> seeds) const;
@@ -407,15 +452,15 @@ class SketchOracle {
   void AccumulateIcnLevelCountsScalar(std::span<const NodeId> seeds) const;
   void AccumulateIcnLevelCountsLanes(std::span<const NodeId> seeds) const;
 
-  const Graph& graph_;
-  const InfluenceParams& params_;
+  // Re-bindable: ApplyDelta points the oracle at the mutated graph and
+  // replaces the owned params copy (owning the copy keeps the oracle valid
+  // when the caller's params object dies with the old epoch).
+  const Graph* graph_;
+  InfluenceParams params_;
   uint32_t num_snapshots_;
   uint32_t num_lane_groups_;
   uint64_t seed_;
   bool record_edge_offsets_;
-  // LT live-in-edge distribution (shared, stateless sampling helper); null
-  // for IC/WC.
-  std::unique_ptr<LiveEdgeSimulator> live_edge_;
 
   std::vector<NodeId> entries_;
   std::vector<uint32_t> edge_offsets_;   // parallel to entries_ when recorded

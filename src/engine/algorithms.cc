@@ -52,8 +52,8 @@ Result<std::shared_ptr<McObjective>> MakeMcObjective(const SolveContext& ctx) {
     options.num_snapshots = r.EffectiveSketchCount();
     options.seed = r.seed;
     options.pool = ctx.pool;
-    auto sketch =
-        ctx.workspace.GetSketchOracle(ctx.graph, *r.params, options);
+    auto sketch = ctx.workspace.GetSketchOracle(ctx.graph, *r.params, options,
+                                                ctx.graph_token);
     // Targeted queries hill-climb the weighted objective sigma_w; the
     // objective copies the weights so the cached selector never dangles
     // into a caller-owned request vector.

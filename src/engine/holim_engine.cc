@@ -106,7 +106,7 @@ Status ValidateQueryFields(const SolveRequest& r, uint32_t num_nodes) {
 }  // namespace
 
 HolimEngine::HolimEngine(const Graph& graph, const EngineOptions& options)
-    : graph_(graph), workspace_(options.max_cache_bytes) {
+    : graph_(&graph), workspace_(options.max_cache_bytes) {
   // Touch the registry so built-ins are registered before the first Solve
   // (and before any embedder Register calls race static init order).
   (void)AlgorithmRegistry::Global();
@@ -157,7 +157,60 @@ std::string HolimEngine::SelectorKey(const AlgorithmInfo& info,
   key += "|costs=" + std::to_string(FingerprintDoubles(r.node_costs));
   key += "|tw=" + std::to_string(FingerprintDoubles(r.target_weights));
   key += "|gs=" + std::to_string(FingerprintNodes(r.given_seeds));
+  // Graph identity across delta epochs. Empty at epoch 0 so pre-streaming
+  // keys (and any baseline churn statistics) are unchanged.
+  const std::string token = graph_token();
+  if (!token.empty()) key += "|" + token;
   return key;
+}
+
+std::string HolimEngine::graph_token() const {
+  if (streaming_ == nullptr || streaming_->epoch() == 0) return "";
+  return "g=" + std::to_string(streaming_->base_fingerprint()) + "@" +
+         std::to_string(streaming_->epoch());
+}
+
+Result<HolimEngine::DeltaReport> HolimEngine::ApplyDelta(
+    const GraphDelta& delta, const InfluenceParams& params) {
+  if (params.probability.size() != graph_->num_edges()) {
+    return Status::InvalidArgument(
+        "ApplyDelta params must match the current graph: " +
+        std::to_string(params.probability.size()) + " probabilities vs " +
+        std::to_string(graph_->num_edges()) + " edges");
+  }
+  if (streaming_ == nullptr) {
+    streaming_ = std::make_unique<StreamingGraph>(*graph_);
+  }
+  DeltaReport report;
+  HOLIM_ASSIGN_OR_RETURN(ResolvedDelta resolved,
+                         ResolveDelta(streaming_->graph(), delta));
+  if (resolved.Empty()) {
+    report.epoch = streaming_->epoch();
+    report.params = params;  // nothing moved; EdgeIds are unchanged
+    return report;
+  }
+  // The fingerprint the patchable sketches are cached under — taken
+  // before the remap, because that is what their keys were built from.
+  const uint64_t old_fp = FingerprintParams(params);
+  HOLIM_RETURN_NOT_OK(streaming_->ApplyResolved(resolved));
+  const Graph& new_graph = streaming_->graph();
+  HOLIM_ASSIGN_OR_RETURN(
+      report.params,
+      ApplyDeltaToParams(streaming_->previous(), params, new_graph, resolved));
+  graph_ = &new_graph;
+  report.epoch = streaming_->epoch();
+  report.effective = true;
+  report.inserted = resolved.num_inserted;
+  report.removed = resolved.removes.size();
+  report.reweighted = resolved.num_reweighted;
+  const uint64_t new_fp = FingerprintParams(report.params);
+  const Workspace::DeltaPatchStats stats = workspace_.ApplyGraphDelta(
+      old_fp, new_fp, graph_token(), [&](SketchOracle& sketch) {
+        return sketch.ApplyDelta(new_graph, report.params);
+      });
+  report.patched_sketches = stats.patched;
+  report.evicted_artifacts = stats.evicted;
+  return report;
 }
 
 Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
@@ -165,7 +218,7 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
   if (request.params == nullptr) {
     return Status::InvalidArgument("SolveRequest.params must be set");
   }
-  HOLIM_RETURN_NOT_OK(ValidateQueryFields(request, graph_.num_nodes()));
+  HOLIM_RETURN_NOT_OK(ValidateQueryFields(request, graph_->num_nodes()));
   const bool runs_selector = request.query == QueryKind::kTopK ||
                              request.query == QueryKind::kBudgeted ||
                              request.query == QueryKind::kTargeted;
@@ -195,7 +248,8 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
 
   SolveResult result;
   result.query = request.query;
-  SolveContext ctx{graph_, request, workspace_, PoolFor(request.threads)};
+  SolveContext ctx{*graph_, request, workspace_, PoolFor(request.threads),
+                   graph_token()};
 
   // Artifact acquisition: the cached selector (and, inside the factory,
   // any shared sketch oracle). artifact_seconds covers exactly the
@@ -204,7 +258,7 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
   const std::string sketch_key =
       SketchOracleKey(FingerprintParams(*request.params),
                       request.EffectiveSketchCount(), request.seed,
-                      /*record_edge_offsets=*/false);
+                      /*record_edge_offsets=*/false, graph_token());
   if (request.oracle == SpreadOracle::kSketch) {
     // "Warm" = the arena predates this solve (the factory may build it
     // below, which is still a cold build).
@@ -227,8 +281,8 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
       options.num_snapshots = request.EffectiveSketchCount();
       options.seed = request.seed;
       options.pool = ctx.pool;
-      eval_sketch =
-          workspace_.GetSketchOracle(graph_, *request.params, options);
+      eval_sketch = workspace_.GetSketchOracle(*graph_, *request.params,
+                                               options, graph_token());
     } else {
       eval_sketch = workspace_.PeekSketchOracle(sketch_key);
     }
@@ -245,7 +299,7 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
     std::vector<double> uniform;
     std::span<const double> costs(request.node_costs);
     if (costs.empty()) {
-      uniform.assign(graph_.num_nodes(), 1.0);
+      uniform.assign(graph_->num_nodes(), 1.0);
       costs = uniform;
     }
     HOLIM_ASSIGN_OR_RETURN(
@@ -282,7 +336,7 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
       McOptions mc;
       mc.num_simulations = request.mc;
       mc.seed = request.seed;
-      result.spread = EstimateSpread(graph_, *request.params, result.seeds,
+      result.spread = EstimateSpread(*graph_, *request.params, result.seeds,
                                      mc);
     }
     result.spread_seconds = spread_timer.ElapsedSeconds();
@@ -308,13 +362,14 @@ Result<SolveResult> HolimEngine::SolveGivenSeeds(const SolveRequest& request,
     const std::string sketch_key =
         SketchOracleKey(FingerprintParams(*request.params),
                         request.EffectiveSketchCount(), request.seed,
-                        /*record_edge_offsets=*/false);
+                        /*record_edge_offsets=*/false, graph_token());
     result.warm_sketch = workspace_.PeekSketchOracle(sketch_key) != nullptr;
     SketchOptions options;
     options.num_snapshots = request.EffectiveSketchCount();
     options.seed = request.seed;
     options.pool = PoolFor(request.threads);
-    sketch = workspace_.GetSketchOracle(graph_, *request.params, options);
+    sketch = workspace_.GetSketchOracle(*graph_, *request.params, options,
+                                        graph_token());
     result.sketch_arena_bytes = sketch->ArenaBytes();
   }
   result.artifact_seconds = artifact_timer.ElapsedSeconds();
@@ -355,7 +410,7 @@ Result<SolveResult> HolimEngine::SolveGivenSeeds(const SolveRequest& request,
       mc.num_simulations = request.mc;
       mc.seed = request.seed;
       result.spread =
-          EstimateSpread(graph_, *request.params, result.seeds, mc);
+          EstimateSpread(*graph_, *request.params, result.seeds, mc);
     }
   }
   result.spread_seconds = spread_timer.ElapsedSeconds();

@@ -9,6 +9,7 @@
 #include "engine/registry.h"
 #include "engine/solve_request.h"
 #include "engine/workspace.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -34,6 +35,19 @@ struct EngineOptions {
 /// (see Workspace); what it skips is sampling and allocation, which is
 /// what makes a k-sweep or an algorithm-comparison batch pay those once.
 ///
+/// ## Streaming deltas
+///
+/// ApplyDelta advances the engine onto an edited graph without discarding
+/// the workspace wholesale: the engine owns a StreamingGraph epoch chain,
+/// re-maps the caller's params onto the new EdgeIds, patches compatible
+/// sketch artifacts in place (SketchOracle::ApplyDelta through
+/// Workspace::ApplyGraphDelta) and evicts the rest. Cache keys carry a
+/// "(base fingerprint, delta epoch)" token from the first effective delta
+/// on, so artifacts can never leak across epochs even when a delta leaves
+/// the params fingerprint unchanged. The correctness contract is absolute:
+/// a warm solve after ApplyDelta is bitwise identical to a cold engine
+/// built on the mutated graph.
+///
 /// Not thread-safe: one engine serves one solve at a time (shard inside a
 /// solve via SolveRequest::threads). The bound graph — and any
 /// InfluenceParams/OpinionParams handed to Solve — must outlive the
@@ -58,9 +72,42 @@ class HolimEngine {
   /// pass over the session bitsets).
   Result<SolveResult> Solve(const SolveRequest& request);
 
-  const Graph& graph() const { return graph_; }
+  /// Outcome of one ApplyDelta call. `params` is the caller's params
+  /// re-mapped onto the new graph's EdgeIds (copied verbatim when the
+  /// delta resolved to nothing); subsequent SolveRequests must point at
+  /// it (or an equal remapping), not at the pre-delta params.
+  struct DeltaReport {
+    uint64_t epoch = 0;        ///< streaming epoch after the call
+    bool effective = false;    ///< false: delta resolved to no-op
+    std::size_t inserted = 0;
+    std::size_t removed = 0;
+    std::size_t reweighted = 0;
+    std::size_t patched_sketches = 0;   ///< artifacts patched in place
+    std::size_t evicted_artifacts = 0;  ///< artifacts dropped as stale
+    InfluenceParams params;
+  };
+
+  /// Applies one delta batch to the engine's graph and migrates the
+  /// workspace: sketch oracles built for `params` (the first-layer params
+  /// the caller has been solving with, sized for the *current* graph) are
+  /// patched in place; all other artifacts are evicted. InvalidArgument if
+  /// `params` does not match the current graph or the batch itself is
+  /// malformed (self-loop, bad probability); on error the engine is
+  /// unchanged.
+  Result<DeltaReport> ApplyDelta(const GraphDelta& delta,
+                                 const InfluenceParams& params);
+
+  const Graph& graph() const { return *graph_; }
   Workspace& workspace() { return workspace_; }
   const Workspace& workspace() const { return workspace_; }
+
+  /// Streaming epoch (0 until the first effective ApplyDelta).
+  uint64_t epoch() const { return streaming_ ? streaming_->epoch() : 0; }
+
+  /// The graph-identity tag folded into workspace keys: empty at epoch 0
+  /// (keys match the pre-streaming format byte for byte), otherwise
+  /// "g=<base fingerprint>@<epoch>".
+  std::string graph_token() const;
 
   /// The registry behind Solve (built-ins registered).
   static const AlgorithmRegistry& Registry() {
@@ -87,10 +134,14 @@ class HolimEngine {
   Result<SolveResult> SolveGivenSeeds(const SolveRequest& request,
                                       const Timer& total_timer);
 
-  const Graph& graph_;
+  // Points at the caller's base graph until the first effective delta,
+  // then at streaming_'s current epoch.
+  const Graph* graph_;
   // Declared before workspace_ on purpose: cached selectors hold pool
-  // pointers, so the pools must outlive the workspace during teardown.
+  // pointers, and cached sketches reference streaming_-owned graphs, so
+  // both must outlive the workspace during teardown.
   std::map<uint32_t, std::unique_ptr<ThreadPool>> pools_;
+  std::unique_ptr<StreamingGraph> streaming_;  // created by first ApplyDelta
   Workspace workspace_;
 };
 

@@ -24,6 +24,10 @@ struct SolveContext {
   const SolveRequest& request;
   Workspace& workspace;
   ThreadPool* pool = nullptr;
+  /// The engine's "(base fingerprint, delta epoch)" tag, folded into any
+  /// Workspace sketch key a factory builds; empty until the engine's graph
+  /// advances past epoch 0 (see HolimEngine::graph_token).
+  std::string graph_token;
 };
 
 /// Capability bit of one query kind (for AlgorithmInfo::supported_queries).

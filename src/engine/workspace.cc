@@ -55,10 +55,14 @@ uint64_t FingerprintNodes(const std::vector<NodeId>& nodes) {
 }
 
 std::string SketchOracleKey(uint64_t params_fingerprint, uint32_t snapshots,
-                            uint64_t seed, bool record_edge_offsets) {
-  return "sketch|fp=" + std::to_string(params_fingerprint) +
-         "|R=" + std::to_string(snapshots) + "|seed=" + std::to_string(seed) +
-         "|eo=" + (record_edge_offsets ? "1" : "0");
+                            uint64_t seed, bool record_edge_offsets,
+                            const std::string& graph_token) {
+  std::string key = "sketch|fp=" + std::to_string(params_fingerprint) +
+                    "|R=" + std::to_string(snapshots) +
+                    "|seed=" + std::to_string(seed) +
+                    "|eo=" + (record_edge_offsets ? "1" : "0");
+  if (!graph_token.empty()) key += "|" + graph_token;
+  return key;
 }
 
 Workspace::Entry* Workspace::Touch(const std::string& key) {
@@ -70,10 +74,12 @@ Workspace::Entry* Workspace::Touch(const std::string& key) {
 
 std::shared_ptr<const SketchOracle> Workspace::GetSketchOracle(
     const Graph& graph, const InfluenceParams& params,
-    const SketchOptions& options, bool* reused) {
+    const SketchOptions& options, const std::string& graph_token,
+    bool* reused) {
+  const uint64_t params_fp = FingerprintParams(params);
   const std::string key =
-      SketchOracleKey(FingerprintParams(params), options.num_snapshots,
-                      options.seed, options.record_edge_offsets);
+      SketchOracleKey(params_fp, options.num_snapshots, options.seed,
+                      options.record_edge_offsets, graph_token);
   if (Entry* entry = Touch(key)) {
     ++hits_;
     if (reused) *reused = true;
@@ -82,8 +88,11 @@ std::shared_ptr<const SketchOracle> Workspace::GetSketchOracle(
   ++misses_;
   if (reused) *reused = false;
   Entry entry;
-  entry.sketch = std::make_shared<const SketchOracle>(graph, params, options);
+  entry.sketch = std::make_shared<SketchOracle>(graph, params, options);
   entry.last_used = ++tick_;
+  entry.params_fp = params_fp;
+  entry.graph_token = graph_token;
+  entry.options = options;
   auto sketch = entry.sketch;
   entries_[key] = std::move(entry);
   return sketch;
@@ -116,6 +125,49 @@ Result<SeedSelector*> Workspace::GetSelector(
 }
 
 void Workspace::Clear() { entries_.clear(); }
+
+Workspace::DeltaPatchStats Workspace::ApplyGraphDelta(
+    uint64_t old_params_fp, uint64_t new_params_fp,
+    const std::string& new_graph_token,
+    const std::function<Status(SketchOracle&)>& patch) {
+  DeltaPatchStats stats;
+  // Collect keys first: patching re-keys entries via extract/insert, which
+  // would invalidate a live iteration over the map.
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  for (const std::string& key : keys) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    Entry& entry = it->second;
+    bool keep = false;
+    if (entry.sketch && entry.params_fp == old_params_fp) {
+      keep = patch(*entry.sketch).ok();
+    }
+    if (!keep) {
+      // Selectors hold graph-shaped internals (RR arenas, sweep tables,
+      // snapshot samples) with no patch path; mismatched-fingerprint
+      // sketches were built for params that no longer map onto the new
+      // EdgeIds; failed patches are stale. All must go.
+      entries_.erase(it);
+      ++stats.evicted;
+      ++evictions_;
+      continue;
+    }
+    entry.params_fp = new_params_fp;
+    entry.graph_token = new_graph_token;
+    const std::string new_key = SketchOracleKey(
+        new_params_fp, entry.options.num_snapshots, entry.options.seed,
+        entry.options.record_edge_offsets, new_graph_token);
+    if (new_key != key) {
+      auto node = entries_.extract(it);
+      node.key() = new_key;
+      entries_.insert(std::move(node));
+    }
+    ++stats.patched;
+  }
+  return stats;
+}
 
 std::size_t Workspace::MemoryFootprintBytes() const {
   std::size_t total = 0;

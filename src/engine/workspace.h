@@ -35,6 +35,23 @@ namespace holim {
 /// re-Select is deterministic (SeedSelector contract) — or it misses and
 /// a fresh artifact is built. There is no partial/approximate reuse.
 ///
+/// Once the engine applies a graph delta, keys additionally carry the
+/// engine's graph token — "(base fingerprint, delta epoch)" — because the
+/// params fingerprint alone cannot distinguish two topologies whose edge
+/// counts and probability vectors happen to coincide (e.g. a delta that
+/// moves an edge under uniform IC). The token is empty before the first
+/// delta, keeping epoch-0 keys byte-identical to the pre-streaming format.
+///
+/// ## Delta patching (ApplyGraphDelta)
+///
+/// When the engine's graph advances an epoch, sketch artifacts built
+/// against the *current* params fingerprint are patched in place via
+/// SketchOracle::ApplyDelta and re-keyed under the new (fingerprint,
+/// token); every other artifact — selectors (whose internal RR arenas /
+/// score tables / snapshot samples reference the old graph) and sketches
+/// under a different params fingerprint — is evicted. Patched reuse stays
+/// bitwise-equivalent: ApplyDelta's output is pinned to the cold rebuild.
+///
 /// ## Budget & eviction
 ///
 /// Each artifact is charged its capacity-based footprint (SketchOracle::
@@ -53,13 +70,14 @@ class Workspace {
   explicit Workspace(std::size_t max_bytes = 0) : max_bytes_(max_bytes) {}
 
   /// Returns the sketch oracle for `options`, building and caching it on
-  /// a miss. The key is derived HERE from (params content, options) —
-  /// see SketchOracleKey — so a caller cannot hand in options that
-  /// disagree with the key they are cached under. `reused` (optional)
-  /// reports whether the artifact was served warm.
+  /// a miss. The key is derived HERE from (params content, options,
+  /// graph token) — see SketchOracleKey — so a caller cannot hand in
+  /// options that disagree with the key they are cached under. `reused`
+  /// (optional) reports whether the artifact was served warm.
   std::shared_ptr<const SketchOracle> GetSketchOracle(
       const Graph& graph, const InfluenceParams& params,
-      const SketchOptions& options, bool* reused = nullptr);
+      const SketchOptions& options, const std::string& graph_token = "",
+      bool* reused = nullptr);
 
   /// The cached sketch under `key` (from SketchOracleKey), or nullptr —
   /// never builds and does not count as a hit/miss or LRU touch (used
@@ -79,6 +97,24 @@ class Workspace {
   /// Drops every artifact.
   void Clear();
 
+  /// Outcome of ApplyGraphDelta: how many sketch artifacts were patched
+  /// in place vs dropped (selectors, mismatched fingerprints, failed
+  /// patches).
+  struct DeltaPatchStats {
+    std::size_t patched = 0;
+    std::size_t evicted = 0;
+  };
+
+  /// Migrates the cache across a graph epoch: every sketch artifact whose
+  /// params fingerprint equals `old_params_fp` is handed to `patch`
+  /// (which should call SketchOracle::ApplyDelta) and, on success,
+  /// re-keyed under (`new_params_fp`, `new_graph_token`); every other
+  /// artifact is evicted. See the class comment.
+  DeltaPatchStats ApplyGraphDelta(
+      uint64_t old_params_fp, uint64_t new_params_fp,
+      const std::string& new_graph_token,
+      const std::function<Status(SketchOracle&)>& patch);
+
   /// Evicts least-recently-used artifacts until the footprint fits the
   /// budget (no-op when unlimited). Returns the number evicted.
   std::size_t EnforceBudget();
@@ -97,10 +133,17 @@ class Workspace {
 
  private:
   struct Entry {
-    // Exactly one of the two is set, matching the key's kind.
-    std::shared_ptr<const SketchOracle> sketch;
+    // Exactly one of the two is set, matching the key's kind. Sketches
+    // are held non-const so ApplyGraphDelta can patch them in place;
+    // GetSketchOracle still hands out const views.
+    std::shared_ptr<SketchOracle> sketch;
     std::unique_ptr<SeedSelector> selector;
     uint64_t last_used = 0;
+    // Sketch-entry metadata mirrored out of the key so ApplyGraphDelta
+    // can match and re-key entries without parsing key strings.
+    uint64_t params_fp = 0;
+    std::string graph_token;
+    SketchOptions options;
 
     std::size_t FootprintBytes() const {
       if (sketch) return sketch->ArenaBytes();
@@ -141,9 +184,12 @@ uint64_t FingerprintNodes(const std::vector<NodeId>& nodes);
 
 /// Canonical workspace key of a sketch-oracle artifact — shared by the
 /// engine's spread evaluation and the greedy/CELF factories so one arena
-/// serves both.
+/// serves both. `graph_token` is the engine's "(base fingerprint, delta
+/// epoch)" tag; empty (the default, and always at epoch 0) appends
+/// nothing, keeping pre-streaming keys byte-identical.
 std::string SketchOracleKey(uint64_t params_fingerprint, uint32_t snapshots,
-                            uint64_t seed, bool record_edge_offsets);
+                            uint64_t seed, bool record_edge_offsets,
+                            const std::string& graph_token = "");
 
 }  // namespace holim
 

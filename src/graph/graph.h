@@ -80,6 +80,7 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend class StreamingGraph;
 
   NodeId EdgeSourceBinarySearch(EdgeId e) const;
 

@@ -62,6 +62,25 @@ Dispatches on the baseline's "bench" field:
         timing ratios (eager-vs-lazy budgeted selection; solve-vs-explain
         attribution), gated like select_speedup.
 
+  * "streaming" (BENCH_streaming.json, from bench_micro_streaming):
+      - solve.parity and rr.arena_match — booleans the bench itself
+        HOLIM_CHECKs per churn step (warm post-delta solve bitwise equal
+        to a cold rebuild; patched RR arena equal to a fresh replay). The
+        binary aborts on violation, so a written JSON always carries
+        true; the gate re-asserts them as exact contracts anyway.
+      - solve.speedup — incremental (ApplyDelta + warm re-solve) vs
+        full-rebuild wall time over the churn sequence; a timing ratio,
+        gated like select_speedup PLUS an absolute floor of 3.0x (the
+        streaming layer's reason to exist; below that, rebuilding wins
+        once noise is accounted for).
+      - rr.speedup — RR block-replay vs fresh GenerateParallel under
+        single-edge churn; a timing ratio, gated like select_speedup
+        (no absolute floor: hub-touching updates legitimately degrade
+        toward full resample on a BA graph).
+      - artifacts.patched / artifacts.evicted — exact per-sequence
+        artifact migration counts; any drift means Workspace delta
+        patching or the engine's eviction protocol changed.
+
 Timing ratios take the best value across the supplied runs: CI runs each
 bench twice and a regression is only real if neither run reaches the bar.
 Run-to-run jitter of a timing ratio is reported; if it exceeds
@@ -348,6 +367,56 @@ def gate_query_family(baseline, runs, args, failures):
                       args.threshold, args.jitter_limit, failures)
 
 
+def gate_streaming(baseline, runs, args, failures):
+    check_geometry(baseline, runs, ("nodes", "snapshots", "k", "batches",
+                                    "ops_per_batch", "rr_ops_per_batch",
+                                    "theta", "seed", "p"))
+
+    base_solve = baseline.get("solve")
+    base_rr = baseline.get("rr")
+    base_artifacts = baseline.get("artifacts")
+    if base_solve is None or base_rr is None or base_artifacts is None:
+        sys.exit("error: baseline lacks solve/rr/artifacts sections; "
+                 "regenerate it with the current bench binary")
+
+    def section_values(section, key):
+        values = []
+        for path, run in runs:
+            row = run.get(section)
+            if row is None or key not in row:
+                failures.append(f"{path}: {section}.{key}: missing")
+                continue
+            values.append(row[key])
+        return values
+
+    # Exact contracts: the parity booleans and the artifact migration
+    # counts — fail regardless of threshold.
+    for section, key in (("solve", "parity"), ("rr", "arena_match")):
+        for value in section_values(section, key):
+            if value is not True:
+                failures.append(f"{section}.{key}: {value} != true "
+                                "(exact parity contract)")
+    for key in ("patched", "evicted"):
+        expected = base_artifacts[key]
+        for value in section_values("artifacts", key):
+            if value != expected:
+                failures.append(f"artifacts.{key}: {value} != {expected} "
+                                "(exact artifact-migration contract)")
+
+    # Timing gates: baseline-relative plus the absolute 3x floor on the
+    # headline incremental-solve speedup.
+    solve_speedups = section_values("solve", "speedup")
+    gate_timing_ratio("solve.speedup", base_solve["speedup"], solve_speedups,
+                      args.threshold, args.jitter_limit, failures)
+    if solve_speedups and max(solve_speedups) < 3.0:
+        failures.append(f"solve.speedup best-of-{len(solve_speedups)} "
+                        f"{max(solve_speedups):.2f} < 3.00 (absolute "
+                        "incremental-vs-rebuild floor)")
+    gate_timing_ratio("rr.speedup", base_rr["speedup"],
+                      section_values("rr", "speedup"), args.threshold,
+                      args.jitter_limit, failures)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -380,6 +449,8 @@ def main():
         gate_engine(baseline, runs, args, failures)
     elif kind == "query_family":
         gate_query_family(baseline, runs, args, failures)
+    elif kind == "streaming":
+        gate_streaming(baseline, runs, args, failures)
     else:
         sys.exit(f"error: unknown bench kind '{kind}' in {args.baseline}")
 

@@ -234,6 +234,45 @@ Status Run(const BenchArgs& args) {
   std::printf("\nworkspace: %zu artifact(s), %s held (capacity-based)\n",
               engine.workspace().num_artifacts(),
               HumanBytes(engine.workspace().MemoryFootprintBytes()).c_str());
+
+  // Streaming churn replay: N seeded random delta batches, re-solving the
+  // same request warm after each. Deterministic for a fixed flag set — the
+  // batches come from MakeRandomDelta under a seed-derived stream, and a
+  // warm post-delta solve is pinned bitwise to a cold rebuild.
+  const int64_t churn = args.GetInt("churn", 0);
+  if (churn > 0) {
+    if (opinion_aware) {
+      return Status::InvalidArgument(
+          "--churn replays the first-layer params only; drop --opinions");
+    }
+    constexpr std::size_t kOpsPerBatch = 64;
+    std::printf("\nchurn replay: %lld batches x %zu ops\n",
+                static_cast<long long>(churn), kOpsPerBatch);
+    Rng churn_rng(config.seed + 0x5EEDC0DEULL);
+    InfluenceParams current = std::move(params);
+    for (int64_t step = 0; step < churn; ++step) {
+      const GraphDelta delta =
+          MakeRandomDelta(engine.graph(), kOpsPerBatch, churn_rng);
+      HOLIM_ASSIGN_OR_RETURN(HolimEngine::DeltaReport report,
+                             engine.ApplyDelta(delta, current));
+      current = std::move(report.params);
+      request.params = &current;
+      HOLIM_ASSIGN_OR_RETURN(SolveResult step_result, engine.Solve(request));
+      std::printf(
+          "churn[%lld]: epoch=%llu +%zu/-%zu/~%zu patched=%zu evicted=%zu "
+          "n=%u m=%llu seed0=%u spread=%.4f\n",
+          static_cast<long long>(step),
+          static_cast<unsigned long long>(report.epoch), report.inserted,
+          report.removed, report.reweighted, report.patched_sketches,
+          report.evicted_artifacts, engine.graph().num_nodes(),
+          static_cast<unsigned long long>(engine.graph().num_edges()),
+          step_result.seeds.empty() ? kInvalidNode : step_result.seeds[0],
+          step_result.spread);
+    }
+    std::printf("post-churn workspace: %zu artifact(s), %s held\n",
+                engine.workspace().num_artifacts(),
+                HumanBytes(engine.workspace().MemoryFootprintBytes()).c_str());
+  }
   return Status::OK();
 }
 
@@ -273,6 +312,10 @@ int main(int argc, char** argv) {
         args->Declare("sketches",
                       "sketch-oracle snapshot count R (default: the --mc "
                       "value; only used with --oracle=sketch)");
+        args->Declare("churn",
+                      "after the initial solve, apply N random 64-op delta "
+                      "batches (seeded from --seed) and re-solve warm after "
+                      "each, printing one deterministic line per step");
         args->Declare("max-cache-mib",
                       "engine Workspace artifact budget in MiB; LRU "
                       "eviction above it (default 0 = unlimited)");
