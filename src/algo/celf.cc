@@ -83,15 +83,31 @@ Result<SeedSelection> CelfSelector::Select(uint32_t k) {
     // selecting a seed commits its frontier once. The CELF++ double-gain
     // cache is pointless here — a session re-evaluation costs no more
     // than the cache lookup's bookkeeping — so `plus_plus_` is ignored.
+    if (deadline_ && !deadline_->Check().ok()) {
+      selection.degraded = true;
+      selection.stop_status = deadline_->status();
+      selection.elapsed_seconds = timer.ElapsedSeconds();
+      selection.overhead_bytes = meter.OverheadBytes();
+      return selection;
+    }
     std::priority_queue<SessionHeapEntry> heap;
     for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
       ++evaluations_;
       heap.push({u, objective_->SessionMarginalGain(u), 0});
     }
+    uint32_t checked_round = 0;  // the pre-pass check covers round 0
     while (selection.seeds.size() < k && !heap.empty()) {
+      const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+      if (deadline_ && round != checked_round) {
+        checked_round = round;
+        if (!deadline_->Check().ok()) {
+          selection.degraded = true;
+          selection.stop_status = deadline_->status();
+          break;
+        }
+      }
       SessionHeapEntry top = heap.top();
       heap.pop();
-      const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
       if (top.round == round) {
         objective_->SessionCommit(top.node);
         selection.seeds.push_back(top.node);
@@ -115,6 +131,13 @@ Result<SeedSelection> CelfSelector::Select(uint32_t k) {
   };
 
   // Initial pass: marginal gain of every singleton.
+  if (deadline_ && !deadline_->Check().ok()) {
+    selection.degraded = true;
+    selection.stop_status = deadline_->status();
+    selection.elapsed_seconds = timer.ElapsedSeconds();
+    selection.overhead_bytes = meter.OverheadBytes();
+    return selection;
+  }
   std::priority_queue<HeapEntry> heap;
   trial.assign(1, 0);
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
@@ -127,10 +150,28 @@ Result<SeedSelection> CelfSelector::Select(uint32_t k) {
   }
 
   double current_value = 0.0;
+  uint32_t checked_round = 0;  // the pre-pass check covers round 0
   while (selection.seeds.size() < k && !heap.empty()) {
+    const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+    if (deadline_ && round != checked_round) {
+      checked_round = round;
+      if (!deadline_->Check().ok()) {
+        selection.degraded = true;
+        selection.stop_status = deadline_->status();
+        break;
+      }
+    }
+    if (deadline_ && deadline_->StopRequested()) {
+      // Expiry mid-round (wall clock or cancellation): gains evaluated
+      // after it rest on partial MC block sums, so stop before one of
+      // them can reach the commit branch. Never reached in work-budget
+      // mode (expiry only lands at the per-round Check above).
+      selection.degraded = true;
+      selection.stop_status = deadline_->Check();
+      break;
+    }
     HeapEntry top = heap.top();
     heap.pop();
-    const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
     if (top.round == round) {
       // Gain is fresh w.r.t. the current seed set: select it.
       selection.seeds.push_back(top.node);
@@ -195,17 +236,33 @@ Result<SeedSelection> CelfSelector::SelectBudgeted(
     // Lazy benefit-per-cost loop over session probes. Stale ratios are
     // upper bounds (submodular gains over the frozen snapshots; costs are
     // fixed), so the lazy skip logic carries over from Select unchanged.
+    if (deadline_ && !deadline_->Check().ok()) {
+      selection.degraded = true;
+      selection.stop_status = deadline_->status();
+      selection.elapsed_seconds = timer.ElapsedSeconds();
+      selection.overhead_bytes = meter.OverheadBytes();
+      return selection;
+    }
     std::priority_queue<BudgetHeapEntry> heap;
     for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
       ++evaluations_;
       const double gain = objective_->SessionMarginalGain(u);
       heap.push({u, gain / costs[u], gain, 0});
     }
+    uint32_t checked_round = 0;  // the pre-pass check covers round 0
     while (selection.seeds.size() < max_seeds && !heap.empty()) {
+      const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+      if (deadline_ && round != checked_round) {
+        checked_round = round;
+        if (!deadline_->Check().ok()) {
+          selection.degraded = true;
+          selection.stop_status = deadline_->status();
+          break;
+        }
+      }
       BudgetHeapEntry top = heap.top();
       heap.pop();
       if (costs[top.node] > remaining) continue;  // drop: can never fit
-      const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
       if (top.round == round) {
         objective_->SessionCommit(top.node);
         remaining -= costs[top.node];
@@ -233,6 +290,13 @@ Result<SeedSelection> CelfSelector::SelectBudgeted(
     ++evaluations_;
     return objective_->Evaluate(seeds);
   };
+  if (deadline_ && !deadline_->Check().ok()) {
+    selection.degraded = true;
+    selection.stop_status = deadline_->status();
+    selection.elapsed_seconds = timer.ElapsedSeconds();
+    selection.overhead_bytes = meter.OverheadBytes();
+    return selection;
+  }
   std::priority_queue<BudgetHeapEntry> heap;
   trial.assign(1, 0);
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
@@ -241,11 +305,26 @@ Result<SeedSelection> CelfSelector::SelectBudgeted(
     heap.push({u, gain / costs[u], gain, 0});
   }
   double current_value = 0.0;
+  uint32_t checked_round = 0;  // the pre-pass check covers round 0
   while (selection.seeds.size() < max_seeds && !heap.empty()) {
+    const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+    if (deadline_ && round != checked_round) {
+      checked_round = round;
+      if (!deadline_->Check().ok()) {
+        selection.degraded = true;
+        selection.stop_status = deadline_->status();
+        break;
+      }
+    }
+    if (deadline_ && deadline_->StopRequested()) {
+      // Same mid-round discard as Select's MC loop (see above).
+      selection.degraded = true;
+      selection.stop_status = deadline_->Check();
+      break;
+    }
     BudgetHeapEntry top = heap.top();
     heap.pop();
     if (costs[top.node] > remaining) continue;  // drop: can never fit
-    const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
     if (top.round == round) {
       remaining -= costs[top.node];
       selection.seeds.push_back(top.node);

@@ -83,6 +83,11 @@ Result<SeedSelection> GreedySelector::Select(uint32_t k) {
     // marginal gain is an incremental session probe instead of a whole-set
     // re-evaluation, and the winner's frontier is committed once.
     for (uint32_t i = 0; i < k; ++i) {
+      if (deadline_ && !deadline_->Check().ok()) {
+        selection.degraded = true;
+        selection.stop_status = deadline_->status();
+        break;
+      }
       NodeId best = kInvalidNode;
       double best_gain = -std::numeric_limits<double>::infinity();
       for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
@@ -106,6 +111,11 @@ Result<SeedSelection> GreedySelector::Select(uint32_t k) {
   double current_value = 0.0;
   std::vector<NodeId> trial;
   for (uint32_t i = 0; i < k; ++i) {
+    if (deadline_ && !deadline_->Check().ok()) {
+      selection.degraded = true;
+      selection.stop_status = deadline_->status();
+      break;
+    }
     NodeId best = kInvalidNode;
     double best_value = -std::numeric_limits<double>::infinity();
     trial = selection.seeds;
@@ -118,6 +128,15 @@ Result<SeedSelection> GreedySelector::Select(uint32_t k) {
         best_value = value;
         best = u;
       }
+    }
+    if (deadline_ && deadline_->StopRequested()) {
+      // Expiry mid-round (wall clock or cancellation) leaves partial MC
+      // estimates behind this round's scores; discard the round instead of
+      // committing a seed scored on them. Never reached in work-budget
+      // mode, where expiry only lands at the round-top Check.
+      selection.degraded = true;
+      selection.stop_status = deadline_->Check();
+      break;
     }
     if (best == kInvalidNode) break;
     chosen[best] = 1;
@@ -151,6 +170,11 @@ Result<SeedSelection> GreedySelector::SelectBudgeted(
     // Select's hill-climb (gain / 1.0 == gain, same ascending-id strict->
     // scan), which is the uniform-cost parity contract.
     while (selection.seeds.size() < max_seeds) {
+      if (deadline_ && !deadline_->Check().ok()) {
+        selection.degraded = true;
+        selection.stop_status = deadline_->status();
+        break;
+      }
       NodeId best = kInvalidNode;
       double best_ratio = -std::numeric_limits<double>::infinity();
       double best_gain = 0.0;
@@ -178,6 +202,11 @@ Result<SeedSelection> GreedySelector::SelectBudgeted(
   double current_value = 0.0;
   std::vector<NodeId> trial;
   while (selection.seeds.size() < max_seeds) {
+    if (deadline_ && !deadline_->Check().ok()) {
+      selection.degraded = true;
+      selection.stop_status = deadline_->status();
+      break;
+    }
     NodeId best = kInvalidNode;
     double best_ratio = -std::numeric_limits<double>::infinity();
     double best_value = 0.0;
@@ -193,6 +222,12 @@ Result<SeedSelection> GreedySelector::SelectBudgeted(
         best_value = value;
         best = u;
       }
+    }
+    if (deadline_ && deadline_->StopRequested()) {
+      // Same mid-round discard as Select's MC path (see above).
+      selection.degraded = true;
+      selection.stop_status = deadline_->Check();
+      break;
     }
     if (best == kInvalidNode) break;
     chosen[best] = 1;

@@ -47,6 +47,19 @@ Result<SeedSelection> ImmSelector::Select(uint32_t k) {
                              ((1.0 - 1.0 / M_E) * alpha + beta) *
                              ((1.0 - 1.0 / M_E) * alpha + beta) / (eps * eps);
 
+  // As in TIM+: expiry mid-generation leaves no valid seed prefix, so a
+  // degraded IMM run returns empty seeds and the engine's heuristic tier
+  // takes over. Expiry is sticky on the deadline.
+  auto degrade = [&]() -> Result<SeedSelection> {
+    selection.seeds.clear();
+    selection.seed_scores.clear();
+    selection.degraded = true;
+    selection.stop_status = deadline_->status();
+    selection.elapsed_seconds = timer.ElapsedSeconds();
+    selection.overhead_bytes = meter.OverheadBytes();
+    return selection;
+  };
+
   RrCollection rr(graph_, params_);
   double lb = 1.0;
   const uint32_t max_rounds =
@@ -62,7 +75,11 @@ Result<SeedSelection> ImmSelector::Select(uint32_t k) {
     // across max_theta settings.
     const uint64_t round_seed = rng.Next64();
     if (rr.num_sets() < theta_i) {
-      rr.GenerateParallel(theta_i - rr.num_sets(), round_seed, options_.pool);
+      if (!rr.GenerateParallel(theta_i - rr.num_sets(), round_seed,
+                               options_.pool, deadline_)
+               .ok()) {
+        return degrade();
+      }
     }
     // The snapshot CELF runs against the incrementally maintained index, so
     // this round only paid indexing for the sets appended above.
@@ -83,14 +100,23 @@ Result<SeedSelection> ImmSelector::Select(uint32_t k) {
   // both the generate and the already-enough-sets path.
   const uint64_t final_seed = rng.Next64();
   if (rr.num_sets() < theta) {
-    rr.GenerateParallel(theta - rr.num_sets(), final_seed, options_.pool);
+    if (!rr.GenerateParallel(theta - rr.num_sets(), final_seed, options_.pool,
+                             deadline_)
+             .ok()) {
+      return degrade();
+    }
   }
   stats_.theta = rr.num_sets();
   stats_.rr_memory_bytes = rr.MemoryBytes();
   stats_.rr_index_bytes = rr.IndexMemoryBytes();
 
-  auto coverage = rr.Snapshot().SelectMaxCoverage(k);
+  auto coverage = rr.Snapshot().SelectMaxCoverage(k, deadline_);
   selection.seeds = std::move(coverage.seeds);
+  if (coverage.deadline_hit) {
+    // Committed prefix seeds are valid greedy max-coverage output.
+    selection.degraded = true;
+    selection.stop_status = deadline_->status();
+  }
   selection.elapsed_seconds = timer.ElapsedSeconds();
   selection.overhead_bytes = meter.OverheadBytes();
   return selection;

@@ -95,9 +95,9 @@ void RrCollection::Generate(std::size_t count, Rng& rng) {
   if (build_index_) IndexNewSets(nullptr);
 }
 
-void RrCollection::GenerateParallel(std::size_t count, uint64_t seed,
-                                    ThreadPool* pool) {
-  if (count == 0) return;
+Status RrCollection::GenerateParallel(std::size_t count, uint64_t seed,
+                                      ThreadPool* pool, Deadline* deadline) {
+  if (count == 0) return Status::OK();
   records_.push_back({num_sets(), count, seed});
   ThreadPool& p = pool ? *pool : DefaultThreadPool();
   const std::size_t num_blocks =
@@ -141,11 +141,30 @@ void RrCollection::GenerateParallel(std::size_t count, uint64_t seed,
   offsets_.reserve(offsets_.size() + count);
   if (track_widths_) widths_.reserve(widths_.size() + count);
   const std::size_t entries_before = entries_.size();
+  const std::size_t offsets_before = offsets_.size();
+  const std::size_t widths_before = widths_.size();
+  const uint64_t total_width_before = total_width_;
   std::size_t sets_done = 0;
   for (std::size_t wave_start = 0; wave_start < num_blocks;
        wave_start += shards) {
     const std::size_t wave_blocks =
         std::min(shards, num_blocks - wave_start);
+    if (deadline) {
+      // One tick per block, charged at the wave boundary: consumption is a
+      // function of the block count alone, so the expiry point (and the
+      // caller's degradation) is invariant to thread count.
+      Status st = deadline->CheckN(wave_blocks);
+      if (!st.ok()) {
+        // Roll back this call's appends: a partial arena would depend on
+        // where the waves were cut, and the index never saw these sets.
+        entries_.resize(entries_before);
+        offsets_.resize(offsets_before);
+        widths_.resize(widths_before);
+        total_width_ = total_width_before;
+        records_.pop_back();
+        return st;
+      }
+    }
     p.ParallelFor(wave_blocks, [&](std::size_t w) {
       ShardState& sc = shard[w];
       sc.entries.clear();
@@ -205,6 +224,7 @@ void RrCollection::GenerateParallel(std::size_t count, uint64_t seed,
       IndexNewSets(nullptr);
     }
   }
+  return Status::OK();
 }
 
 void RrCollection::IndexNewSets(const uint32_t* new_counts) {
@@ -312,7 +332,7 @@ struct Candidate {
 }  // namespace
 
 RrCollection::CoverageResult RrCollection::CoverageSnapshot::SelectMaxCoverage(
-    uint32_t k) const {
+    uint32_t k, Deadline* deadline) const {
   HOLIM_CHECK(valid()) << "stale CoverageSnapshot: collection Cleared "
                        << "(snapshot epoch " << epoch_ << ", live epoch "
                        << rr_->epoch_ << ")";
@@ -416,6 +436,11 @@ RrCollection::CoverageResult RrCollection::CoverageSnapshot::SelectMaxCoverage(
     if (have_next && Candidate{fresh, top.node} < next) {
       refreshed.push({fresh, top.node});
       continue;
+    }
+    if (deadline && !deadline->Check().ok()) {
+      // Prefix seeds are valid greedy output; skip the padding below too.
+      result.deadline_hit = true;
+      return result;
     }
     result.seeds.push_back(top.node);
     selected[top.node] = 1;

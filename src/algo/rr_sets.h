@@ -8,6 +8,7 @@
 #include "diffusion/cascade.h"
 #include "graph/graph.h"
 #include "model/influence_params.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -150,8 +151,17 @@ class RrCollection {
   /// DefaultThreadPool()) under the RNG-sharding contract above, indexing
   /// the new sets from shard-local partial counts. Output (arena and
   /// index) is independent of the pool's thread count.
-  void GenerateParallel(std::size_t count, uint64_t seed,
-                        ThreadPool* pool = nullptr);
+  ///
+  /// `deadline` (borrowed, may be null) is checked once per *block* at
+  /// wave boundaries via CheckN(blocks-in-wave) — tick consumption depends
+  /// on the block count alone, never the thread count. On expiry the
+  /// call's appends are rolled back entirely (the collection is exactly as
+  /// before the call — a partial arena would be thread-count-shaped) and
+  /// the deadline's status is returned; callers degrade from whatever
+  /// earlier rounds completed.
+  Status GenerateParallel(std::size_t count, uint64_t seed,
+                          ThreadPool* pool = nullptr,
+                          Deadline* deadline = nullptr);
 
   /// Drops all sets and index segments (keeps capacity) and bumps the
   /// epoch, invalidating every outstanding CoverageSnapshot. Also clears
@@ -202,6 +212,9 @@ class RrCollection {
   struct CoverageResult {
     std::vector<NodeId> seeds;
     double covered_fraction = 0.0;
+    /// True when a deadline expired mid-selection; `seeds` then holds the
+    /// prefix committed before expiry (greedy rounds are prefix-valid).
+    bool deadline_hit = false;
   };
 
   /// Zero-copy CELF view over the live incremental index, pinned to the
@@ -211,8 +224,11 @@ class RrCollection {
    public:
     /// Lazy-greedy (CELF) max-coverage over the pinned prefix of sets.
     /// Aborts via HOLIM_CHECK if the owning collection was Cleared after
-    /// this snapshot was taken.
-    CoverageResult SelectMaxCoverage(uint32_t k) const;
+    /// this snapshot was taken. `deadline` (borrowed, may be null) is
+    /// checked once per committed seed: on expiry the prefix selected so
+    /// far is returned with `deadline_hit` set (no padding).
+    CoverageResult SelectMaxCoverage(uint32_t k,
+                                     Deadline* deadline = nullptr) const;
 
     /// Number of sets this snapshot views (pinned at creation).
     std::size_t num_sets() const { return limit_; }

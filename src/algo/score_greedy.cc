@@ -137,6 +137,11 @@ Result<SeedSelection> ScoreGreedy::Select(uint32_t k) {
   bool have_baseline = false;
   bool sequence_broken = false;
   for (uint32_t i = 0; i < k; ++i) {
+    if (deadline_ && !deadline_->Check().ok()) {
+      selection.degraded = true;
+      selection.stop_status = deadline_->status();
+      break;
+    }
     const std::vector<NodeId>* delta =
         (have_baseline && !sequence_broken) ? &newly_activated_ : nullptr;
     score_fn_(activated_, delta, &scores);
@@ -245,6 +250,7 @@ std::string EasyImSelector::name() const {
 
 Result<SeedSelection> EasyImSelector::Select(uint32_t k) {
   ScoreGreedy driver(graph_, MakeSweepScoreFn(scorer_, options_), options_);
+  driver.set_deadline(deadline_);
   if (params_.model == DiffusionModel::kLinearThreshold) {
     driver.set_simulate_fn(MakeLtSimulateFn(graph_, params_));
   } else {
@@ -277,6 +283,7 @@ std::string OsimSelector::name() const {
 
 Result<SeedSelection> OsimSelector::Select(uint32_t k) {
   ScoreGreedy driver(graph_, MakeSweepScoreFn(scorer_, options_), options_);
+  driver.set_deadline(deadline_);
   if (base_ == OiBase::kLinearThreshold) {
     driver.set_simulate_fn(MakeLtSimulateFn(graph_, influence_));
   } else {

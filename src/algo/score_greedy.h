@@ -97,6 +97,10 @@ class ScoreGreedy {
   void set_edge_probability(const std::vector<double>* p) { edge_prob_ = p; }
   void set_max_hops(uint32_t hops) { max_hops_ = hops; }
 
+  /// Cooperative deadline checked at each round boundary (borrowed, may be
+  /// null). On expiry Select returns the degraded seed prefix.
+  void set_deadline(Deadline* deadline) { deadline_ = deadline; }
+
   Result<SeedSelection> Select(uint32_t k);
 
  private:
@@ -111,6 +115,7 @@ class ScoreGreedy {
   ScoreGreedyOptions options_;
   SimulateFn simulate_fn_;
   const std::vector<double>* edge_prob_ = nullptr;
+  Deadline* deadline_ = nullptr;
   uint32_t max_hops_ = 3;
   EpochSet activated_;
   /// Nodes inserted into activated_ since the last main scoring call.

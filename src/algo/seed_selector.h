@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace holim {
@@ -27,6 +28,14 @@ struct SeedSelection {
   std::size_t scratch_bytes = 0;
   /// Algorithm-internal score of each chosen seed (empty if N/A).
   std::vector<double> seed_scores;
+  /// True when a deadline/cancellation stopped the run early; `seeds` then
+  /// holds the prefix completed before expiry (possibly empty). Not an
+  /// error: greedy rounds are prefix-valid, so the caller decides whether
+  /// to degrade (HolimEngine's tier ladder) or fail.
+  bool degraded = false;
+  /// The deadline status that stopped a degraded run (kDeadlineExceeded or
+  /// kCancelled); kOk when `degraded` is false.
+  Status stop_status;
 };
 
 /// \brief Common interface for all influence-maximization algorithms.
@@ -78,6 +87,18 @@ class SeedSelector {
   /// stateless selectors. The engine Workspace charges cached selectors
   /// against its budget through this.
   virtual std::size_t MemoryFootprintBytes() const { return 0; }
+
+  /// Binds a cooperative deadline for subsequent Select/SelectBudgeted
+  /// calls (borrowed; the engine clears it before the selector outlives
+  /// the solve). Null (the default) restores the unbounded behavior —
+  /// with no deadline bound, runs are byte-identical to pre-deadline
+  /// builds. Deadline-aware selectors check it at round boundaries and
+  /// return a degraded prefix SeedSelection on expiry; selectors that
+  /// ignore it simply run to completion.
+  void set_deadline(Deadline* deadline) { deadline_ = deadline; }
+
+ protected:
+  Deadline* deadline_ = nullptr;
 };
 
 }  // namespace holim

@@ -136,6 +136,13 @@ Result<SeedSelection> StaticGreedySelector::Select(uint32_t k) {
   // drawn once and kept: re-Select on a cached selector (engine Workspace
   // warm reuse) skips phase 1 while staying bitwise-identical to a cold
   // run.
+  if (deadline_ && !deadline_->Check().ok()) {
+    selection.degraded = true;
+    selection.stop_status = deadline_->status();
+    selection.elapsed_seconds = timer.ElapsedSeconds();
+    selection.overhead_bytes = meter.OverheadBytes();
+    return selection;
+  }
   if (snapshots_.empty()) SampleSnapshots();
 
   std::vector<std::vector<char>> covered(
@@ -152,10 +159,19 @@ Result<SeedSelection> StaticGreedySelector::Select(uint32_t k) {
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
     heap.push({u, MarginalGain(u, covered), 0});
   }
+  uint32_t checked_round = 0;  // the pre-sample check covers round 0
   while (selection.seeds.size() < k && !heap.empty()) {
+    const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
+    if (deadline_ && round != checked_round) {
+      checked_round = round;
+      if (!deadline_->Check().ok()) {
+        selection.degraded = true;
+        selection.stop_status = deadline_->status();
+        break;
+      }
+    }
     Entry top = heap.top();
     heap.pop();
-    const uint32_t round = static_cast<uint32_t>(selection.seeds.size());
     if (top.round == round) {
       selection.seeds.push_back(top.node);
       selection.seed_scores.push_back(top.gain);

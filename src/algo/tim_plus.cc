@@ -44,7 +44,12 @@ double TimPlusSelector::EstimateKpt(uint32_t k, Rng& rng) {
         std::pow(2.0, i);
     const std::size_t need = static_cast<std::size_t>(std::ceil(ci));
     rr.Clear();
-    rr.GenerateParallel(need, rng.Next64(), options_.pool);
+    // On deadline expiry mid-generation the collection rolls back; bail —
+    // Select inspects the (sticky) deadline state and degrades.
+    if (!rr.GenerateParallel(need, rng.Next64(), options_.pool, deadline_)
+             .ok()) {
+      return 1.0;
+    }
     // kappa(R) = 1 - (1 - w(R)/m)^k per set; estimate the mean.
     double sum = 0.0;
     for (std::size_t s = 0; s < rr.num_sets(); ++s) {
@@ -75,13 +80,21 @@ double TimPlusSelector::RefineKpt(uint32_t k, double kpt_star, Rng& rng) {
     theta_prime = std::min(theta_prime, options_.max_theta);
   }
   RrCollection sample(graph_, params_);
-  sample.GenerateParallel(theta_prime, rng.Next64(), options_.pool);
+  if (!sample.GenerateParallel(theta_prime, rng.Next64(), options_.pool,
+                               deadline_)
+           .ok()) {
+    return kpt_star;  // expired: Select degrades from the sticky deadline
+  }
   auto coverage = sample.Snapshot().SelectMaxCoverage(k);
 
   // Only CoveredFraction (an arena scan) runs on the fresh sample; no index.
   RrCollection fresh(graph_, params_, /*track_widths=*/false,
                      /*build_index=*/false);
-  fresh.GenerateParallel(theta_prime, rng.Next64(), options_.pool);
+  if (!fresh.GenerateParallel(theta_prime, rng.Next64(), options_.pool,
+                              deadline_)
+           .ok()) {
+    return kpt_star;
+  }
   const double f = fresh.CoveredFraction(coverage.seeds);
   const double kpt_refined = f * n / (1.0 + eps_prime);
   return std::max(kpt_star, kpt_refined);
@@ -98,8 +111,24 @@ Result<SeedSelection> TimPlusSelector::Select(uint32_t k) {
   Rng rng(options_.seed);
   stats_ = RunStats{};
 
+  // Expiry inside any generation phase is sticky on the deadline; a
+  // degraded TIM+ run returns an empty selection (there is no valid seed
+  // prefix until the final max-coverage pass) and lets the engine fall to
+  // its heuristic tier.
+  auto degrade = [&]() -> Result<SeedSelection> {
+    selection.seeds.clear();
+    selection.seed_scores.clear();
+    selection.degraded = true;
+    selection.stop_status = deadline_->status();
+    selection.elapsed_seconds = timer.ElapsedSeconds();
+    selection.overhead_bytes = meter.OverheadBytes();
+    return selection;
+  };
+
   stats_.kpt_star = EstimateKpt(k, rng);
+  if (deadline_ && !deadline_->status().ok()) return degrade();
   stats_.kpt_plus = RefineKpt(k, stats_.kpt_star, rng);
+  if (deadline_ && !deadline_->status().ok()) return degrade();
 
   // theta = lambda / KPT+ with lambda = (8+2eps) n (l log n + log C(n,k) +
   // log 2) / eps^2 (TIM Theorem 1).
@@ -119,11 +148,19 @@ Result<SeedSelection> TimPlusSelector::Select(uint32_t k) {
   stats_.theta = theta;
 
   RrCollection rr(graph_, params_);
-  rr.GenerateParallel(theta, rng.Next64(), options_.pool);
+  if (!rr.GenerateParallel(theta, rng.Next64(), options_.pool, deadline_)
+           .ok()) {
+    return degrade();
+  }
   stats_.rr_memory_bytes = rr.MemoryBytes();
   stats_.rr_index_bytes = rr.IndexMemoryBytes();
-  auto coverage = rr.Snapshot().SelectMaxCoverage(k);
+  auto coverage = rr.Snapshot().SelectMaxCoverage(k, deadline_);
   selection.seeds = std::move(coverage.seeds);
+  if (coverage.deadline_hit) {
+    // The committed prefix is valid greedy max-coverage output.
+    selection.degraded = true;
+    selection.stop_status = deadline_->status();
+  }
 
   selection.elapsed_seconds = timer.ElapsedSeconds();
   selection.overhead_bytes = meter.OverheadBytes();

@@ -4,6 +4,34 @@
 
 namespace holim {
 
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kOutOfRange:
+      return 3;
+    case StatusCode::kNotFound:
+      return 4;
+    case StatusCode::kIOError:
+      return 5;
+    case StatusCode::kAlreadyExists:
+      return 6;
+    case StatusCode::kUnimplemented:
+      return 7;
+    case StatusCode::kInternal:
+      return 8;
+    case StatusCode::kDeadlineExceeded:
+      return 9;
+    case StatusCode::kCancelled:
+      return 10;
+    case StatusCode::kResourceExhausted:
+      return 11;
+  }
+  return 1;  // unreachable for in-enum codes; safety net for corruption
+}
+
 int BenchMain(int argc, char** argv, const std::string& description,
               const std::function<Status(const BenchArgs&)>& body,
               const std::function<void(BenchArgs*)>& declare_extra) {
@@ -14,7 +42,7 @@ int BenchMain(int argc, char** argv, const std::string& description,
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
                  args.HelpText(argv[0]).c_str());
-    return 1;
+    return ExitCodeForStatus(st);
   }
   if (args.GetBool("help", false)) {
     std::printf("%s\n%s", description.c_str(),
@@ -25,7 +53,7 @@ int BenchMain(int argc, char** argv, const std::string& description,
   st = body(args);
   if (!st.ok()) {
     std::fprintf(stderr, "FAILED: %s\n", st.ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(st);
   }
   return 0;
 }

@@ -37,7 +37,8 @@ SketchOracle::SketchOracle(const Graph& graph, const InfluenceParams& params,
   HOLIM_CHECK(params.probability.size() == graph.num_edges())
       << "params/graph edge count mismatch";
   HOLIM_CHECK(num_snapshots_ > 0) << "need at least one snapshot";
-  SampleAll(options.pool);
+  SampleAll(options.pool, options.deadline);
+  if (!build_status_.ok()) return;  // aborted build: arenas unusable
   BuildLaneArena();
   if (!record_edge_offsets_) {
     // Edge offsets were recorded transiently to key the lane transpose
@@ -118,7 +119,7 @@ void SketchOracle::SampleOne(uint32_t snapshot, SnapshotBuffer& buffer) const {
       static_cast<uint32_t>(buffer.entries.size() - entry_base));
 }
 
-void SketchOracle::SampleAll(ThreadPool* pool) {
+void SketchOracle::SampleAll(ThreadPool* pool, Deadline* deadline) {
   const NodeId n = graph_->num_nodes();
   const std::size_t num_blocks =
       (num_snapshots_ + kSnapshotBlockSize - 1) / kSnapshotBlockSize;
@@ -139,6 +140,15 @@ void SketchOracle::SampleAll(ThreadPool* pool) {
   for (std::size_t wave_start = 0; wave_start < num_blocks;
        wave_start += shards) {
     const std::size_t wave_blocks = std::min(shards, num_blocks - wave_start);
+    if (deadline) {
+      // One tick per sampling block, charged at the wave boundary (wave
+      // width is thread-count-dependent; the block count is not).
+      Status st = deadline->CheckN(wave_blocks);
+      if (!st.ok()) {
+        build_status_ = std::move(st);
+        return;
+      }
+    }
     auto sample_block = [&](std::size_t w) {
       SnapshotBuffer& buffer = buffers[w];
       buffer.entries.clear();

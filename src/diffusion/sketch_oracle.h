@@ -46,6 +46,13 @@ struct SketchOptions {
   /// replay estimators that read per-edge attributes (EstimateOpinion's
   /// phi lookups).
   bool record_edge_offsets = false;
+  /// Cooperative deadline observed during sampling (borrowed; may be
+  /// null). Checked per sampling block at wave boundaries; on expiry the
+  /// build aborts early and the oracle reports the failure through
+  /// build_status() — callers must check it before using the arenas.
+  /// Never stored in Workspace cache entries (a cached artifact must not
+  /// hold a pointer into a finished solve's stack).
+  Deadline* deadline = nullptr;
 };
 
 /// \brief Snapshot-reuse spread oracle: presampled live-edge worlds with
@@ -164,8 +171,16 @@ class SketchOracle {
 
   /// Samples all R snapshots up front (the only expensive step), then
   /// builds the word-transposed lane-mask arena from the sampled worlds.
+  /// With a deadline in `options` the build may abort early: check
+  /// build_status() before first use (the engine's checked acquisition
+  /// path does; an aborted oracle is never cached).
   SketchOracle(const Graph& graph, const InfluenceParams& params,
                const SketchOptions& options = {});
+
+  /// OK for a fully built oracle; the deadline/cancel status when the
+  /// sampling pass aborted early (the arenas are then incomplete and no
+  /// estimator may be called).
+  const Status& build_status() const { return build_status_; }
 
   /// Incrementally re-points the oracle at a mutated graph: resamples only
   /// the rows whose (targets, p) contents changed between the bound graph
@@ -419,7 +434,7 @@ class SketchOracle {
 
  private:
   struct SnapshotBuffer;
-  void SampleAll(ThreadPool* pool);
+  void SampleAll(ThreadPool* pool, Deadline* deadline);
   void SampleOne(uint32_t snapshot, SnapshotBuffer& buffer) const;
   /// Deterministic post-pass: transposes the sampled scalar arena into the
   /// per-group union lane-mask arena (same worlds, different layout).
@@ -461,6 +476,7 @@ class SketchOracle {
   uint32_t num_lane_groups_;
   uint64_t seed_;
   bool record_edge_offsets_;
+  Status build_status_;  // non-OK when a deadline aborted the sampling pass
 
   std::vector<NodeId> entries_;
   std::vector<uint32_t> edge_offsets_;   // parallel to entries_ when recorded

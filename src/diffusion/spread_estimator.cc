@@ -48,6 +48,7 @@ std::vector<double> RunSharded(const McOptions& options,
   std::vector<double> partial(num_blocks * num_metrics, 0.0);
   pool.ParallelForBlocks(
       sims, kMcBlockSize, [&](std::size_t lo, std::size_t hi) {
+        if (options.deadline && options.deadline->StopRequested()) return;
         block_fn(static_cast<uint32_t>(lo), static_cast<uint32_t>(hi),
                  partial.data() + (lo / kMcBlockSize) * num_metrics);
       });

@@ -8,6 +8,7 @@
 #include "graph/graph.h"
 #include "model/influence_params.h"
 #include "model/opinion_params.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace holim {
@@ -22,6 +23,11 @@ struct McOptions {
   uint32_t num_simulations = 1000;  // the paper uses 10K; configurable
   uint64_t seed = 42;
   ThreadPool* pool = nullptr;  // nullptr -> DefaultThreadPool()
+  /// Cooperative stop poll (borrowed; may be null). Blocks whose start
+  /// observes StopRequested() are skipped, leaving their partials zero —
+  /// the caller (a deadline-aware selector) discards the estimate of a
+  /// round that observed expiry, so partial sums never leak into results.
+  const Deadline* deadline = nullptr;
 };
 
 /// Expected opinion-oblivious spread sigma(S) = E[|V_a| - |S|] (Def. 3)

@@ -52,8 +52,11 @@ Result<std::shared_ptr<McObjective>> MakeMcObjective(const SolveContext& ctx) {
     options.num_snapshots = r.EffectiveSketchCount();
     options.seed = r.seed;
     options.pool = ctx.pool;
-    auto sketch = ctx.workspace.GetSketchOracle(ctx.graph, *r.params, options,
-                                                ctx.graph_token);
+    options.deadline = ctx.deadline;
+    HOLIM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const SketchOracle> sketch,
+        ctx.workspace.GetSketchOracleChecked(ctx.graph, *r.params, options,
+                                             ctx.graph_token));
     // Targeted queries hill-climb the weighted objective sigma_w; the
     // objective copies the weights so the cached selector never dangles
     // into a caller-owned request vector.
@@ -67,6 +70,7 @@ Result<std::shared_ptr<McObjective>> MakeMcObjective(const SolveContext& ctx) {
   McOptions mc;
   mc.num_simulations = r.mc;
   mc.seed = r.seed;
+  mc.deadline = ctx.deadline;
   if (r.opinions != nullptr) {
     return std::shared_ptr<McObjective>(
         std::make_shared<EffectiveOpinionObjective>(

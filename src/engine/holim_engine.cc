@@ -3,11 +3,14 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "algo/heuristics.h"
 #include "diffusion/spread_estimator.h"
+#include "util/deadline.h"
 #include "util/timer.h"
 
 namespace holim {
@@ -103,10 +106,61 @@ Status ValidateQueryFields(const SolveRequest& r, uint32_t num_nodes) {
   return Status::OK();
 }
 
+/// A deadline-layer stop (as opposed to a real error the degrade tier must
+/// never swallow).
+bool IsStopStatus(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
+}
+
+/// Binds a deadline to a selector for one Select call and guarantees the
+/// unbind on every exit path — a cached selector outlives the solve, and
+/// the Deadline lives on Solve's stack.
+struct ScopedSelectorDeadline {
+  SeedSelector* selector = nullptr;
+  ~ScopedSelectorDeadline() {
+    if (selector) selector->set_deadline(nullptr);
+  }
+};
+
+/// The engine's last-resort degradation tier: DegreeDiscountIC, which runs
+/// in O(m + n log n) with no sampling — always fast enough to answer after
+/// the real algorithm's budget is gone. For budgeted queries the ranking
+/// is walked greedily under the budget; for targeted queries the plain
+/// top-k ranking stands in (the weights are ignored — documented tier
+/// semantics, not an oversight).
+Result<SeedSelection> HeuristicTierSelect(const Graph& graph,
+                                          const SolveRequest& request,
+                                          std::string* tier_name) {
+  DegreeDiscountSelector fallback(graph, request.p);
+  *tier_name = fallback.name();
+  if (request.query != QueryKind::kBudgeted) {
+    return fallback.Select(request.k);
+  }
+  HOLIM_ASSIGN_OR_RETURN(SeedSelection ranked,
+                         fallback.Select(graph.num_nodes()));
+  SeedSelection out;
+  double remaining = request.budget;
+  for (std::size_t i = 0;
+       i < ranked.seeds.size() && out.seeds.size() < request.k; ++i) {
+    const NodeId u = ranked.seeds[i];
+    const double cost =
+        request.node_costs.empty() ? 1.0 : request.node_costs[u];
+    if (cost > remaining) continue;
+    remaining -= cost;
+    out.seeds.push_back(u);
+    if (i < ranked.seed_scores.size()) {
+      out.seed_scores.push_back(ranked.seed_scores[i]);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 HolimEngine::HolimEngine(const Graph& graph, const EngineOptions& options)
     : graph_(&graph), workspace_(options.max_cache_bytes) {
+  workspace_.set_hard_budget(options.hard_cache_budget);
   // Touch the registry so built-ins are registered before the first Solve
   // (and before any embedder Register calls race static init order).
   (void)AlgorithmRegistry::Global();
@@ -244,12 +298,32 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
     return Status::InvalidArgument("algorithm '" + info->name +
                                    "' requires SolveRequest.opinions");
   }
+  if (!std::isfinite(request.deadline_ms) || request.deadline_ms < 0.0) {
+    return Status::InvalidArgument("deadline_ms must be finite and >= 0");
+  }
   if (!runs_selector) return SolveGivenSeeds(request, total_timer);
+
+  // Deadline scaffolding. With no budget/deadline/token the Deadline stays
+  // inactive and every checkpoint downstream is one null-pointer test —
+  // the solve path is byte-identical to the deadline-free engine. A bare
+  // cancel token rides on an inexhaustible work budget (tick mode polls
+  // the token at every checkpoint).
+  Deadline deadline;
+  if (request.work_budget > 0) {
+    deadline = Deadline::WorkBudget(request.work_budget, request.cancel_token);
+  } else if (request.deadline_ms > 0.0) {
+    deadline = Deadline::AfterMillis(request.deadline_ms, request.clock,
+                                     request.cancel_token);
+  } else if (request.cancel_token != nullptr) {
+    deadline = Deadline::WorkBudget(std::numeric_limits<uint64_t>::max(),
+                                    request.cancel_token);
+  }
+  const bool bounded = deadline.active();
 
   SolveResult result;
   result.query = request.query;
   SolveContext ctx{*graph_, request, workspace_, PoolFor(request.threads),
-                   graph_token()};
+                   graph_token(), bounded ? &deadline : nullptr};
 
   // Artifact acquisition: the cached selector (and, inside the factory,
   // any shared sketch oracle). artifact_seconds covers exactly the
@@ -264,25 +338,64 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
     // below, which is still a cold build).
     result.warm_sketch = workspace_.PeekSketchOracle(sketch_key) != nullptr;
   }
-  HOLIM_ASSIGN_OR_RETURN(
-      SeedSelector * selector,
-      workspace_.GetSelector(SelectorKey(*info, request),
-                             [&]() { return info->factory(ctx); },
-                             &result.warm_selector));
+  const std::string selector_key = SelectorKey(*info, request);
+  SeedSelector* selector = nullptr;
+  // Bounded solves that miss the warm cache build an *uncached* selector:
+  // a degraded Select can leave algorithm-internal state mid-round, which
+  // must never be served to a later solve. (A warm hit is reused — and
+  // retired below if this run degrades.)
+  std::unique_ptr<SeedSelector> transient_selector;
+  bool cached_selector = false;
+  // Set when the deadline expired while the factory built its artifacts
+  // (sketch sampling waves): there is no selector at all, so under
+  // kDegrade the heuristic tier answers directly.
+  Status factory_stop;
+  if (!bounded) {
+    HOLIM_ASSIGN_OR_RETURN(
+        selector,
+        workspace_.GetSelector(selector_key,
+                               [&]() { return info->factory(ctx); },
+                               &result.warm_selector));
+  } else {
+    selector = workspace_.PeekSelector(selector_key);
+    if (selector != nullptr) {
+      result.warm_selector = true;
+      cached_selector = true;
+    } else {
+      Result<std::unique_ptr<SeedSelector>> built = info->factory(ctx);
+      if (built.ok()) {
+        transient_selector = std::move(*built);
+        selector = transient_selector.get();
+      } else if (request.on_deadline == OnDeadline::kDegrade &&
+                 IsStopStatus(built.status())) {
+        factory_stop = built.status();
+      } else {
+        return built.status();
+      }
+    }
+  }
+  ScopedSelectorDeadline deadline_binding{bounded ? selector : nullptr};
+  if (deadline_binding.selector) selector->set_deadline(&deadline);
+
   // The spread-evaluation sketch is acquired up front too, so its build
   // cost lands in artifact_seconds, not spread_seconds. When the request
   // doesn't evaluate spread, the arena is only *peeked* (the factory
   // builds it when the objective needs it) so stateless algorithms under
-  // --oracle=sketch don't pay for worlds nobody reads.
+  // --oracle=sketch don't pay for worlds nobody reads. The eval build is
+  // deliberately NOT deadline-bounded: it either hits the arena the
+  // factory already built or serves an algorithm whose solve the deadline
+  // no longer helps; degraded runs skip evaluation entirely.
   std::shared_ptr<const SketchOracle> eval_sketch;
-  if (request.oracle == SpreadOracle::kSketch) {
+  if (request.oracle == SpreadOracle::kSketch && factory_stop.ok()) {
     if (request.evaluate_spread) {
       SketchOptions options;
       options.num_snapshots = request.EffectiveSketchCount();
       options.seed = request.seed;
       options.pool = ctx.pool;
-      eval_sketch = workspace_.GetSketchOracle(*graph_, *request.params,
-                                               options, graph_token());
+      HOLIM_ASSIGN_OR_RETURN(
+          eval_sketch,
+          workspace_.GetSketchOracleChecked(*graph_, *request.params, options,
+                                            graph_token()));
     } else {
       eval_sketch = workspace_.PeekSketchOracle(sketch_key);
     }
@@ -293,7 +406,12 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
   result.artifact_seconds = artifact_timer.ElapsedSeconds();
 
   SeedSelection selection;
-  if (request.query == QueryKind::kBudgeted) {
+  if (!factory_stop.ok()) {
+    // Artifact build died on the deadline: synthesize an empty degraded
+    // selection so the tier ladder below takes over.
+    selection.degraded = true;
+    selection.stop_status = factory_stop;
+  } else if (request.query == QueryKind::kBudgeted) {
     // Empty costs mean uniform 1.0 — materialized here once so selectors
     // see one contract (a full per-node span).
     std::vector<double> uniform;
@@ -309,12 +427,44 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
   }
   result.seeds = std::move(selection.seeds);
   result.seed_scores = std::move(selection.seed_scores);
-  result.algorithm = selector->name();
+  result.algorithm = selector != nullptr ? selector->name() : info->name;
   result.select_seconds = selection.elapsed_seconds;
   result.overhead_bytes = selection.overhead_bytes;
   result.scratch_bytes = selection.scratch_bytes;
-  result.stats = selector->LastRunStats();
-  result.SortStats();
+  if (selector != nullptr) {
+    result.stats = selector->LastRunStats();
+    result.SortStats();
+  }
+  result.rounds_completed = static_cast<uint32_t>(result.seeds.size());
+
+  if (selection.degraded) {
+    if (request.on_deadline == OnDeadline::kFail) {
+      return selection.stop_status;
+    }
+    result.degraded = true;
+    result.degradation_reason = selection.stop_status.ToString();
+    if (cached_selector) {
+      // The degraded Select may have left the cached selector's internal
+      // state mid-round; retire the artifact (name/stats were captured
+      // above) so later solves rebuild clean.
+      workspace_.Evict(selector_key);
+      selector = nullptr;
+      deadline_binding.selector = nullptr;
+    }
+    if (result.seeds.empty()) {
+      result.tier = ResultTier::kHeuristic;
+      result.rounds_completed = 0;
+      std::string tier_name;
+      HOLIM_ASSIGN_OR_RETURN(
+          SeedSelection fallback,
+          HeuristicTierSelect(*graph_, request, &tier_name));
+      result.seeds = std::move(fallback.seeds);
+      result.seed_scores = std::move(fallback.seed_scores);
+      result.algorithm = tier_name;
+    } else {
+      result.tier = ResultTier::kPrefix;
+    }
+  }
 
   if (request.query == QueryKind::kBudgeted || !request.node_costs.empty()) {
     for (const NodeId s : result.seeds) {
@@ -323,7 +473,10 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
     }
   }
 
-  if (request.evaluate_spread) {
+  // Degraded solves skip the spread evaluation: the time budget is spent,
+  // and an evaluation pass can cost as much as the selection it follows.
+  // result.spread stays 0 (callers can issue a kEvaluate query later).
+  if (request.evaluate_spread && !result.degraded) {
     Timer spread_timer;
     if (eval_sketch != nullptr) {
       result.spread = eval_sketch->Estimate(result.seeds,

@@ -21,6 +21,11 @@ struct EngineOptions {
   /// Workspace artifact budget in bytes (0 = unlimited). Enforced by LRU
   /// eviction between solves.
   std::size_t max_cache_bytes = 0;
+  /// Hard budget mode (off by default): with max_cache_bytes set, an
+  /// artifact admission that still exceeds the budget after one LRU
+  /// evict-and-retry fails the solve with kResourceExhausted instead of
+  /// keeping the cache over budget (see Workspace::set_hard_budget).
+  bool hard_cache_budget = false;
 };
 
 /// \brief Long-lived facade serving influence-maximization queries over

@@ -28,6 +28,12 @@ struct SolveContext {
   /// Workspace sketch key a factory builds; empty until the engine's graph
   /// advances past epoch 0 (see HolimEngine::graph_token).
   std::string graph_token;
+  /// The solve's deadline (borrowed, may be null — and last on purpose, so
+  /// deadline-free aggregate initializations stay valid). Factories thread
+  /// it into artifact builds (SketchOptions::deadline, McOptions::deadline);
+  /// the engine binds it to the selector itself via set_deadline. Never
+  /// stored in Workspace cache entries — it dies with the solve.
+  Deadline* deadline = nullptr;
 };
 
 /// Capability bit of one query kind (for AlgorithmInfo::supported_queries).

@@ -12,8 +12,40 @@
 #include "graph/graph.h"
 #include "model/influence_params.h"
 #include "model/opinion_params.h"
+#include "util/deadline.h"
 
 namespace holim {
+
+/// What HolimEngine::Solve does when a deadline/work budget expires or the
+/// cancel token fires mid-solve.
+///
+///  * kFail    — return the deadline's status (kDeadlineExceeded or
+///               kCancelled) as the Solve error; no partial result.
+///  * kDegrade — return the best result completed so far: the selector's
+///               prefix seeds when at least one greedy round finished, else
+///               an instant DegreeDiscountIC fallback (see ResultTier).
+///               Solve succeeds, with SolveResult::degraded = true.
+enum class OnDeadline { kFail, kDegrade };
+
+/// Quality tier of a SolveResult (meaningful mainly when degraded).
+///
+///  * kFull      — the algorithm ran to completion (degraded = false).
+///  * kPrefix    — a deadline stopped the selector at a round boundary;
+///                 `seeds` is the exact prefix the untimed run would have
+///                 selected first (greedy rounds are prefix-valid).
+///  * kHeuristic — no round completed before expiry; `seeds` comes from the
+///                 DegreeDiscountIC fallback tier instead.
+enum class ResultTier { kFull, kPrefix, kHeuristic };
+
+/// Canonical lowercase tier name ("full", "prefix", "heuristic").
+inline const char* ResultTierName(ResultTier tier) {
+  switch (tier) {
+    case ResultTier::kFull: return "full";
+    case ResultTier::kPrefix: return "prefix";
+    case ResultTier::kHeuristic: return "heuristic";
+  }
+  return "?";
+}
 
 /// Which spread-estimation backend the MC-objective selectors (GREEDY,
 /// CELF/CELF++) and the engine's spread evaluation use. "mc" — the paper's
@@ -152,6 +184,27 @@ struct SolveRequest {
   /// evaluation sweeps (the figure benches).
   bool evaluate_spread = true;
 
+  /// Wall-clock deadline in milliseconds for this solve (0 = none). With
+  /// no deadline, no budget, and no token the solve path is byte-identical
+  /// to pre-deadline builds (checkpoints compile to a null-pointer test).
+  double deadline_ms = 0.0;
+  /// Deterministic work budget in checkpoint ticks (0 = none). Takes
+  /// precedence over deadline_ms when both are set: expiry then lands at
+  /// the same checkpoint on every run and machine, so degraded output is
+  /// bitwise reproducible (the contract deadline_test pins).
+  uint64_t work_budget = 0;
+  /// Optional cooperative cancel token, polled at the same checkpoints as
+  /// the deadline (borrowed; must outlive the solve). May be set alone —
+  /// cancellation works without any deadline.
+  const CancelToken* cancel_token = nullptr;
+  /// Clock behind deadline_ms (borrowed; nullptr = the real steady clock).
+  /// Tests inject a ManualClock here to fire wall deadlines on cue.
+  const Clock* clock = nullptr;
+  /// Expiry policy; only consulted once a deadline/budget/token actually
+  /// fires. Defaults to degrade (return best-so-far) per the engine's
+  /// "always answer" contract; kFail restores strict error semantics.
+  OnDeadline on_deadline = OnDeadline::kDegrade;
+
   /// The sketch-oracle snapshot count this request implies (the 0 =
   /// mirror-mc rule, defined once: Workspace keys, factories, and CLI
   /// output must all agree on it).
@@ -213,6 +266,19 @@ struct SolveResult {
   /// Workspace footprint after this solve (peak artifact bytes held;
   /// capacity-based).
   std::size_t workspace_bytes = 0;
+
+  /// True when a deadline/budget/cancellation stopped this solve early and
+  /// the engine degraded instead of failing (request.on_deadline ==
+  /// kDegrade). `seeds` then holds the tier's best-so-far answer.
+  bool degraded = false;
+  /// Quality tier of `seeds` (kFull unless degraded; see ResultTier).
+  ResultTier tier = ResultTier::kFull;
+  /// Greedy rounds (seeds) the selector completed before expiry; equals
+  /// seeds.size() for kFull/kPrefix, 0 for kHeuristic.
+  uint32_t rounds_completed = 0;
+  /// Human-readable cause of a degraded result, e.g. "DeadlineExceeded:
+  /// work budget exhausted"; empty when not degraded.
+  std::string degradation_reason;
 
   /// Algorithm-specific counters from SeedSelector::LastRunStats(), e.g.
   /// TIM+'s {"theta", "theta_capped", "rr_memory_bytes", ...}.

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "util/fault_injection.h"
+
 namespace holim {
 
 namespace {
@@ -76,6 +78,14 @@ std::shared_ptr<const SketchOracle> Workspace::GetSketchOracle(
     const Graph& graph, const InfluenceParams& params,
     const SketchOptions& options, const std::string& graph_token,
     bool* reused) {
+  return GetSketchOracleChecked(graph, params, options, graph_token, reused)
+      .ValueOrDie();
+}
+
+Result<std::shared_ptr<const SketchOracle>> Workspace::GetSketchOracleChecked(
+    const Graph& graph, const InfluenceParams& params,
+    const SketchOptions& options, const std::string& graph_token,
+    bool* reused) {
   const uint64_t params_fp = FingerprintParams(params);
   const std::string key =
       SketchOracleKey(params_fp, options.num_snapshots, options.seed,
@@ -83,17 +93,24 @@ std::shared_ptr<const SketchOracle> Workspace::GetSketchOracle(
   if (Entry* entry = Touch(key)) {
     ++hits_;
     if (reused) *reused = true;
-    return entry->sketch;
+    return std::shared_ptr<const SketchOracle>(entry->sketch);
   }
   ++misses_;
   if (reused) *reused = false;
+  HOLIM_RETURN_NOT_OK(FaultInjection::Hit("workspace/sketch"));
   Entry entry;
   entry.sketch = std::make_shared<SketchOracle>(graph, params, options);
+  if (!entry.sketch->build_status().ok()) {
+    // Deadline-aborted sample: the partial arena must never be cached.
+    return entry.sketch->build_status();
+  }
+  HOLIM_RETURN_NOT_OK(AdmitBytes(entry.sketch->ArenaBytes()));
   entry.last_used = ++tick_;
   entry.params_fp = params_fp;
   entry.graph_token = graph_token;
   entry.options = options;
-  auto sketch = entry.sketch;
+  entry.options.deadline = nullptr;  // the deadline dies with the solve
+  std::shared_ptr<const SketchOracle> sketch = entry.sketch;
   entries_[key] = std::move(entry);
   return sketch;
 }
@@ -115,16 +132,46 @@ Result<SeedSelector*> Workspace::GetSelector(
   }
   ++misses_;
   if (reused) *reused = false;
+  HOLIM_RETURN_NOT_OK(FaultInjection::Hit("workspace/selector"));
   HOLIM_ASSIGN_OR_RETURN(std::unique_ptr<SeedSelector> selector, build());
   Entry entry;
   entry.selector = std::move(selector);
+  HOLIM_RETURN_NOT_OK(AdmitBytes(entry.selector->MemoryFootprintBytes()));
   entry.last_used = ++tick_;
   SeedSelector* raw = entry.selector.get();
   entries_[key] = std::move(entry);
   return raw;
 }
 
+SeedSelector* Workspace::PeekSelector(const std::string& key) {
+  Entry* entry = Touch(key);
+  return entry ? entry->selector.get() : nullptr;
+}
+
+bool Workspace::Evict(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  ++evictions_;
+  return true;
+}
+
 void Workspace::Clear() { entries_.clear(); }
+
+Status Workspace::AdmitBytes(std::size_t incoming_bytes) {
+  if (!hard_budget_ || max_bytes_ == 0) return Status::OK();
+  if (MemoryFootprintBytes() + incoming_bytes <= max_bytes_) {
+    return Status::OK();
+  }
+  EnforceBudget();  // one evict-and-retry before giving up
+  const std::size_t resident = MemoryFootprintBytes();
+  if (resident + incoming_bytes <= max_bytes_) return Status::OK();
+  return Status::ResourceExhausted(
+      "workspace byte budget exhausted: artifact of " +
+      std::to_string(incoming_bytes) + " bytes does not fit in " +
+      std::to_string(max_bytes_) + " (resident " + std::to_string(resident) +
+      ")");
+}
 
 Workspace::DeltaPatchStats Workspace::ApplyGraphDelta(
     uint64_t old_params_fp, uint64_t new_params_fp,

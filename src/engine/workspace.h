@@ -74,7 +74,26 @@ class Workspace {
   /// graph token) — see SketchOracleKey — so a caller cannot hand in
   /// options that disagree with the key they are cached under. `reused`
   /// (optional) reports whether the artifact was served warm.
+  ///
+  /// Legacy convenience wrapper over GetSketchOracleChecked: aborts the
+  /// process on a failed build. Failure requires an injected fault, a
+  /// deadline in `options`, or the hard byte budget — callers on this
+  /// wrapper use none of those, so it cannot fire for them.
   std::shared_ptr<const SketchOracle> GetSketchOracle(
+      const Graph& graph, const InfluenceParams& params,
+      const SketchOptions& options, const std::string& graph_token = "",
+      bool* reused = nullptr);
+
+  /// GetSketchOracle with typed failure instead of success-or-abort:
+  ///  * an armed "workspace/sketch" fault injection point fires here;
+  ///  * a deadline in `options` that expires mid-sampling aborts the build
+  ///    (the oracle's build_status) — the partial artifact is NOT cached;
+  ///  * under a hard byte budget (set_hard_budget), an artifact that still
+  ///    does not fit after one LRU evict-and-retry is dropped and
+  ///    kResourceExhausted returned.
+  /// Cached entries always store options with deadline = nullptr — the
+  /// deadline dies with the solve that carried it.
+  Result<std::shared_ptr<const SketchOracle>> GetSketchOracleChecked(
       const Graph& graph, const InfluenceParams& params,
       const SketchOptions& options, const std::string& graph_token = "",
       bool* reused = nullptr);
@@ -93,6 +112,19 @@ class Workspace {
       const std::string& key,
       const std::function<Result<std::unique_ptr<SeedSelector>>()>& build,
       bool* reused = nullptr);
+
+  /// The cached selector under `key`, or nullptr — never builds. A hit
+  /// refreshes the LRU stamp (it is a real use) but moves no hit/miss
+  /// counter. Deadline-bounded solves reuse warm selectors through this
+  /// instead of GetSelector so that a miss builds an *uncached* selector
+  /// (a degraded run may leave algorithm-internal state mid-round, which
+  /// must never be reused).
+  SeedSelector* PeekSelector(const std::string& key);
+
+  /// Drops the artifact under `key` (counted as an eviction). Returns
+  /// whether it existed. Used to retire a cached selector after a
+  /// degraded Select left its internal state mid-round.
+  bool Evict(const std::string& key);
 
   /// Drops every artifact.
   void Clear();
@@ -121,6 +153,15 @@ class Workspace {
 
   void set_max_bytes(std::size_t max_bytes) { max_bytes_ = max_bytes; }
   std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Hard budget mode (off by default): with a byte budget set, an
+  /// artifact admission that still exceeds the budget after one LRU
+  /// evict-and-retry FAILS with kResourceExhausted instead of being kept
+  /// over budget. Only GetSketchOracleChecked/GetSelector enforce this;
+  /// the default soft mode keeps the historical keep-at-least-one
+  /// behavior bit for bit.
+  void set_hard_budget(bool hard) { hard_budget_ = hard; }
+  bool hard_budget() const { return hard_budget_; }
 
   /// Exact cache footprint: sum of per-artifact capacity-based bytes
   /// (refreshed on every use — selector scratch can grow during Select).
@@ -152,9 +193,13 @@ class Workspace {
   };
 
   Entry* Touch(const std::string& key);
+  /// Hard-budget admission check for an artifact of `incoming_bytes` about
+  /// to be cached: evict-and-retry once, then OK or kResourceExhausted.
+  Status AdmitBytes(std::size_t incoming_bytes);
 
   std::map<std::string, Entry> entries_;
   std::size_t max_bytes_ = 0;
+  bool hard_budget_ = false;
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

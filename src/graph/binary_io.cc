@@ -1,5 +1,6 @@
 #include "graph/binary_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -46,6 +47,19 @@ Status ReadArray(FILE* f, std::vector<T>* values, uint64_t max_count) {
   HOLIM_RETURN_NOT_OK(ReadBlob(f, &count, sizeof(count)));
   if (count > max_count) {
     return Status::IOError("array length implausible (corrupt file)");
+  }
+  // The payload cannot exceed the bytes left in the file; reject a corrupt
+  // count BEFORE resize so it can't trigger a gigabyte allocation.
+  const long pos = std::ftell(f);
+  if (pos >= 0 && std::fseek(f, 0, SEEK_END) == 0) {
+    const long end = std::ftell(f);
+    if (std::fseek(f, pos, SEEK_SET) != 0) {
+      return Status::IOError("seek failed while validating array length");
+    }
+    if (end >= pos &&
+        count * sizeof(T) > static_cast<uint64_t>(end - pos)) {
+      return Status::IOError("array length exceeds file size (corrupt file)");
+    }
   }
   values->resize(count);
   return ReadBlob(f, values->data(), count * sizeof(T));
@@ -108,6 +122,13 @@ Result<GraphBundle> ReadGraphBundle(const std::string& path) {
   if (n > static_cast<uint64_t>(kInvalidNode)) {
     return Status::OutOfRange("node count exceeds NodeId range");
   }
+  // Plausibility cap: CSR offsets allocate n+1 entries up front, so a
+  // corrupt node count must not be allowed to demand gigabytes before any
+  // structural check can fail.
+  constexpr uint64_t kMaxNodes = 1ull << 28;
+  if (n > kMaxNodes) {
+    return Status::IOError("node count implausible (corrupt file)");
+  }
   constexpr uint64_t kMaxEdges = 1ull << 36;  // plausibility bound
   std::vector<NodeId> sources, targets;
   HOLIM_RETURN_NOT_OK(ReadArray(f.get(), &sources, kMaxEdges));
@@ -120,12 +141,19 @@ Result<GraphBundle> ReadGraphBundle(const std::string& path) {
   GraphBuilder builder(static_cast<NodeId>(n));
   builder.set_deduplicate(false);  // was already deduped when written
   for (std::size_t i = 0; i < sources.size(); ++i) {
+    // GraphBuilder::Build would also reject these, but as a caller-bug
+    // InvalidArgument; here an out-of-range endpoint means the file lied.
+    if (sources[i] >= n || targets[i] >= n) {
+      return Status::IOError("edge endpoint " + std::to_string(i) +
+                             " out of node range (corrupt file)");
+    }
     builder.AddEdge(sources[i], targets[i]);
   }
   HOLIM_ASSIGN_OR_RETURN(bundle.graph, std::move(builder).Build());
 
   const auto read_optional = [&](std::vector<double>* values,
-                                 uint64_t expected) -> Status {
+                                 uint64_t expected, bool probability,
+                                 const char* what) -> Status {
     uint8_t present = 0;
     HOLIM_RETURN_NOT_OK(ReadBlob(f.get(), &present, sizeof(present)));
     if (!present) return Status::OK();
@@ -133,14 +161,34 @@ Result<GraphBundle> ReadGraphBundle(const std::string& path) {
     if (values->size() != expected) {
       return Status::IOError("parameter array size mismatch (corrupt file)");
     }
+    for (const double v : *values) {
+      // NaN fails every range comparison; check finiteness explicitly.
+      if (!std::isfinite(v) || (probability && (v < 0.0 || v > 1.0))) {
+        return Status::IOError(std::string(what) +
+                               (probability
+                                    ? " outside finite [0,1] (corrupt file)"
+                                    : " not finite (corrupt file)"));
+      }
+    }
     return Status::OK();
   };
-  HOLIM_RETURN_NOT_OK(
-      read_optional(&bundle.edge_probability, bundle.graph.num_edges()));
-  HOLIM_RETURN_NOT_OK(
-      read_optional(&bundle.node_opinion, bundle.graph.num_nodes()));
-  HOLIM_RETURN_NOT_OK(
-      read_optional(&bundle.edge_interaction, bundle.graph.num_edges()));
+  HOLIM_RETURN_NOT_OK(read_optional(&bundle.edge_probability,
+                                    bundle.graph.num_edges(),
+                                    /*probability=*/true,
+                                    "edge probability"));
+  HOLIM_RETURN_NOT_OK(read_optional(&bundle.node_opinion,
+                                    bundle.graph.num_nodes(),
+                                    /*probability=*/false, "node opinion"));
+  HOLIM_RETURN_NOT_OK(read_optional(&bundle.edge_interaction,
+                                    bundle.graph.num_edges(),
+                                    /*probability=*/false,
+                                    "edge interaction"));
+  // A well-formed bundle ends exactly here; trailing bytes mean the file
+  // was concatenated, doubly written, or otherwise corrupt.
+  uint8_t trailing = 0;
+  if (std::fread(&trailing, 1, 1, f.get()) != 0) {
+    return Status::IOError("trailing bytes after bundle (corrupt file)");
+  }
   return bundle;
 }
 

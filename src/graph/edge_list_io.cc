@@ -1,6 +1,7 @@
 #include "graph/edge_list_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -41,6 +42,9 @@ Result<Graph> ReadEdgeList(const std::string& path,
       if (remap.emplace(u, static_cast<NodeId>(remap.size())).second) {}
       if (remap.emplace(v, static_cast<NodeId>(remap.size())).second) {}
     }
+  }
+  if (in.bad()) {
+    return Status::IOError("read error (truncated stream?): " + path);
   }
 
   const uint64_t n64 = options.renumber ? remap.size() : max_id + 1;
@@ -88,8 +92,11 @@ Result<WeightedEdgeList> ReadWeightedEdgeList(const std::string& path,
     } catch (...) {
       return Status::IOError("malformed weighted edge row: " + line);
     }
-    if (row.p < 0.0 || row.p > 1.0) {
-      return Status::InvalidArgument("probability out of [0,1] in: " + line);
+    // NaN fails every comparison, so the range check alone would wave it
+    // through; reject non-finite explicitly.
+    if (!std::isfinite(row.p) || row.p < 0.0 || row.p > 1.0) {
+      return Status::InvalidArgument(
+          "probability not a finite value in [0,1] in: " + line);
     }
     rows.push_back(row);
     max_id = std::max(max_id, std::max(row.u, row.v));
@@ -97,6 +104,9 @@ Result<WeightedEdgeList> ReadWeightedEdgeList(const std::string& path,
       remap.emplace(row.u, static_cast<NodeId>(remap.size()));
       remap.emplace(row.v, static_cast<NodeId>(remap.size()));
     }
+  }
+  if (in.bad()) {
+    return Status::IOError("read error (truncated stream?): " + path);
   }
   const uint64_t n64 = options.renumber ? remap.size() : max_id + 1;
   if (n64 > static_cast<uint64_t>(kInvalidNode)) {

@@ -1,0 +1,80 @@
+#include "util/deadline.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace holim {
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const SteadyClock clock;
+  return &clock;
+}
+
+Deadline Deadline::AfterMillis(double millis, const Clock* clock,
+                               const CancelToken* token) {
+  Deadline d;
+  d.mode_ = Mode::kWall;
+  d.clock_ = clock ? clock : Clock::Real();
+  d.token_ = token;
+  d.deadline_nanos_ =
+      d.clock_->NowNanos() + static_cast<int64_t>(millis * 1e6);
+  return d;
+}
+
+Deadline Deadline::WorkBudget(uint64_t ticks, const CancelToken* token) {
+  Deadline d;
+  d.mode_ = Mode::kTicks;
+  d.token_ = token;
+  d.ticks_left_ = ticks;
+  return d;
+}
+
+Status Deadline::Trip(Status status) {
+  expired_ = true;
+  status_ = std::move(status);
+  return status_;
+}
+
+Status Deadline::CheckN(uint64_t n) {
+  if (mode_ == Mode::kInactive) return Status::OK();
+  if (expired_) return status_;
+  if (token_ && token_->cancelled()) {
+    return Trip(Status::Cancelled("solve cancelled by caller"));
+  }
+  if (mode_ == Mode::kTicks) {
+    if (ticks_left_ <= n) {
+      ticks_left_ = 0;
+      return Trip(Status::DeadlineExceeded("work budget exhausted"));
+    }
+    ticks_left_ -= n;
+    return Status::OK();
+  }
+  if (clock_->NowNanos() >= deadline_nanos_) {
+    return Trip(Status::DeadlineExceeded("deadline exceeded"));
+  }
+  return Status::OK();
+}
+
+bool Deadline::StopRequested() const {
+  if (mode_ == Mode::kInactive) return false;
+  if (expired_) return true;
+  if (token_ && token_->cancelled()) return true;
+  // In tick mode expiry only happens at serial checkpoints, so workers see
+  // the sticky flag; in wall mode they may observe the clock directly.
+  return mode_ == Mode::kWall && clock_->NowNanos() >= deadline_nanos_;
+}
+
+}  // namespace holim

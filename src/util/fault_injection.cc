@@ -1,0 +1,170 @@
+#include "util/fault_injection.h"
+
+#include <mutex>
+#include <string_view>
+#include <utility>
+
+namespace holim {
+
+std::atomic<int> FaultInjection::armed_count_{0};
+
+namespace {
+
+struct Plan {
+  std::string prefix;
+  uint64_t nth = 0;
+  StatusCode code = StatusCode::kResourceExhausted;
+  uint64_t hits = 0;
+  bool fired = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Plan*> plans;          // innermost (latest armed) last
+  std::vector<std::string>* record = nullptr;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+bool Matches(const std::string& prefix, const char* site) {
+  return std::string_view(site).substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+Status FaultInjection::Hit(const char* site) {
+  if (!armed()) return Status::OK();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.record) reg.record->push_back(site);
+  for (auto it = reg.plans.rbegin(); it != reg.plans.rend(); ++it) {
+    Plan* plan = *it;
+    if (!Matches(plan->prefix, site)) continue;
+    ++plan->hits;
+    if (!plan->fired && plan->hits == plan->nth) {
+      plan->fired = true;
+      return Status(plan->code, std::string("injected fault at ") + site);
+    }
+    break;  // innermost matching plan owns this site
+  }
+  return Status::OK();
+}
+
+namespace {
+// Side table mapping scoped objects to their plans/records; sized for the
+// handful of concurrently armed scopes a test uses.
+std::mutex side_mu;
+std::vector<std::pair<const void*, Plan*>> plan_of;
+std::vector<std::pair<const void*, std::vector<std::string>*>> record_of;
+
+Plan* FindPlan(const void* owner) {
+  std::lock_guard<std::mutex> lock(side_mu);
+  for (auto& [o, p] : plan_of) {
+    if (o == owner) return p;
+  }
+  return nullptr;
+}
+}  // namespace
+
+ScopedFaultInjection::ScopedFaultInjection(std::string site_prefix,
+                                           uint64_t nth, StatusCode code) {
+  auto* plan = new Plan{std::move(site_prefix), nth, code, 0, false};
+  {
+    std::lock_guard<std::mutex> lock(side_mu);
+    plan_of.emplace_back(this, plan);
+  }
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.plans.push_back(plan);
+  FaultInjection::armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  Plan* plan = FindPlan(this);
+  Registry& reg = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto it = reg.plans.begin(); it != reg.plans.end(); ++it) {
+      if (*it == plan) {
+        reg.plans.erase(it);
+        break;
+      }
+    }
+    FaultInjection::armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(side_mu);
+    for (auto it = plan_of.begin(); it != plan_of.end(); ++it) {
+      if (it->first == this) {
+        plan_of.erase(it);
+        break;
+      }
+    }
+  }
+  delete plan;
+}
+
+uint64_t ScopedFaultInjection::hits() const {
+  Plan* plan = FindPlan(this);
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return plan ? plan->hits : 0;
+}
+
+bool ScopedFaultInjection::fired() const {
+  Plan* plan = FindPlan(this);
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return plan && plan->fired;
+}
+
+ScopedFaultRecorder::ScopedFaultRecorder() {
+  auto* record = new std::vector<std::string>();
+  {
+    std::lock_guard<std::mutex> lock(side_mu);
+    record_of.emplace_back(this, record);
+  }
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.record = record;
+  FaultInjection::armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedFaultRecorder::~ScopedFaultRecorder() {
+  std::vector<std::string>* record = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(side_mu);
+    for (auto it = record_of.begin(); it != record_of.end(); ++it) {
+      if (it->first == this) {
+        record = it->second;
+        record_of.erase(it);
+        break;
+      }
+    }
+  }
+  Registry& reg = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    if (reg.record == record) reg.record = nullptr;
+    FaultInjection::armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  delete record;
+}
+
+std::vector<std::string> ScopedFaultRecorder::sites() const {
+  std::vector<std::string>* record = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(side_mu);
+    for (auto& [o, r] : record_of) {
+      if (o == this) record = r;
+    }
+  }
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return record ? *record : std::vector<std::string>{};
+}
+
+}  // namespace holim

@@ -1,0 +1,81 @@
+#ifndef HOLIM_UTIL_FAULT_INJECTION_H_
+#define HOLIM_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace holim {
+
+/// \brief Test-only fault injection at named failure sites.
+///
+/// Fallible production code marks its failure-capable sites with
+/// `HOLIM_RETURN_NOT_OK(FaultInjection::Hit("workspace/sketch"))` — a
+/// relaxed atomic load and branch when nothing is armed, so the
+/// production cost is one predictable branch per artifact build (sites
+/// sit at allocation/build granularity, never in kernels).
+///
+/// Tests arm a ScopedFaultInjection with a plan: "the Nth hit of any site
+/// whose name starts with `site_prefix` fails with `code`". Recording
+/// mode instead captures the sequence of site hits a scenario performs, so
+/// a randomized fuzzer can enumerate the failure surface of a solve and
+/// then re-run it failing each site in turn.
+///
+/// Process-global and not thread-safe against concurrent arming (tests
+/// arm before running the scenario); Hit() itself is safe to call from
+/// worker threads while a plan is armed.
+class FaultInjection {
+ public:
+  /// The probe production code calls. OK unless an armed plan matches.
+  static Status Hit(const char* site);
+
+  /// True when any plan or recorder is armed (tests may use this to skip
+  /// expensive bookkeeping).
+  static bool armed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  friend class ScopedFaultInjection;
+  friend class ScopedFaultRecorder;
+  static std::atomic<int> armed_count_;
+};
+
+/// Arms "fail the `nth` (1-based) hit of sites matching `site_prefix`
+/// with `code`" for this scope. Nesting is allowed; the innermost
+/// matching plan wins.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection(std::string site_prefix, uint64_t nth,
+                       StatusCode code = StatusCode::kResourceExhausted);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  /// How many times a matching site fired (fault injected or not).
+  uint64_t hits() const;
+  /// True once the planned fault was actually injected.
+  bool fired() const;
+};
+
+/// Records every site hit in this scope (no faults injected) so a fuzzer
+/// can learn the failure surface of a scenario.
+class ScopedFaultRecorder {
+ public:
+  ScopedFaultRecorder();
+  ~ScopedFaultRecorder();
+
+  ScopedFaultRecorder(const ScopedFaultRecorder&) = delete;
+  ScopedFaultRecorder& operator=(const ScopedFaultRecorder&) = delete;
+
+  /// Site names in hit order (duplicates kept).
+  std::vector<std::string> sites() const;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_UTIL_FAULT_INJECTION_H_

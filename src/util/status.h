@@ -18,6 +18,9 @@ enum class StatusCode {
   kAlreadyExists,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// \brief Lightweight success/error carrier returned by fallible operations.
@@ -51,6 +54,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

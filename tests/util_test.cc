@@ -7,8 +7,11 @@
 #include <set>
 #include <thread>
 
+#include <memory>
+
 #include "diffusion/cascade.h"
 #include "util/csv_writer.h"
+#include "util/deadline.h"
 #include "util/memory.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -35,11 +38,37 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 
 TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   std::set<StatusCode> codes = {
-      Status::InvalidArgument("").code(), Status::OutOfRange("").code(),
-      Status::NotFound("").code(),        Status::IOError("").code(),
-      Status::AlreadyExists("").code(),   Status::Unimplemented("").code(),
-      Status::Internal("").code()};
-  EXPECT_EQ(codes.size(), 7u);
+      Status::InvalidArgument("").code(),   Status::OutOfRange("").code(),
+      Status::NotFound("").code(),          Status::IOError("").code(),
+      Status::AlreadyExists("").code(),     Status::Unimplemented("").code(),
+      Status::Internal("").code(),          Status::DeadlineExceeded("").code(),
+      Status::Cancelled("").code(),         Status::ResourceExhausted("").code()};
+  EXPECT_EQ(codes.size(), 10u);
+}
+
+TEST(StatusTest, EveryCodeRendersItsName) {
+  EXPECT_EQ(Status::InvalidArgument("m").ToString(), "InvalidArgument: m");
+  EXPECT_EQ(Status::OutOfRange("m").ToString(), "OutOfRange: m");
+  EXPECT_EQ(Status::NotFound("m").ToString(), "NotFound: m");
+  EXPECT_EQ(Status::IOError("m").ToString(), "IOError: m");
+  EXPECT_EQ(Status::AlreadyExists("m").ToString(), "AlreadyExists: m");
+  EXPECT_EQ(Status::Unimplemented("m").ToString(), "Unimplemented: m");
+  EXPECT_EQ(Status::Internal("m").ToString(), "Internal: m");
+  EXPECT_EQ(Status::DeadlineExceeded("m").ToString(), "DeadlineExceeded: m");
+  EXPECT_EQ(Status::Cancelled("m").ToString(), "Cancelled: m");
+  EXPECT_EQ(Status::ResourceExhausted("m").ToString(),
+            "ResourceExhausted: m");
+}
+
+TEST(StatusTest, RobustnessCodesCarryCodeAndMessage) {
+  const Status deadline = Status::DeadlineExceeded("work budget exhausted");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.message(), "work budget exhausted");
+  const Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  const Status exhausted = Status::ResourceExhausted("cache full");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -63,6 +92,102 @@ Result<int> Doubler(Result<int> in) {
 TEST(ResultTest, AssignOrReturnPropagates) {
   EXPECT_EQ(*Doubler(21), 42);
   EXPECT_FALSE(Doubler(Status::Internal("boom")).ok());
+}
+
+TEST(ResultTest, HoldsMoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 5);
+  std::unique_ptr<int> owned = std::move(r).ValueOrDie();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, MoveConstructionTransfersValueAndStatus) {
+  Result<std::unique_ptr<int>> src(std::make_unique<int>(9));
+  Result<std::unique_ptr<int>> dst(std::move(src));
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(**dst, 9);
+
+  Result<std::unique_ptr<int>> err(Status::DeadlineExceeded("late"));
+  Result<std::unique_ptr<int>> err_moved(std::move(err));
+  ASSERT_FALSE(err_moved.ok());
+  EXPECT_EQ(err_moved.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(err_moved.status().message(), "late");
+}
+
+TEST(DeadlineTest, InactiveNeverExpires) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.active());
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(deadline.Check().ok());
+  EXPECT_FALSE(deadline.StopRequested());
+  EXPECT_TRUE(deadline.status().ok());
+}
+
+TEST(DeadlineTest, WorkBudgetFailsExactlyOnBthCheck) {
+  Deadline deadline = Deadline::WorkBudget(3);
+  EXPECT_TRUE(deadline.active());
+  EXPECT_TRUE(deadline.Check().ok());
+  EXPECT_TRUE(deadline.Check().ok());
+  EXPECT_FALSE(deadline.StopRequested());  // still alive before the 3rd
+  const Status third = deadline.Check();
+  EXPECT_EQ(third.code(), StatusCode::kDeadlineExceeded);
+  // Sticky: every later poll reports expired.
+  EXPECT_TRUE(deadline.StopRequested());
+  EXPECT_EQ(deadline.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, CheckNChargesBlockCounts) {
+  // CheckN(n) must land expiry at the same cumulative tick as n Check()
+  // calls — that equivalence is what makes wave-dispatch tick charging
+  // invariant to thread count.
+  Deadline a = Deadline::WorkBudget(10);
+  EXPECT_TRUE(a.CheckN(4).ok());
+  EXPECT_TRUE(a.CheckN(5).ok());
+  EXPECT_FALSE(a.CheckN(1).ok());  // cumulative 10th tick
+  Deadline b = Deadline::WorkBudget(10);
+  EXPECT_FALSE(b.CheckN(12).ok());  // overshoot in one wave also trips
+}
+
+TEST(DeadlineTest, WallClockExpiresOnManualClock) {
+  ManualClock clock;
+  Deadline deadline = Deadline::AfterMillis(5.0, &clock);
+  EXPECT_TRUE(deadline.Check().ok());
+  clock.Advance(4'000'000);  // 4 ms: still alive
+  EXPECT_TRUE(deadline.Check().ok());
+  EXPECT_FALSE(deadline.StopRequested());
+  clock.Advance(1'000'000);  // exactly 5 ms: expired
+  EXPECT_TRUE(deadline.StopRequested());
+  EXPECT_EQ(deadline.Check().code(), StatusCode::kDeadlineExceeded);
+  // A clock jump backwards does not resurrect a tripped deadline.
+  clock.Set(0);
+  EXPECT_TRUE(deadline.StopRequested());
+  EXPECT_EQ(deadline.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, CancelTokenTripsEitherMode) {
+  CancelToken token;
+  Deadline ticks = Deadline::WorkBudget(1'000'000, &token);
+  EXPECT_TRUE(ticks.Check().ok());
+  token.Cancel();
+  EXPECT_TRUE(ticks.StopRequested());
+  EXPECT_EQ(ticks.Check().code(), StatusCode::kCancelled);
+
+  ManualClock clock;
+  CancelToken token2;
+  Deadline wall = Deadline::AfterMillis(1e9, &clock, &token2);
+  EXPECT_TRUE(wall.Check().ok());
+  token2.Cancel();
+  EXPECT_TRUE(wall.StopRequested());
+  EXPECT_EQ(wall.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(DeadlineTest, CancelTokenCopiesShareOneFlag) {
+  CancelToken original;
+  CancelToken copy = original;
+  copy.Cancel();
+  EXPECT_TRUE(original.cancelled());
 }
 
 TEST(RngTest, DeterministicForSameSeed) {

@@ -103,9 +103,26 @@ import sys
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
+            data = json.load(f)
     except (OSError, ValueError) as e:
         sys.exit(f"error: cannot load {path}: {e}")
+    if not isinstance(data, dict):
+        sys.exit(f"error: {path}: top level is {type(data).__name__}, "
+                 "expected a JSON object (corrupt bench JSON)")
+    return data
+
+
+def field(obj, key, context):
+    """obj[key], but a missing/mis-typed field dies with the field and file
+    named instead of a bare KeyError traceback."""
+    if not isinstance(obj, dict):
+        sys.exit(f"error: {context}: expected a JSON object holding "
+                 f"'{key}', got {type(obj).__name__} (corrupt bench JSON)")
+    if key not in obj:
+        sys.exit(f"error: {context}: required field '{key}' is missing "
+                 "(corrupt or outdated bench JSON; regenerate it with the "
+                 "current bench binary)")
+    return obj[key]
 
 
 def check_geometry(baseline, runs, keys):
@@ -166,20 +183,24 @@ def gate_rr_engine(baseline, runs, args, failures):
     check_geometry(baseline, runs, ("nodes", "sets"))
 
     # --- deterministic gate: bytes_per_set per engine row -----------------
-    base_rows = {row["engine"]: row for row in baseline.get("results", [])}
+    base_rows = {field(row, "engine", f"{args.baseline} results row"): row
+                 for row in baseline.get("results", [])}
     for engine, base_row in sorted(base_rows.items()):
         values = []
         for path, run in runs:
             row = next((r for r in run.get("results", [])
-                        if r["engine"] == engine), None)
+                        if r.get("engine") == engine), None)
             if row is None:
                 # Metric name included so the per-metric [ok]/FAIL status
                 # line (which greps failures for it) reflects the miss.
                 failures.append(
                     f"{path}: bytes_per_set {engine}: engine row missing")
                 continue
-            values.append(row["bytes_per_set"])
-        gate_deterministic(f"bytes_per_set {engine}", base_row["bytes_per_set"],
+            values.append(field(row, "bytes_per_set",
+                                f"{path} results[{engine}]"))
+        gate_deterministic(f"bytes_per_set {engine}",
+                           field(base_row, "bytes_per_set",
+                                 f"{args.baseline} results[{engine}]"),
                            values, args.threshold, failures,
                            larger_is_better=False)
 
@@ -194,10 +215,12 @@ def gate_rr_engine(baseline, runs, args, failures):
         if inc is None:
             failures.append(f"{path}: incremental_select section missing")
             continue
-        speedups.append(inc["select_speedup"])
+        speedups.append(field(inc, "select_speedup",
+                              f"{path} incremental_select"))
     gate_timing_ratio("incremental_select.select_speedup",
-                      base_inc["select_speedup"], speedups, args.threshold,
-                      args.jitter_limit, failures)
+                      field(base_inc, "select_speedup",
+                            f"{args.baseline} incremental_select"),
+                      speedups, args.threshold, args.jitter_limit, failures)
 
 
 def gate_scoring(baseline, runs, args, failures):
@@ -222,15 +245,19 @@ def gate_scoring(baseline, runs, args, failures):
                                 f"{scorer}.rescore_speedup: "
                                 "incremental_rescore row missing")
                 continue
-            work_ratios.append(row["work_ratio"])
-            speedups.append(row["rescore_speedup"])
+            ctx = f"{path} incremental_rescore.{scorer}"
+            work_ratios.append(field(row, "work_ratio", ctx))
+            speedups.append(field(row, "rescore_speedup", ctx))
+        base_ctx = f"{args.baseline} incremental_rescore.{scorer}"
         # work_ratio is deterministic (node-eval counts, not seconds).
-        gate_deterministic(f"{scorer}.work_ratio", base_row["work_ratio"],
+        gate_deterministic(f"{scorer}.work_ratio",
+                           field(base_row, "work_ratio", base_ctx),
                            work_ratios, args.threshold, failures,
                            larger_is_better=True)
         gate_timing_ratio(f"{scorer}.rescore_speedup",
-                          base_row["rescore_speedup"], speedups,
-                          args.threshold, args.jitter_limit, failures)
+                          field(base_row, "rescore_speedup", base_ctx),
+                          speedups, args.threshold, args.jitter_limit,
+                          failures)
 
 
 def gate_spread_oracle(baseline, runs, args, failures):
@@ -256,28 +283,33 @@ def gate_spread_oracle(baseline, runs, args, failures):
         sys.exit("error: baseline lacks arena/session/celf/bitparallel "
                  "sections; regenerate it with the current bench binary")
 
+    def base(section_obj, section, key):
+        return field(section_obj, key, f"{args.baseline} {section}")
+
     gate_deterministic("arena.bytes_per_snapshot",
-                       base_arena["bytes_per_snapshot"],
+                       base(base_arena, "arena", "bytes_per_snapshot"),
                        section_values("arena", "bytes_per_snapshot"),
                        args.threshold, failures, larger_is_better=False)
     gate_deterministic("session.session_work_ratio",
-                       base_session["session_work_ratio"],
+                       base(base_session, "session", "session_work_ratio"),
                        section_values("session", "session_work_ratio"),
                        args.threshold, failures, larger_is_better=True)
     gate_deterministic("celf.spread_parity_vs_mc",
-                       base_celf["spread_parity_vs_mc"],
+                       base(base_celf, "celf", "spread_parity_vs_mc"),
                        section_values("celf", "spread_parity_vs_mc"),
                        args.threshold, failures, larger_is_better=True)
     gate_timing_ratio("celf.celf_speedup_vs_mc",
-                      base_celf["celf_speedup_vs_mc"],
+                      base(base_celf, "celf", "celf_speedup_vs_mc"),
                       section_values("celf", "celf_speedup_vs_mc"),
                       args.threshold, args.jitter_limit, failures)
     gate_timing_ratio("celf.incremental_vs_oneshot_speedup",
-                      base_celf["incremental_vs_oneshot_speedup"],
+                      base(base_celf, "celf",
+                           "incremental_vs_oneshot_speedup"),
                       section_values("celf", "incremental_vs_oneshot_speedup"),
                       args.threshold, args.jitter_limit, failures)
     gate_timing_ratio("bitparallel.speedup_vs_scalar_session",
-                      base_bp["speedup_vs_scalar_session"],
+                      base(base_bp, "bitparallel",
+                           "speedup_vs_scalar_session"),
                       section_values("bitparallel",
                                      "speedup_vs_scalar_session"),
                       args.threshold, args.jitter_limit, failures)
@@ -307,15 +339,19 @@ def gate_engine(baseline, runs, args, failures):
     # build. Any other value means Workspace keying or the cold/warm
     # protocol changed — fail regardless of threshold.
     for key in ("cold_sketch_builds", "warm_sketch_builds"):
-        expected = base_batch[key]
+        expected = field(base_batch, key, f"{args.baseline} batch")
         for value in section_values("batch", key):
             if value != expected:
                 failures.append(f"batch.{key}: {value} != {expected} "
                                 "(exact artifact-count contract)")
-    gate_deterministic("warm.workspace_bytes", base_warm["workspace_bytes"],
+    gate_deterministic("warm.workspace_bytes",
+                       field(base_warm, "workspace_bytes",
+                             f"{args.baseline} warm"),
                        section_values("warm", "workspace_bytes"),
                        args.threshold, failures, larger_is_better=False)
-    gate_timing_ratio("batch.batch_speedup", base_batch["batch_speedup"],
+    gate_timing_ratio("batch.batch_speedup",
+                      field(base_batch, "batch_speedup",
+                            f"{args.baseline} batch"),
                       section_values("batch", "batch_speedup"),
                       args.threshold, args.jitter_limit, failures)
 
@@ -349,20 +385,25 @@ def gate_query_family(baseline, runs, args, failures):
                          ("budgeted", "lazy_eager_seed_match"),
                          ("targeted", "allones_parity"),
                          ("explain", "contribution_sum_parity")):
-        expected = baseline[section][key]
+        expected = field(baseline.get(section), key,
+                         f"{args.baseline} {section}")
         for value in section_values(section, key):
             if value != expected:
                 failures.append(f"{section}.{key}: {value} != {expected} "
                                 "(exact parity contract)")
     gate_deterministic("targeted.topic_gain_ratio",
-                       base_targeted["topic_gain_ratio"],
+                       field(base_targeted, "topic_gain_ratio",
+                             f"{args.baseline} targeted"),
                        section_values("targeted", "topic_gain_ratio"),
                        args.threshold, failures, larger_is_better=True)
-    gate_timing_ratio("budgeted.lazy_speedup", base_budgeted["lazy_speedup"],
+    gate_timing_ratio("budgeted.lazy_speedup",
+                      field(base_budgeted, "lazy_speedup",
+                            f"{args.baseline} budgeted"),
                       section_values("budgeted", "lazy_speedup"),
                       args.threshold, args.jitter_limit, failures)
     gate_timing_ratio("explain.explain_speedup_vs_solve",
-                      base_explain["explain_speedup_vs_solve"],
+                      field(base_explain, "explain_speedup_vs_solve",
+                            f"{args.baseline} explain"),
                       section_values("explain", "explain_speedup_vs_solve"),
                       args.threshold, args.jitter_limit, failures)
 
@@ -397,7 +438,7 @@ def gate_streaming(baseline, runs, args, failures):
                 failures.append(f"{section}.{key}: {value} != true "
                                 "(exact parity contract)")
     for key in ("patched", "evicted"):
-        expected = base_artifacts[key]
+        expected = field(base_artifacts, key, f"{args.baseline} artifacts")
         for value in section_values("artifacts", key):
             if value != expected:
                 failures.append(f"artifacts.{key}: {value} != {expected} "
@@ -406,13 +447,16 @@ def gate_streaming(baseline, runs, args, failures):
     # Timing gates: baseline-relative plus the absolute 3x floor on the
     # headline incremental-solve speedup.
     solve_speedups = section_values("solve", "speedup")
-    gate_timing_ratio("solve.speedup", base_solve["speedup"], solve_speedups,
-                      args.threshold, args.jitter_limit, failures)
+    gate_timing_ratio("solve.speedup",
+                      field(base_solve, "speedup", f"{args.baseline} solve"),
+                      solve_speedups, args.threshold, args.jitter_limit,
+                      failures)
     if solve_speedups and max(solve_speedups) < 3.0:
         failures.append(f"solve.speedup best-of-{len(solve_speedups)} "
                         f"{max(solve_speedups):.2f} < 3.00 (absolute "
                         "incremental-vs-rebuild floor)")
-    gate_timing_ratio("rr.speedup", base_rr["speedup"],
+    gate_timing_ratio("rr.speedup",
+                      field(base_rr, "speedup", f"{args.baseline} rr"),
                       section_values("rr", "speedup"), args.threshold,
                       args.jitter_limit, failures)
 

@@ -127,6 +127,24 @@ Status Run(const BenchArgs& args) {
     return Status::InvalidArgument("--max-cache-mib must be >= 0");
   }
 
+  // Deadline knobs. With none of them set the request carries no deadline
+  // and the solve path (and output) is byte-identical to the old CLI.
+  const double deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  const int64_t work_budget = args.GetInt("work-budget", 0);
+  if (work_budget < 0) {
+    return Status::InvalidArgument("--work-budget must be >= 0");
+  }
+  const std::string on_deadline = args.GetString("on-deadline", "degrade");
+  OnDeadline deadline_policy;
+  if (on_deadline == "degrade") {
+    deadline_policy = OnDeadline::kDegrade;
+  } else if (on_deadline == "fail") {
+    deadline_policy = OnDeadline::kFail;
+  } else {
+    return Status::InvalidArgument(
+        "unknown --on-deadline (fail|degrade): " + on_deadline);
+  }
+
   EngineOptions engine_options;
   engine_options.max_cache_bytes =
       static_cast<std::size_t>(cache_mib * 1024.0 * 1024.0);
@@ -144,6 +162,9 @@ Status Run(const BenchArgs& args) {
   request.p = args.GetDouble("p", 0.1);
   request.num_sketches = static_cast<uint32_t>(sketches);
   request.evaluate_spread = request.oracle == SpreadOracle::kSketch;
+  request.deadline_ms = deadline_ms;
+  request.work_budget = static_cast<uint64_t>(work_budget);
+  request.on_deadline = deadline_policy;
 
   // Query-family materialization: graph-dependent vectors from the raw
   // --costs/--targets/--seeds specs.
@@ -158,6 +179,15 @@ Status Run(const BenchArgs& args) {
   }
 
   HOLIM_ASSIGN_OR_RETURN(SolveResult result, engine.Solve(request));
+  if (deadline_ms > 0.0 || work_budget > 0) {
+    // One machine-greppable line whenever a deadline was requested (its
+    // absence keeps the default output byte-identical).
+    std::printf("deadline: degraded=%s tier=%s rounds_completed=%u%s%s\n",
+                result.degraded ? "true" : "false",
+                ResultTierName(result.tier), result.rounds_completed,
+                result.degraded ? " reason=" : "",
+                result.degraded ? result.degradation_reason.c_str() : "");
+  }
   if (result.sketch_arena_bytes != 0) {
     std::printf("sketch oracle: %u live-edge snapshots, arena %s "
                 "(capacity-based)\n",
@@ -319,6 +349,17 @@ int main(int argc, char** argv) {
         args->Declare("max-cache-mib",
                       "engine Workspace artifact budget in MiB; LRU "
                       "eviction above it (default 0 = unlimited)");
+        args->Declare("deadline-ms",
+                      "wall-clock solve deadline in milliseconds (default 0 "
+                      "= none); see --on-deadline for what expiry does");
+        args->Declare("work-budget",
+                      "deterministic deadline in checkpoint ticks (default 0 "
+                      "= none; overrides --deadline-ms): the solve stops at "
+                      "the Nth cooperative checkpoint, reproducibly");
+        args->Declare("on-deadline",
+                      "deadline expiry policy: degrade (default; return "
+                      "best-so-far prefix seeds or a heuristic tier, exit 0) "
+                      "| fail (typed error, exit 9/10)");
         holim::DeclareCommonOptions(
             args, {/*oracle=*/true, /*rescore_default=*/"incremental",
                    /*threads=*/true, /*query=*/true});
