@@ -264,6 +264,10 @@ Result<HolimEngine::DeltaReport> HolimEngine::ApplyDelta(
       });
   report.patched_sketches = stats.patched;
   report.evicted_artifacts = stats.evicted;
+  // Patched arenas can grow (inserted edges lengthen their splice
+  // tables), so the byte budget must be re-enforced here — a patch-heavy
+  // churn epoch must not overshoot until the next solve.
+  report.evicted_artifacts += workspace_.EnforceBudget();
   return report;
 }
 
@@ -327,7 +331,11 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
 
   // Artifact acquisition: the cached selector (and, inside the factory,
   // any shared sketch oracle). artifact_seconds covers exactly the
-  // cold-build work a warm solve skips.
+  // cold-build work a warm solve skips. Everything this solve touches
+  // from here on is pinned in the post-solve budget pass — a budget that
+  // can't hold the working set must evict colder keys, not what the next
+  // (affinity-grouped) request is about to reuse.
+  const uint64_t pre_solve_tick = workspace_.tick();
   Timer artifact_timer;
   const std::string sketch_key =
       SketchOracleKey(FingerprintParams(*request.params),
@@ -495,7 +503,7 @@ Result<SolveResult> HolimEngine::Solve(const SolveRequest& request) {
     result.spread_seconds = spread_timer.ElapsedSeconds();
   }
 
-  workspace_.EnforceBudget();
+  workspace_.EnforceBudget(pre_solve_tick);
   result.workspace_bytes = workspace_.MemoryFootprintBytes();
   result.total_seconds = total_timer.ElapsedSeconds();
   return result;
@@ -509,6 +517,9 @@ Result<SolveResult> HolimEngine::SolveGivenSeeds(const SolveRequest& request,
   result.algorithm = QueryKindName(request.query);
   result.seeds = request.given_seeds;
 
+  // Same working-set pin as Solve's: the arena fetched for this
+  // evaluation must survive the post-solve budget pass.
+  const uint64_t pre_solve_tick = workspace_.tick();
   Timer artifact_timer;
   std::shared_ptr<const SketchOracle> sketch;
   if (request.oracle == SpreadOracle::kSketch) {
@@ -574,7 +585,7 @@ Result<SolveResult> HolimEngine::SolveGivenSeeds(const SolveRequest& request,
     }
   }
 
-  workspace_.EnforceBudget();
+  workspace_.EnforceBudget(pre_solve_tick);
   result.workspace_bytes = workspace_.MemoryFootprintBytes();
   result.total_seconds = total_timer.ElapsedSeconds();
   return result;

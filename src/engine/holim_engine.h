@@ -88,7 +88,11 @@ class HolimEngine {
     std::size_t removed = 0;
     std::size_t reweighted = 0;
     std::size_t patched_sketches = 0;   ///< artifacts patched in place
-    std::size_t evicted_artifacts = 0;  ///< artifacts dropped as stale
+    /// Artifacts dropped: stale ones (selectors, mismatched fingerprints,
+    /// failed patches) plus any budget evictions forced by patched arenas
+    /// growing past max_cache_bytes (enforced here too, not only between
+    /// solves).
+    std::size_t evicted_artifacts = 0;
     InfluenceParams params;
   };
 

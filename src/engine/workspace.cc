@@ -1,6 +1,7 @@
 #include "engine/workspace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -71,7 +72,62 @@ Workspace::Entry* Workspace::Touch(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   it->second.last_used = ++tick_;
+  it->second.heat = DecayedHeat(it->second, tick_) + 1.0;
+  it->second.heat_tick = tick_;
   return &it->second;
+}
+
+double Workspace::DecayedHeat(const Entry& entry, uint64_t now) const {
+  const uint64_t halvings = (now - entry.heat_tick) / heat_half_life_;
+  // Past ~1074 halvings even DBL_MAX underflows to exactly 0; clamping
+  // keeps the ldexp exponent in int range.
+  if (halvings > 1074) return 0.0;
+  return std::ldexp(entry.heat, -static_cast<int>(halvings));
+}
+
+double Workspace::HeatOf(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0.0 : DecayedHeat(it->second, tick_);
+}
+
+double Workspace::BenefitPerByte(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return 0.0;
+  const double bytes = static_cast<double>(
+      std::max<std::size_t>(it->second.FootprintBytes(), 1));
+  return DecayedHeat(it->second, tick_) * it->second.rebuild_cost / bytes;
+}
+
+std::string Workspace::HottestGhost() const {
+  std::string best;
+  double best_heat = -1.0;
+  // Ascending key order + strict ">" keeps the smallest key among
+  // equally hot ghosts.
+  for (const auto& [key, ghost] : ghosts_) {
+    if (ghost.heat > best_heat) {
+      best = key;
+      best_heat = ghost.heat;
+    }
+  }
+  return best;
+}
+
+void Workspace::EvictEntry(std::map<std::string, Entry>::iterator it) {
+  if (policy_ == EvictionPolicy::kHeatBenefit) {
+    GhostEntry ghost;
+    ghost.heat = DecayedHeat(it->second, tick_);
+    ghost.bytes = it->second.FootprintBytes();
+    ghosts_[it->first] = ghost;
+    if (ghosts_.size() > kMaxGhosts) {
+      auto coldest = ghosts_.begin();
+      for (auto g = ghosts_.begin(); g != ghosts_.end(); ++g) {
+        if (g->second.heat < coldest->second.heat) coldest = g;
+      }
+      ghosts_.erase(coldest);
+    }
+  }
+  entries_.erase(it);
+  ++evictions_;
 }
 
 std::shared_ptr<const SketchOracle> Workspace::GetSketchOracle(
@@ -106,11 +162,20 @@ Result<std::shared_ptr<const SketchOracle>> Workspace::GetSketchOracleChecked(
   }
   HOLIM_RETURN_NOT_OK(AdmitBytes(entry.sketch->ArenaBytes()));
   entry.last_used = ++tick_;
+  entry.heat = 1.0;
+  entry.heat_tick = tick_;
+  // Deterministic sampling-work proxy (NOT wall time, which would make
+  // eviction order — and the serving bench's exactly-gated counters —
+  // machine-dependent): R forward simulations over the whole graph.
+  entry.rebuild_cost =
+      static_cast<double>(options.num_snapshots) *
+      static_cast<double>(graph.num_nodes() + graph.num_edges());
   entry.params_fp = params_fp;
   entry.graph_token = graph_token;
   entry.options = options;
   entry.options.deadline = nullptr;  // the deadline dies with the solve
   std::shared_ptr<const SketchOracle> sketch = entry.sketch;
+  ghosts_.erase(key);
   entries_[key] = std::move(entry);
   return sketch;
 }
@@ -138,7 +203,15 @@ Result<SeedSelector*> Workspace::GetSelector(
   entry.selector = std::move(selector);
   HOLIM_RETURN_NOT_OK(AdmitBytes(entry.selector->MemoryFootprintBytes()));
   entry.last_used = ++tick_;
+  entry.heat = 1.0;
+  entry.heat_tick = tick_;
+  // Footprint bytes as the rebuild-cost proxy: deterministic, and it
+  // ranks selectors below same-heat sketch arenas (whose R*(n+m) work
+  // units dwarf their byte counts), matching their actual rebuild cost.
+  entry.rebuild_cost =
+      static_cast<double>(entry.selector->MemoryFootprintBytes());
   SeedSelector* raw = entry.selector.get();
+  ghosts_.erase(key);
   entries_[key] = std::move(entry);
   return raw;
 }
@@ -222,17 +295,43 @@ std::size_t Workspace::MemoryFootprintBytes() const {
   return total;
 }
 
-std::size_t Workspace::EnforceBudget() {
+std::size_t Workspace::EnforceBudget(uint64_t pin_newer_than) {
   if (max_bytes_ == 0) return 0;
   std::size_t evicted = 0;
   while (entries_.size() > 1 && MemoryFootprintBytes() > max_bytes_) {
-    auto victim = entries_.begin();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.last_used < victim->second.last_used) victim = it;
+    auto eligible = [pin_newer_than](const Entry& e) {
+      return e.last_used <= pin_newer_than;
+    };
+    auto victim = entries_.end();
+    if (policy_ == EvictionPolicy::kLru) {
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (!eligible(it->second)) continue;
+        if (victim == entries_.end() ||
+            it->second.last_used < victim->second.last_used) {
+          victim = it;
+        }
+      }
+    } else {
+      auto score_of = [this](const Entry& e) {
+        const double bytes = static_cast<double>(
+            std::max<std::size_t>(e.FootprintBytes(), 1));
+        return DecayedHeat(e, tick_) * e.rebuild_cost / bytes;
+      };
+      // Ascending key order + strict "<" breaks equal-benefit ties
+      // toward the lexicographically smallest key.
+      double victim_score = 0.0;
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (!eligible(it->second)) continue;
+        const double score = score_of(it->second);
+        if (victim == entries_.end() || score < victim_score) {
+          victim = it;
+          victim_score = score;
+        }
+      }
     }
-    entries_.erase(victim);
+    if (victim == entries_.end()) break;  // only pinned entries left
+    EvictEntry(victim);
     ++evicted;
-    ++evictions_;
   }
   // A single over-budget artifact is kept: evicting the only copy of the
   // thing the next solve needs would just thrash rebuild/evict.

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,11 +57,33 @@ namespace holim {
 ///
 /// Each artifact is charged its capacity-based footprint (SketchOracle::
 /// ArenaBytes, SeedSelector::MemoryFootprintBytes). When a byte budget is
-/// set, least-recently-used artifacts are evicted until the total fits;
-/// HolimEngine enforces the budget *between* solves, so artifacts pinned
+/// set, artifacts are evicted until the total fits; HolimEngine enforces
+/// the budget *between* solves AND right after ApplyDelta re-keying (a
+/// patched arena can grow past the budget mid-epoch), so artifacts pinned
 /// by an in-flight solve are never dropped under it (sketches are
 /// additionally shared_ptr-held by their users, so eviction can never
 /// dangle).
+///
+/// Two victim-selection policies (set_eviction_policy):
+///
+///  * kLru (default) — least-recently-used, the historical behavior,
+///    byte-identical for every pre-serving caller.
+///  * kHeatBenefit — the serving policy. Every artifact carries a decayed
+///    hit counter ("heat": each touch adds 1 after halving the old value
+///    once per full `heat_half_life` ticks elapsed — exactly
+///    ldexp(heat, -(delta_ticks / half_life)) + 1 with integer division,
+///    so decay is bit-exact on every platform) and a deterministic
+///    rebuild-cost estimate (sketches: R * (nodes + edges) sampling work
+///    units; selectors: their footprint bytes, a stand-in that ranks them
+///    below same-heat arenas). The victim is the artifact with the lowest
+///    benefit-per-byte = heat * rebuild_cost / bytes; ties break toward
+///    the lexicographically smallest key, so eviction order is a pure
+///    function of the access sequence — never of wall time.
+///
+/// Heat-policy evictions are remembered in a small "ghost" list
+/// (key -> heat at eviction + bytes), which a serving layer can consult
+/// (HottestGhost) to pre-warm the hottest evicted artifact once budget
+/// frees up. Admitting a key clears its ghost.
 ///
 /// Not thread-safe; an engine (and its workspace) serves one solve at a
 /// time.
@@ -147,12 +170,67 @@ class Workspace {
       const std::string& new_graph_token,
       const std::function<Status(SketchOracle&)>& patch);
 
-  /// Evicts least-recently-used artifacts until the footprint fits the
-  /// budget (no-op when unlimited). Returns the number evicted.
-  std::size_t EnforceBudget();
+  /// Evicts artifacts until the footprint fits the budget (no-op when
+  /// unlimited), picking victims per the eviction policy (LRU, or lowest
+  /// benefit-per-byte under kHeatBenefit). Returns the number evicted.
+  ///
+  /// Entries touched after `pin_newer_than` (the working set of an
+  /// in-flight or just-finished solve) are exempt from the victim scan:
+  /// a cold-but-in-use artifact must not lose to a stale-hot one the
+  /// moment it is admitted, or every request for a non-head key would
+  /// rebuild and immediately re-evict it. When only pinned entries
+  /// remain the pass stops, even over budget (same spirit as the
+  /// keep-one rule below). The default pins nothing.
+  std::size_t EnforceBudget(
+      uint64_t pin_newer_than = std::numeric_limits<uint64_t>::max());
+
+  /// The current LRU tick (advances on every touch/admission). Callers
+  /// snapshot it before a solve to pin that solve's working set in a
+  /// later EnforceBudget pass.
+  uint64_t tick() const { return tick_; }
 
   void set_max_bytes(std::size_t max_bytes) { max_bytes_ = max_bytes; }
   std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Victim-selection policy (see the class comment). Switching policy
+  /// only changes *which* artifact EnforceBudget drops next; hit/miss
+  /// behavior and artifact contents are identical under both.
+  enum class EvictionPolicy { kLru, kHeatBenefit };
+  void set_eviction_policy(EvictionPolicy policy) { policy_ = policy; }
+  EvictionPolicy eviction_policy() const { return policy_; }
+
+  /// Heat half-life in LRU ticks (every Touch/admission is one tick): a
+  /// key's heat halves once per `ticks` elapsed ticks, by integer-counted
+  /// halvings (bit-exact ldexp, no libm). Must be > 0.
+  void set_heat_half_life(uint64_t ticks) { heat_half_life_ = ticks; }
+  uint64_t heat_half_life() const { return heat_half_life_; }
+
+  /// The decayed heat of `key` as of the current tick (0 when absent).
+  /// Read-only: no LRU touch, no decay state mutation.
+  double HeatOf(const std::string& key) const;
+
+  /// The kHeatBenefit eviction score of `key`:
+  /// heat * rebuild_cost_estimate / bytes (0 when absent). Lowest goes
+  /// first.
+  double BenefitPerByte(const std::string& key) const;
+
+  /// One remembered heat-policy eviction, for pre-warm decisions.
+  struct GhostEntry {
+    double heat = 0.0;       ///< decayed heat at eviction time
+    std::size_t bytes = 0;   ///< footprint the rebuild would re-admit
+  };
+
+  /// The ghost list: keys evicted under kHeatBenefit that have not been
+  /// re-admitted since, capped at the hottest kMaxGhosts.
+  const std::map<std::string, GhostEntry>& ghosts() const { return ghosts_; }
+
+  /// The hottest ghost key (ties: smallest key), or "" when none. The
+  /// serving layer pre-warms this once headroom covers its bytes.
+  std::string HottestGhost() const;
+
+  /// Drops `key` from the ghost list (after a pre-warm, or to give up on
+  /// it).
+  void ForgetGhost(const std::string& key) { ghosts_.erase(key); }
 
   /// Hard budget mode (off by default): with a byte budget set, an
   /// artifact admission that still exceeds the budget after one LRU
@@ -180,6 +258,11 @@ class Workspace {
     std::shared_ptr<SketchOracle> sketch;
     std::unique_ptr<SeedSelector> selector;
     uint64_t last_used = 0;
+    // kHeatBenefit state: decayed hit counter (heat as of heat_tick) and
+    // the deterministic rebuild-cost estimate set at build time.
+    double heat = 0.0;
+    uint64_t heat_tick = 0;
+    double rebuild_cost = 0.0;
     // Sketch-entry metadata mirrored out of the key so ApplyGraphDelta
     // can match and re-key entries without parsing key strings.
     uint64_t params_fp = 0;
@@ -196,10 +279,19 @@ class Workspace {
   /// Hard-budget admission check for an artifact of `incoming_bytes` about
   /// to be cached: evict-and-retry once, then OK or kResourceExhausted.
   Status AdmitBytes(std::size_t incoming_bytes);
+  /// `entry`'s heat decayed to `now` (pure; no state change).
+  double DecayedHeat(const Entry& entry, uint64_t now) const;
+  /// Erases `it`, recording a ghost under kHeatBenefit.
+  void EvictEntry(std::map<std::string, Entry>::iterator it);
+
+  static constexpr std::size_t kMaxGhosts = 32;
 
   std::map<std::string, Entry> entries_;
+  std::map<std::string, GhostEntry> ghosts_;
   std::size_t max_bytes_ = 0;
   bool hard_budget_ = false;
+  EvictionPolicy policy_ = EvictionPolicy::kLru;
+  uint64_t heat_half_life_ = 64;
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

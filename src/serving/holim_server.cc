@@ -1,0 +1,384 @@
+#include "serving/holim_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "engine/workspace.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace holim {
+namespace {
+
+/// Writes all of `data` to a connected socket. MSG_NOSIGNAL: a client
+/// that disconnects mid-response must surface as a short write here,
+/// not a process-killing SIGPIPE.
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t wrote =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) return false;
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
+HolimServer::HolimServer(const ServerOptions& options) : options_(options) {
+  HOLIM_CHECK(options_.queue_depth >= 1);
+  HOLIM_CHECK(options_.num_sketches >= 1);
+}
+
+HolimServer::~HolimServer() = default;
+
+Status HolimServer::AddTenant(Graph graph) {
+  auto tenant = std::make_unique<Tenant>();
+  tenant->graph = std::move(graph);
+  if (tenant->graph.num_nodes() == 0) {
+    return Status::InvalidArgument("tenant graph has no nodes");
+  }
+  // All three first-layer models up front: SolveRequest borrows params by
+  // pointer, so they must live as long as the engine, and building them
+  // here keeps Execute allocation-free on the model axis.
+  tenant->params.emplace("IC", MakeUniformIc(tenant->graph));
+  tenant->params.emplace("WC", MakeWeightedCascade(tenant->graph));
+  tenant->params.emplace("LT", MakeLinearThreshold(tenant->graph));
+  EngineOptions engine_options;
+  engine_options.max_cache_bytes = options_.max_cache_bytes;
+  tenant->engine =
+      std::make_unique<HolimEngine>(tenant->graph, engine_options);
+  tenant->engine->workspace().set_eviction_policy(options_.cache_policy);
+  tenants_.push_back(std::move(tenant));
+  return Status::OK();
+}
+
+HolimEngine& HolimServer::tenant_engine(uint32_t tenant) {
+  HOLIM_CHECK(tenant < tenants_.size());
+  return *tenants_[tenant]->engine;
+}
+
+std::string HolimServer::ArenaKeyFor(const Tenant& tenant,
+                                     const ProtocolRequest& request) const {
+  // Mirrors HolimEngine::Solve's sketch key exactly (same fingerprint,
+  // R, seed, no edge offsets, current graph token) — the affinity
+  // scheduler and the coalescing counter key on the same artifact the
+  // engine will fetch.
+  return SketchOracleKey(
+      FingerprintParams(tenant.params.at(request.model)),
+      options_.num_sketches, options_.seed,
+      /*record_edge_offsets=*/false, tenant.engine->graph_token());
+}
+
+Status HolimServer::Submit(const ProtocolRequest& request) {
+  if (request.verb != RequestVerb::kSolve) {
+    return Status::InvalidArgument("only solve requests can be queued");
+  }
+  if (request.tenant >= tenants_.size()) {
+    return Status::InvalidArgument("unknown tenant id " +
+                                   std::to_string(request.tenant));
+  }
+  if (queue_full()) {
+    ++stats_.rejected;
+    return Status::ResourceExhausted(
+        "admission queue full (depth " +
+        std::to_string(options_.queue_depth) + ")");
+  }
+  Tenant& tenant = *tenants_[request.tenant];
+  Pending pending;
+  pending.request = request;
+  pending.arena_key = ArenaKeyFor(tenant, request);
+  pending.enqueue_nanos = clock().NowNanos();
+  pending.cold_at_admission =
+      tenant.engine->workspace().PeekSketchOracle(pending.arena_key) ==
+      nullptr;
+  queue_.push_back(std::move(pending));
+  ++stats_.admitted;
+  return Status::OK();
+}
+
+Result<ProtocolReply> HolimServer::DispatchNext() {
+  if (queue_.empty()) return Status::NotFound("serving queue is empty");
+  Pending pending = PopNext();
+  Result<ProtocolReply> reply = Execute(pending);
+  if (!reply.ok()) ++stats_.failed;
+  return reply;
+}
+
+HolimServer::Pending HolimServer::PopNext() {
+  auto it = queue_.begin();
+  if (options_.affinity && !last_arena_key_.empty()) {
+    // Earliest queued request sharing the last-dispatched arena: the
+    // whole same-key group runs back to back off one build. Falls back
+    // to FIFO front, so no request can starve longer than one group.
+    for (auto q = queue_.begin(); q != queue_.end(); ++q) {
+      if (q->arena_key == last_arena_key_) {
+        it = q;
+        break;
+      }
+    }
+  }
+  Pending pending = std::move(*it);
+  queue_.erase(it);
+  return pending;
+}
+
+Result<ProtocolReply> HolimServer::Execute(const Pending& pending) {
+  Tenant& tenant = *tenants_[pending.request.tenant];
+  const InfluenceParams& params = tenant.params.at(pending.request.model);
+
+  SolveRequest request;
+  request.algorithm = pending.request.algo;
+  request.k =
+      std::min<uint32_t>(pending.request.k, tenant.graph.num_nodes());
+  request.query = pending.request.query;
+  request.params = &params;
+  request.oracle = SpreadOracle::kSketch;
+  request.num_sketches = options_.num_sketches;
+  request.mc = options_.num_sketches;
+  request.seed = options_.seed;
+  request.evaluate_spread = true;
+  request.clock = options_.clock;
+
+  // Queue-wait deadline charging: the request's deadline budget started
+  // at admission. Overstayed requests still get an answer — work_budget=1
+  // expires at the first checkpoint, which lands them deterministically
+  // in the heuristic degradation tier (the overload response).
+  const double wait_ms = static_cast<double>(clock().NowNanos() -
+                                             pending.enqueue_nanos) /
+                         1e6;
+  if (pending.request.deadline_ms > 0.0) {
+    const double remaining = pending.request.deadline_ms - wait_ms;
+    if (remaining <= 0.0) {
+      request.work_budget = 1;
+      ++stats_.expired_in_queue;
+    } else {
+      request.deadline_ms = remaining;
+    }
+  }
+
+  Timer solve_timer;
+  HOLIM_ASSIGN_OR_RETURN(SolveResult result, tenant.engine->Solve(request));
+
+  ProtocolReply reply;
+  reply.id = pending.request.id;
+  reply.tenant = pending.request.tenant;
+  reply.warm_sketch = result.warm_sketch;
+  reply.warm_selector = result.warm_selector;
+  reply.coalesced = pending.cold_at_admission && result.warm_sketch;
+  reply.degraded = result.degraded;
+  reply.tier = result.tier;
+  reply.spread = result.spread;
+  reply.wait_ms = wait_ms;
+  reply.solve_ms = solve_timer.ElapsedMillis();
+  for (std::size_t i = 0; i < result.seeds.size(); ++i) {
+    if (i) reply.seeds_csv += ',';
+    reply.seeds_csv += std::to_string(result.seeds[i]);
+  }
+
+  ++stats_.served;
+  if (result.warm_sketch) {
+    ++stats_.warm_sketch_hits;
+    if (reply.coalesced) ++stats_.coalesced;
+  } else if (result.sketch_arena_bytes != 0) {
+    // A cold arena was actually built (an expired-in-queue heuristic
+    // solve builds nothing and counts nowhere).
+    ++stats_.sketch_builds;
+  }
+  tenant.key_model[pending.arena_key] = pending.request.model;
+  last_arena_key_ = pending.arena_key;
+  MaybePrewarm(tenant);
+  return reply;
+}
+
+void HolimServer::MaybePrewarm(Tenant& tenant) {
+  if (!options_.prewarm) return;
+  if (options_.cache_policy != Workspace::EvictionPolicy::kHeatBenefit) {
+    return;
+  }
+  Workspace& workspace = tenant.engine->workspace();
+  const std::string ghost_key = workspace.HottestGhost();
+  if (ghost_key.empty()) return;
+  const auto model_it = tenant.key_model.find(ghost_key);
+  if (model_it == tenant.key_model.end()) {
+    // A ghost we cannot rebuild (key from a retired configuration).
+    workspace.ForgetGhost(ghost_key);
+    return;
+  }
+  const auto ghost_it = workspace.ghosts().find(ghost_key);
+  if (ghost_it == workspace.ghosts().end()) return;
+  if (workspace.max_bytes() != 0 &&
+      workspace.MemoryFootprintBytes() + ghost_it->second.bytes >
+          workspace.max_bytes()) {
+    return;  // no headroom yet; keep the ghost for later
+  }
+  SketchOptions sketch_options;
+  sketch_options.num_snapshots = options_.num_sketches;
+  sketch_options.seed = options_.seed;
+  bool reused = false;
+  workspace.GetSketchOracle(tenant.graph,
+                            tenant.params.at(model_it->second),
+                            sketch_options, tenant.engine->graph_token(),
+                            &reused);
+  if (!reused) ++stats_.prewarms;
+}
+
+std::string HolimServer::DispatchOneLine() {
+  Pending pending = PopNext();
+  Result<ProtocolReply> reply = Execute(pending);
+  if (reply.ok()) return FormatOkResponse(*reply, options_.echo_timings);
+  ++stats_.failed;
+  return FormatErrorResponse(pending.request.id, reply.status());
+}
+
+void HolimServer::DrainQueue(std::vector<std::string>* lines) {
+  while (!queue_.empty()) lines->push_back(DispatchOneLine());
+}
+
+std::string HolimServer::FormatStats() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "stats tenants=%zu admitted=%llu rejected=%llu served=%llu "
+      "failed=%llu builds=%llu warm_sketch_hits=%llu coalesced=%llu "
+      "prewarms=%llu expired_in_queue=%llu",
+      tenants_.size(), static_cast<unsigned long long>(stats_.admitted),
+      static_cast<unsigned long long>(stats_.rejected),
+      static_cast<unsigned long long>(stats_.served),
+      static_cast<unsigned long long>(stats_.failed),
+      static_cast<unsigned long long>(stats_.sketch_builds),
+      static_cast<unsigned long long>(stats_.warm_sketch_hits),
+      static_cast<unsigned long long>(stats_.coalesced),
+      static_cast<unsigned long long>(stats_.prewarms),
+      static_cast<unsigned long long>(stats_.expired_in_queue));
+  return buf;
+}
+
+void HolimServer::HandleLine(const std::string& line,
+                             std::vector<std::string>* out_lines,
+                             bool* quit) {
+  // Blank lines and #-comments keep request scripts human-editable.
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') return;
+
+  Result<ProtocolRequest> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    out_lines->push_back(FormatErrorResponse(0, parsed.status()));
+    return;
+  }
+  const ProtocolRequest& request = *parsed;
+  switch (request.verb) {
+    case RequestVerb::kPing:
+      out_lines->push_back("pong");
+      return;
+    case RequestVerb::kStats:
+      DrainQueue(out_lines);
+      out_lines->push_back(FormatStats());
+      return;
+    case RequestVerb::kQuit:
+      DrainQueue(out_lines);
+      out_lines->push_back("bye");
+      *quit = true;
+      return;
+    case RequestVerb::kSolve:
+      break;
+  }
+  // Closed-loop admission: a solve line meeting a full queue first frees
+  // one slot by dispatching, so the interleaving — and therefore every
+  // response byte — is a pure function of the script.
+  if (queue_full()) out_lines->push_back(DispatchOneLine());
+  const Status submitted = Submit(request);
+  if (!submitted.ok()) {
+    out_lines->push_back(FormatErrorResponse(request.id, submitted));
+  }
+}
+
+Status HolimServer::RunPipe(std::istream& in, std::ostream& out) {
+  std::string line;
+  std::vector<std::string> lines;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    lines.clear();
+    HandleLine(line, &lines, &quit);
+    for (const std::string& response : lines) out << response << '\n';
+    out.flush();
+  }
+  if (!quit) {
+    // EOF without quit: answer everything still queued.
+    lines.clear();
+    DrainQueue(&lines);
+    for (const std::string& response : lines) out << response << '\n';
+    out.flush();
+  }
+  return Status::OK();
+}
+
+Status HolimServer::ServeUnixSocket(const std::string& path) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("bad socket path: " + path);
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) return Status::IOError("socket(): " + path);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 1) != 0) {
+    ::close(listener);
+    return Status::IOError("bind/listen failed on " + path);
+  }
+  bool quit = false;
+  while (!quit) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      ::close(listener);
+      return Status::IOError("accept failed on " + path);
+    }
+    // One client at a time, line-buffered over the raw fd; the protocol
+    // and loop semantics are RunPipe's exactly.
+    std::string buffer;
+    std::vector<std::string> lines;
+    char chunk[4096];
+    ssize_t n = 0;
+    while (!quit && (n = ::read(client, chunk, sizeof(chunk))) > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t newline;
+      while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        lines.clear();
+        HandleLine(line, &lines, &quit);
+        std::string response;
+        for (const std::string& l : lines) response += l + "\n";
+        if (!SendAll(client, response)) break;
+      }
+    }
+    if (!quit) {
+      // EOF without quit: answer everything still queued, matching
+      // RunPipe. A half-closing client (shutdown(SHUT_WR) after its last
+      // request) is still reading and receives these.
+      lines.clear();
+      DrainQueue(&lines);
+      std::string response;
+      for (const std::string& l : lines) response += l + "\n";
+      SendAll(client, response);
+    }
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return Status::OK();
+}
+
+}  // namespace holim

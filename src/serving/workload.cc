@@ -1,0 +1,65 @@
+#include "serving/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace holim {
+
+namespace {
+
+/// Top 53 bits of a raw draw as a double in [0, 1): exact on every
+/// platform (53-bit integers are representable, and the divisor is a
+/// power of two), unlike a 1.0/2^64 multiply whose rounding can differ.
+double UnitDouble(uint64_t raw) {
+  return static_cast<double>(raw >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ZipfianSampler::ZipfianSampler(std::size_t n, double exponent) {
+  HOLIM_CHECK(n >= 1);
+  HOLIM_CHECK(exponent >= 0.0 && std::isfinite(exponent));
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -exponent);
+    cdf_[i] = total;
+  }
+  for (std::size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_.back() = 1.0;  // pin against normalization round-off
+}
+
+std::size_t ZipfianSampler::Sample(uint64_t raw) const {
+  const double u = UnitDouble(raw);
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  // u < 1.0 and cdf_.back() == 1.0, so `it` can never be end(); the
+  // clamp is belt-and-braces against a hostile cdf.
+  const std::size_t rank = static_cast<std::size_t>(it - cdf_.begin());
+  return std::min(rank, cdf_.size() - 1);
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
+    : spec_(spec),
+      tenants_(spec.num_tenants, spec.tenant_exponent),
+      models_(spec.models.size(), spec.model_exponent),
+      state_(spec.seed) {
+  HOLIM_CHECK(spec_.num_tenants >= 1);
+  HOLIM_CHECK(!spec_.models.empty());
+  HOLIM_CHECK(!spec_.ks.empty());
+}
+
+WorkloadItem WorkloadGenerator::Next() {
+  WorkloadItem item;
+  item.id = count_++;
+  // Exactly three draws per item, in fixed order — the stream-stability
+  // contract the class comment pins.
+  item.tenant = static_cast<uint32_t>(tenants_.Sample(Rng::SplitMix64(state_)));
+  item.model = spec_.models[models_.Sample(Rng::SplitMix64(state_))];
+  item.k = spec_.ks[Rng::SplitMix64(state_) % spec_.ks.size()];
+  return item;
+}
+
+}  // namespace holim

@@ -1,0 +1,90 @@
+#ifndef HOLIM_SERVING_WORKLOAD_H_
+#define HOLIM_SERVING_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace holim {
+
+/// \brief Deterministic Zipfian rank sampler over `n` items.
+///
+/// Item i (0-based) gets weight 1/(i+1)^exponent; the CDF is precomputed
+/// once and each Sample is a binary search, so drawing is O(log n) with no
+/// RNG state of its own — the caller supplies the raw 64-bit draw. That
+/// split is what makes workload streams bitwise reproducible: the sampler
+/// is a pure function of (n, exponent, raw).
+///
+/// exponent 0 degenerates to uniform; larger skews harder (exponent ~1 is
+/// the classic web/cache shape where the head items dominate).
+class ZipfianSampler {
+ public:
+  /// `n` >= 1; `exponent` >= 0 and finite.
+  ZipfianSampler(std::size_t n, double exponent);
+
+  /// Maps a raw 64-bit uniform draw to a rank in [0, size()). The raw
+  /// value is first mapped to a double in [0, 1) by taking its top 53
+  /// bits, so the result is identical on every platform.
+  std::size_t Sample(uint64_t raw) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Normalized inclusive CDF, cdf()[i] = P(rank <= i); back() == 1.0.
+  const std::vector<double>& cdf() const { return cdf_; }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// One request of a serving workload, in stream order. `id` is the
+/// 0-based position in the stream (the serving protocol echoes it back so
+/// out-of-order dispatch stays attributable).
+struct WorkloadItem {
+  uint64_t id = 0;
+  uint32_t tenant = 0;      ///< which tenant graph the request targets
+  std::string model;        ///< diffusion model name: "IC" | "WC" | "LT"
+  uint32_t k = 0;           ///< seed-set size
+};
+
+/// Shape of a synthetic serving workload. Skew is Zipfian over tenants
+/// and over models independently; k is drawn uniformly from `ks`.
+struct WorkloadSpec {
+  uint32_t num_tenants = 3;
+  double tenant_exponent = 1.1;   ///< Zipf skew across tenants
+  double model_exponent = 0.9;    ///< Zipf skew across `models`
+  std::vector<std::string> models = {"IC", "WC", "LT"};
+  std::vector<uint32_t> ks = {5, 10};
+  uint64_t seed = 42;
+};
+
+/// \brief Bitwise-deterministic request stream: a fixed SplitMix64 state
+/// seeded from `spec.seed`, consuming EXACTLY three draws per item
+/// (tenant, model, k) — so item j is a pure function of (spec, j),
+/// independent of how earlier draws were consumed or of the platform.
+/// Two generators built from equal specs produce identical streams.
+class WorkloadGenerator {
+ public:
+  /// Dies (HOLIM_CHECK) on an empty models/ks list or zero tenants.
+  explicit WorkloadGenerator(const WorkloadSpec& spec);
+
+  /// The next item of the stream.
+  WorkloadItem Next();
+
+  /// Items generated so far (== the next item's id).
+  uint64_t count() const { return count_; }
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+  ZipfianSampler tenants_;
+  ZipfianSampler models_;
+  uint64_t state_ = 0;  ///< SplitMix64 stream state
+  uint64_t count_ = 0;
+};
+
+}  // namespace holim
+
+#endif  // HOLIM_SERVING_WORKLOAD_H_

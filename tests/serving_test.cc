@@ -1,0 +1,347 @@
+// HolimServer tests: protocol parsing, bounded-queue admission control,
+// artifact-affinity dispatch order, exact coalesced-build counting,
+// queue-wait deadline charging on an injected clock, ghost pre-warm, the
+// byte-determinism of pipe mode, and the scheduling-never-changes-results
+// contract (heat+affinity vs FIFO+LRU per-id seed parity).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serving/holim_server.h"
+#include "serving/protocol.h"
+#include "util/deadline.h"
+
+namespace holim {
+namespace {
+
+/// Small, fast server: one or two 150-node tenants, R=32 arenas, a cheap
+/// selector — every test below runs in milliseconds.
+ServerOptions FastOptions() {
+  ServerOptions options;
+  options.queue_depth = 8;
+  options.affinity = true;
+  options.cache_policy = Workspace::EvictionPolicy::kHeatBenefit;
+  options.max_cache_bytes = 0;
+  options.prewarm = false;  // tests enable it explicitly
+  options.num_sketches = 32;
+  options.seed = 7;
+  return options;
+}
+
+ProtocolRequest Solve(uint64_t id, uint32_t tenant, const std::string& model,
+                      uint32_t k = 4) {
+  ProtocolRequest request;
+  request.verb = RequestVerb::kSolve;
+  request.id = id;
+  request.tenant = tenant;
+  request.model = model;
+  request.algo = "degreediscount";
+  request.k = k;
+  return request;
+}
+
+void AddTenants(HolimServer& server, int count) {
+  for (int t = 0; t < count; ++t) {
+    ASSERT_TRUE(
+        server.AddTenant(GenerateSocialGraph(150, 5.0, 100 + t).ValueOrDie())
+            .ok());
+  }
+}
+
+TEST(ProtocolTest, ParsesTheFullSolveGrammar) {
+  auto parsed = ParseRequestLine(
+      "solve id=7 tenant=1 model=WC k=6 algo=degreediscount deadline_ms=2.5");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->verb, RequestVerb::kSolve);
+  EXPECT_EQ(parsed->id, 7u);
+  EXPECT_EQ(parsed->tenant, 1u);
+  EXPECT_EQ(parsed->model, "WC");
+  EXPECT_EQ(parsed->k, 6u);
+  EXPECT_EQ(parsed->algo, "degreediscount");
+  EXPECT_EQ(parsed->deadline_ms, 2.5);
+
+  // Field order is free; omitted fields keep their defaults.
+  auto sparse = ParseRequestLine("solve k=3 id=9");
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->model, "IC");
+  EXPECT_EQ(sparse->tenant, 0u);
+
+  EXPECT_EQ(ParseRequestLine("ping").ValueOrDie().verb, RequestVerb::kPing);
+  EXPECT_EQ(ParseRequestLine("stats").ValueOrDie().verb, RequestVerb::kStats);
+  EXPECT_EQ(ParseRequestLine("quit").ValueOrDie().verb, RequestVerb::kQuit);
+}
+
+TEST(ProtocolTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("frobnicate").ok());
+  EXPECT_FALSE(ParseRequestLine("solve id=abc").ok());
+  EXPECT_FALSE(ParseRequestLine("solve bogus=1").ok());
+  EXPECT_FALSE(ParseRequestLine("solve id").ok());
+  EXPECT_FALSE(ParseRequestLine("solve model=XX").ok());
+  EXPECT_FALSE(ParseRequestLine("solve k=0").ok());
+  EXPECT_FALSE(ParseRequestLine("solve deadline_ms=-1").ok());
+  EXPECT_FALSE(ParseRequestLine("ping id=1").ok());  // verb takes no fields
+}
+
+TEST(ServerTest, AdmissionControlRejectsWhenFull) {
+  ServerOptions options = FastOptions();
+  options.queue_depth = 2;
+  HolimServer server(options);
+  AddTenants(server, 1);
+
+  EXPECT_TRUE(server.Submit(Solve(1, 0, "IC")).ok());
+  EXPECT_TRUE(server.Submit(Solve(2, 0, "IC")).ok());
+  EXPECT_TRUE(server.queue_full());
+  const Status third = server.Submit(Solve(3, 0, "IC"));
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().admitted, 2u);
+  EXPECT_EQ(server.queue_size(), 2u);
+
+  // Non-solve verbs and unknown tenants never enter the queue.
+  ProtocolRequest ping;
+  ping.verb = RequestVerb::kPing;
+  EXPECT_EQ(server.Submit(ping).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Submit(Solve(4, 9, "IC")).code(),
+            StatusCode::kInvalidArgument);
+
+  // Draining frees the slot again.
+  ASSERT_TRUE(server.DispatchNext().ok());
+  EXPECT_FALSE(server.queue_full());
+  EXPECT_TRUE(server.Submit(Solve(5, 0, "IC")).ok());
+}
+
+TEST(ServerTest, AffinityRunsSameKeyGroupsBackToBack) {
+  // Queue [IC, WC, IC]: affinity dispatches IC, IC, WC (one IC build for
+  // the group); FIFO dispatches in order and pays the same build anyway —
+  // but the second IC is no longer adjacent, which the coalescing test
+  // below turns into a counted difference under a byte budget.
+  const auto dispatch_order = [](bool affinity) {
+    ServerOptions options = FastOptions();
+    options.affinity = affinity;
+    HolimServer server(options);
+    AddTenants(server, 1);
+    EXPECT_TRUE(server.Submit(Solve(1, 0, "IC")).ok());
+    EXPECT_TRUE(server.Submit(Solve(2, 0, "WC")).ok());
+    EXPECT_TRUE(server.Submit(Solve(3, 0, "IC")).ok());
+    std::vector<uint64_t> ids;
+    while (server.queue_size() > 0) {
+      ids.push_back(server.DispatchNext().ValueOrDie().id);
+    }
+    return ids;
+  };
+  EXPECT_EQ(dispatch_order(true), (std::vector<uint64_t>{1, 3, 2}));
+  EXPECT_EQ(dispatch_order(false), (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(ServerTest, CoalescedCountsQueuedMissesServedWarm) {
+  HolimServer server(FastOptions());
+  AddTenants(server, 1);
+
+  // Both IC requests are admitted while the arena is cold; dispatching
+  // the first builds it, so the second is a coalesced miss — one build
+  // for two queued misses, counted exactly.
+  EXPECT_TRUE(server.Submit(Solve(1, 0, "IC")).ok());
+  EXPECT_TRUE(server.Submit(Solve(2, 0, "IC")).ok());
+  auto first = server.DispatchNext();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->warm_sketch);
+  EXPECT_FALSE(first->coalesced);
+  auto second = server.DispatchNext();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->warm_sketch);
+  EXPECT_TRUE(second->coalesced);
+  EXPECT_EQ(second->seeds_csv, first->seeds_csv);  // reuse is invisible
+
+  // A request admitted AFTER the arena exists is warm but not coalesced —
+  // no build was saved by scheduling; it was simply a cache hit.
+  EXPECT_TRUE(server.Submit(Solve(3, 0, "IC")).ok());
+  auto third = server.DispatchNext();
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->warm_sketch);
+  EXPECT_FALSE(third->coalesced);
+
+  EXPECT_EQ(server.stats().sketch_builds, 1u);
+  EXPECT_EQ(server.stats().warm_sketch_hits, 2u);
+  EXPECT_EQ(server.stats().coalesced, 1u);
+  EXPECT_EQ(server.stats().served, 3u);
+}
+
+TEST(ServerTest, QueueWaitChargesAgainstTheDeadline) {
+  ManualClock clock;
+  ServerOptions options = FastOptions();
+  options.clock = &clock;
+  HolimServer server(options);
+  AddTenants(server, 1);
+
+  // celf (not the checkpoint-free degreediscount heuristic) so the
+  // work_budget=1 expiry actually fires the degradation ladder.
+  ProtocolRequest expired = Solve(1, 0, "IC");
+  expired.algo = "celf";
+  expired.deadline_ms = 10.0;
+  EXPECT_TRUE(server.Submit(expired).ok());
+  clock.Advance(20 * 1'000'000LL);  // 20 ms in the queue: overstayed
+
+  auto reply = server.DispatchNext();
+  ASSERT_TRUE(reply.ok());
+  // The overload response is the degradation ladder, not an error: the
+  // overstayed request lands deterministically in the heuristic tier and
+  // builds no arena.
+  EXPECT_TRUE(reply->degraded);
+  EXPECT_EQ(reply->tier, ResultTier::kHeuristic);
+  EXPECT_FALSE(reply->warm_sketch);
+  EXPECT_EQ(server.stats().expired_in_queue, 1u);
+  EXPECT_EQ(server.stats().sketch_builds, 0u);
+  EXPECT_EQ(server.stats().served, 1u);
+
+  // A request with deadline headroom left runs at full tier.
+  ProtocolRequest fresh = Solve(2, 0, "IC");
+  fresh.algo = "celf";
+  fresh.deadline_ms = 1e6;
+  EXPECT_TRUE(server.Submit(fresh).ok());
+  auto full = server.DispatchNext();
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->degraded);
+  EXPECT_EQ(full->tier, ResultTier::kFull);
+  EXPECT_EQ(server.stats().expired_in_queue, 1u);
+  EXPECT_EQ(server.stats().sketch_builds, 1u);
+}
+
+TEST(ServerTest, SchedulingNeverChangesResults) {
+  // The same request stream through heat+affinity and through FIFO+LRU
+  // must produce identical per-id seed sets and spreads — scheduling and
+  // cache policy may only change WHEN work happens, never its output.
+  const std::vector<ProtocolRequest> stream = {
+      Solve(0, 0, "IC"), Solve(1, 1, "WC"), Solve(2, 0, "IC", 6),
+      Solve(3, 0, "LT"), Solve(4, 1, "WC"), Solve(5, 0, "IC"),
+      Solve(6, 1, "LT"), Solve(7, 0, "WC"), Solve(8, 0, "IC", 6),
+  };
+  const auto run = [&stream](bool optimized) {
+    ServerOptions options = FastOptions();
+    options.affinity = optimized;
+    options.cache_policy = optimized ? Workspace::EvictionPolicy::kHeatBenefit
+                                     : Workspace::EvictionPolicy::kLru;
+    options.prewarm = optimized;
+    HolimServer server(options);
+    AddTenants(server, 2);
+    std::map<uint64_t, std::pair<std::string, double>> by_id;
+    for (const ProtocolRequest& request : stream) {
+      if (server.queue_full()) {
+        const auto reply = server.DispatchNext().ValueOrDie();
+        by_id[reply.id] = {reply.seeds_csv, reply.spread};
+      }
+      EXPECT_TRUE(server.Submit(request).ok());
+    }
+    while (server.queue_size() > 0) {
+      const auto reply = server.DispatchNext().ValueOrDie();
+      by_id[reply.id] = {reply.seeds_csv, reply.spread};
+    }
+    return by_id;
+  };
+  const auto optimized = run(true);
+  const auto baseline = run(false);
+  ASSERT_EQ(optimized.size(), stream.size());
+  EXPECT_EQ(optimized, baseline);
+}
+
+TEST(ServerTest, PrewarmRebuildsTheHottestGhost) {
+  // Tight per-tenant budget: the WC solve evicts the IC arena (ghosting
+  // it), then a budget raise plus further dispatches lets MaybePrewarm
+  // rebuild IC ahead of demand — so the next IC request is warm without
+  // a counted build.
+  Graph sizing_graph = GenerateSocialGraph(150, 5.0, 100).ValueOrDie();
+  const InfluenceParams sizing_params = MakeUniformIc(sizing_graph);
+  SketchOptions sizing_options;
+  sizing_options.num_snapshots = 32;
+  sizing_options.seed = 7;
+  const SketchOracle probe(sizing_graph, sizing_params, sizing_options);
+
+  ServerOptions options = FastOptions();
+  options.prewarm = true;
+  options.max_cache_bytes = probe.ArenaBytes() + probe.ArenaBytes() / 2;
+  HolimServer server(options);
+  AddTenants(server, 1);
+
+  EXPECT_TRUE(server.Submit(Solve(1, 0, "IC")).ok());
+  ASSERT_TRUE(server.DispatchNext().ok());
+  EXPECT_TRUE(server.Submit(Solve(2, 0, "WC")).ok());
+  ASSERT_TRUE(server.DispatchNext().ok());
+  Workspace& workspace = server.tenant_engine(0).workspace();
+  ASSERT_FALSE(workspace.ghosts().empty()) << "budget never forced a ghost";
+  EXPECT_EQ(server.stats().prewarms, 0u);  // no headroom while tight
+
+  // Budget freed: the next dispatches pre-warm the ghosted IC arena (the
+  // first MaybePrewarm may spend its turn forgetting an unbuildable
+  // selector ghost, so allow a couple of dispatches).
+  workspace.set_max_bytes(0);
+  for (uint64_t id = 3; id < 6 && server.stats().prewarms == 0; ++id) {
+    EXPECT_TRUE(server.Submit(Solve(id, 0, "WC")).ok());
+    ASSERT_TRUE(server.DispatchNext().ok());
+  }
+  EXPECT_GE(server.stats().prewarms, 1u);
+
+  const uint64_t builds_before = server.stats().sketch_builds;
+  EXPECT_TRUE(server.Submit(Solve(9, 0, "IC")).ok());
+  auto warmed = server.DispatchNext();
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_TRUE(warmed->warm_sketch);
+  EXPECT_EQ(server.stats().sketch_builds, builds_before);
+}
+
+TEST(ServerTest, PipeModeIsByteDeterministic) {
+  // Closed-loop script: more solves than queue slots, so HandleLine must
+  // interleave dispatches — the full output (including that interleaving)
+  // has to be a pure function of the script.
+  const std::string script =
+      "ping\n"
+      "# comment lines and blanks are ignored\n"
+      "\n"
+      "solve id=1 tenant=0 model=IC k=4 algo=degreediscount\n"
+      "solve id=2 tenant=0 model=WC k=4 algo=degreediscount\n"
+      "solve id=3 tenant=0 model=IC k=4 algo=degreediscount\n"
+      "solve id=4 tenant=1 model=LT k=4 algo=degreediscount\n"
+      "solve id=5 tenant=0 model=IC k=4 algo=degreediscount\n"
+      "stats\n"
+      "quit\n";
+  const auto run = [&script]() {
+    ServerOptions options = FastOptions();
+    options.queue_depth = 2;  // force closed-loop interleaving
+    HolimServer server(options);
+    AddTenants(server, 2);
+    std::istringstream in(script);
+    std::ostringstream out;
+    EXPECT_TRUE(server.RunPipe(in, out).ok());
+    return out.str();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("pong\n"), std::string::npos);
+  EXPECT_NE(first.find("bye\n"), std::string::npos);
+  EXPECT_NE(first.find("stats tenants=2 admitted=5"), std::string::npos);
+  EXPECT_EQ(first.find("err"), std::string::npos) << first;
+  // One ok-line per solve, each echoing its id exactly once.
+  for (int id = 1; id <= 5; ++id) {
+    const std::string tag = "ok id=" + std::to_string(id) + " ";
+    const std::size_t at = first.find(tag);
+    ASSERT_NE(at, std::string::npos) << tag;
+    EXPECT_EQ(first.find(tag, at + 1), std::string::npos) << tag;
+  }
+
+  // EOF without quit still answers everything queued.
+  ServerOptions options = FastOptions();
+  HolimServer server(options);
+  AddTenants(server, 1);
+  std::istringstream in("solve id=8 tenant=0 model=IC k=4\n");
+  std::ostringstream out;
+  EXPECT_TRUE(server.RunPipe(in, out).ok());
+  EXPECT_NE(out.str().find("ok id=8 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace holim

@@ -461,6 +461,82 @@ def gate_streaming(baseline, runs, args, failures):
                       args.jitter_limit, failures)
 
 
+def gate_serving(baseline, runs, args, failures):
+    check_geometry(baseline, runs, ("tenants", "tenant_nodes", "snapshots",
+                                    "requests", "queue_depth",
+                                    "budget_factor", "algo", "seed"))
+
+    base_speedup = baseline.get("speedup")
+    if base_speedup is None:
+        sys.exit("error: baseline lacks a speedup section; regenerate it "
+                 "with the current bench binary")
+
+    def leg_values(leg, key):
+        values = []
+        for path, run in runs:
+            row = run.get(leg)
+            if row is None or key not in row:
+                failures.append(f"{path}: {leg}.{key}: missing")
+                continue
+            values.append(row[key])
+        return values
+
+    # Exact contracts. The per-leg serving counters are a pure function of
+    # the workload (closed-loop dispatch, deterministic workload stream,
+    # bit-exact heat decay), so any drift means the scheduler, the
+    # eviction policy, or the coalescing accounting changed behavior —
+    # fail regardless of threshold.
+    for leg in ("baseline", "heat"):
+        base_leg = baseline.get(leg)
+        if base_leg is None:
+            sys.exit(f"error: baseline lacks a {leg} section; regenerate "
+                     "it with the current bench binary")
+        for key in ("served", "builds", "warm_sketch_hits", "coalesced",
+                    "prewarms", "expired_in_queue"):
+            expected = field(base_leg, key, f"{args.baseline} {leg}")
+            for value in leg_values(leg, key):
+                if value != expected:
+                    failures.append(f"{leg}.{key}: {value} != {expected} "
+                                    "(exact serving-counter contract)")
+    # Scheduling must never change answers.
+    for path, run in runs:
+        speedup = run.get("speedup")
+        value = None if speedup is None else \
+            speedup.get("seeds_match_baseline")
+        if value is not True:
+            failures.append(f"{path}: speedup.seeds_match_baseline: "
+                            f"{value} != true (exact parity contract)")
+
+    # Timing gates: the headline QPS ratio (heat+affinity vs FIFO+LRU on
+    # the same binary) carries an absolute 2x floor on top of the
+    # baseline-relative gate; the p99 ratio is baseline-relative only.
+    def speedup_values(key):
+        values = []
+        for path, run in runs:
+            speedup = run.get("speedup")
+            if speedup is None or key not in speedup:
+                failures.append(f"{path}: speedup.{key}: missing")
+                continue
+            values.append(speedup[key])
+        return values
+
+    qps_ratios = speedup_values("qps_ratio")
+    gate_timing_ratio("speedup.qps_ratio",
+                      field(base_speedup, "qps_ratio",
+                            f"{args.baseline} speedup"),
+                      qps_ratios, args.threshold, args.jitter_limit,
+                      failures)
+    if qps_ratios and max(qps_ratios) < 2.0:
+        failures.append(f"speedup.qps_ratio best-of-{len(qps_ratios)} "
+                        f"{max(qps_ratios):.2f} < 2.00 (absolute "
+                        "heat-vs-baseline serving floor)")
+    gate_timing_ratio("speedup.p99_ratio",
+                      field(base_speedup, "p99_ratio",
+                            f"{args.baseline} speedup"),
+                      speedup_values("p99_ratio"), args.threshold,
+                      args.jitter_limit, failures)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -495,6 +571,8 @@ def main():
         gate_query_family(baseline, runs, args, failures)
     elif kind == "streaming":
         gate_streaming(baseline, runs, args, failures)
+    elif kind == "serving":
+        gate_serving(baseline, runs, args, failures)
     else:
         sys.exit(f"error: unknown bench kind '{kind}' in {args.baseline}")
 

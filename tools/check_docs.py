@@ -30,6 +30,11 @@ Checks, relative to the repo root (the script's parent directory):
      still be a QueryKind. Adding a kind without documenting it — or
      documenting a kind that no longer exists — fails CI.
 
+  5. README.md's "Serving" flag table stays in sync with holimd_cli:
+     every flag declared via `args->Declare("...")` in
+     tools/holimd_cli.cc must appear as a `--flag` row under the
+     "## Serving" heading, and every row must still be declared.
+
 Exit 1 with a per-finding message on any violation.
 
 Usage: python3 tools/check_docs.py
@@ -201,6 +206,45 @@ def check_query_table(readme_text, failures):
                         "not a QueryKind in src/engine/solve_request.h")
 
 
+SERVING_SOURCE = REPO / "tools" / "holimd_cli.cc"
+SERVING_FLAG_RE = re.compile(r'args->Declare\("([^"]+)"')
+SERVING_HEADING = "## Serving"
+
+
+def check_serving_table(readme_text, failures):
+    """README's Serving flag table vs the flags holimd_cli declares, both
+    directions — same contract as the registry/query tables: a flag added
+    without a row, or a row whose flag is gone, fails CI."""
+    if not SERVING_SOURCE.exists():
+        failures.append(f"{SERVING_SOURCE.relative_to(REPO)} missing — the "
+                        "serving flag-table sync check has nothing to parse")
+        return
+    declared = set(SERVING_FLAG_RE.findall(
+        SERVING_SOURCE.read_text(encoding="utf-8")))
+    if not declared:
+        failures.append("tools/holimd_cli.cc: no `args->Declare(\"...\")` "
+                        "flags found — the declaration shape changed?")
+        return
+    section = readme_text.split(SERVING_HEADING, 1)
+    if len(section) < 2:
+        failures.append(f"README.md: no '{SERVING_HEADING}' section — the "
+                        "serving flag table must document every holimd_cli "
+                        "flag")
+        return
+    body = section[1].split("\n## ", 1)[0]
+    documented = set()
+    for line in body.splitlines():
+        m = re.match(r"\|\s*`--([^`]+)`\s*\|", line)
+        if m:
+            documented.add(m.group(1))
+    for missing in sorted(declared - documented):
+        failures.append(f"README.md: holimd_cli flag '--{missing}' is not "
+                        "documented in the Serving flag table")
+    for stale in sorted(documented - declared):
+        failures.append(f"README.md: Serving flag table row '--{stale}' is "
+                        "not declared in tools/holimd_cli.cc")
+
+
 def main():
     failures = []
     files = doc_files()
@@ -216,6 +260,7 @@ def main():
         check_bench_table(readme_text, failures)
         check_registry_table(readme_text, failures)
         check_query_table(readme_text, failures)
+        check_serving_table(readme_text, failures)
 
     if failures:
         print("docs-gate FAILED:", file=sys.stderr)

@@ -179,6 +179,33 @@ Status Run(const BenchArgs& args) {
   }
 
   HOLIM_ASSIGN_OR_RETURN(SolveResult result, engine.Solve(request));
+  if (args.GetBool("stats-json", false)) {
+    // One machine-readable line, then exit: harnesses and CI smokes parse
+    // this instead of sed-normalizing the human report. Keys with
+    // nondeterministic values (the *_seconds timings) are grouped last so
+    // a determinism check can split on "artifact_seconds".
+    std::string seeds;
+    for (std::size_t i = 0; i < result.seeds.size(); ++i) {
+      if (i) seeds += ",";
+      seeds += std::to_string(result.seeds[i]);
+    }
+    std::printf(
+        "{\"algorithm\":\"%s\",\"query\":\"%s\",\"k\":%u,"
+        "\"seeds\":[%s],\"spread\":%.6f,\"tier\":\"%s\","
+        "\"degraded\":%s,\"rounds_completed\":%u,"
+        "\"warm_sketch\":%s,\"warm_selector\":%s,"
+        "\"sketch_arena_bytes\":%zu,\"workspace_bytes\":%zu,"
+        "\"artifact_seconds\":%.6f,\"select_seconds\":%.6f,"
+        "\"spread_seconds\":%.6f,\"total_seconds\":%.6f}\n",
+        result.algorithm.c_str(), QueryKindName(result.query), request.k,
+        seeds.c_str(), result.spread, ResultTierName(result.tier),
+        result.degraded ? "true" : "false", result.rounds_completed,
+        result.warm_sketch ? "true" : "false",
+        result.warm_selector ? "true" : "false", result.sketch_arena_bytes,
+        result.workspace_bytes, result.artifact_seconds,
+        result.select_seconds, result.spread_seconds, result.total_seconds);
+    return Status::OK();
+  }
   if (deadline_ms > 0.0 || work_budget > 0) {
     // One machine-greppable line whenever a deadline was requested (its
     // absence keeps the default output byte-identical).
@@ -349,6 +376,11 @@ int main(int argc, char** argv) {
         args->Declare("max-cache-mib",
                       "engine Workspace artifact budget in MiB; LRU "
                       "eviction above it (default 0 = unlimited)");
+        args->Declare("stats-json",
+                      "after the solve, print ONE machine-readable JSON "
+                      "result line (seeds, spread, tier, warm flags, "
+                      "timings) and exit — for harnesses/CI instead of "
+                      "scraping the human output");
         args->Declare("deadline-ms",
                       "wall-clock solve deadline in milliseconds (default 0 "
                       "= none); see --on-deadline for what expiry does");
